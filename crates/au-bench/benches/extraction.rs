@@ -1,0 +1,76 @@
+//! Criterion benches for the feature-extraction algorithms (Section 4) —
+//! the analysis cost behind Table 1.
+
+use au_trace::{extract_rl, extract_sl, AnalysisDb, RlParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Builds a layered synthetic dependence graph: `layers` tiers of `width`
+/// variables, each depending on two variables of the previous tier, with
+/// the first tier marked as inputs and one target fed by the last tier.
+fn layered_db(layers: usize, width: usize) -> AnalysisDb {
+    let mut db = AnalysisDb::new();
+    for layer in 1..layers {
+        for i in 0..width {
+            let dst = format!("v{layer}_{i}");
+            let a = format!("v{}_{}", layer - 1, i);
+            let b = format!("v{}_{}", layer - 1, (i + 1) % width);
+            db.record_assign(&dst, &[&a, &b], Some((layer * i) as f64), "f");
+        }
+    }
+    for i in 0..width {
+        db.mark_input(&format!("v0_{i}"));
+        let last = format!("v{}_{}", layers - 1, i);
+        db.record_assign("result", &[&last, "param"], None, "f");
+    }
+    db.mark_target("param");
+    db
+}
+
+/// Builds a flat RL-style graph with `vars` traced variables.
+fn traced_db(vars: usize, trace_len: usize) -> AnalysisDb {
+    let mut db = AnalysisDb::new();
+    for i in 0..vars {
+        let name = format!("s{i}");
+        db.record_assign(&name, &[&name], None, "gameLoop");
+        db.record_assign("score", &[&name, "action"], None, "gameLoop");
+        for t in 0..trace_len {
+            db.record_value(&name, ((t * (i + 1)) % 17) as f64);
+        }
+    }
+    db.mark_target("action");
+    db
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_sl");
+    for (layers, width) in [(4usize, 8usize), (8, 16), (12, 32)] {
+        let db = layered_db(layers, width);
+        group.bench_function(format!("{layers}x{width}_vars"), |b| {
+            b.iter(|| black_box(extract_sl(black_box(&db))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_rl");
+    for (vars, trace) in [(10usize, 100usize), (50, 200), (100, 400)] {
+        let db = traced_db(vars, trace);
+        group.bench_function(format!("{vars}_vars_{trace}_trace"), |b| {
+            b.iter(|| black_box(extract_rl(black_box(&db), RlParams::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dependents(c: &mut Criterion) {
+    let db = layered_db(10, 32);
+    let v = db.id("v0_0").unwrap();
+    c.bench_function("transitive_dependents/10x32", |b| {
+        b.iter(|| black_box(db.dependents(black_box(v))));
+    });
+}
+
+criterion_group!(benches, bench_algorithm1, bench_algorithm2, bench_dependents);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion benches for the Autonomizer primitives — the execution-
+//! overhead story behind Table 3's Exec. Time columns and the paper's
+//! "overhead no more than 0.64X" claim.
+
+use au_core::{Engine, Mode, ModelConfig};
+use au_games::{Game, Mario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("au_extract");
+    for size in [1usize, 32, 1024] {
+        let values = vec![0.5f64; size];
+        group.bench_function(format!("{size}_values"), |b| {
+            let mut engine = Engine::new(Mode::Train);
+            b.iter(|| {
+                engine.au_extract("X", black_box(&values));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    c.bench_function("au_serialize/5_lists", |b| {
+        let mut engine = Engine::new(Mode::Train);
+        b.iter(|| {
+            for name in ["PX", "PY", "MnX", "MnY", "Obj"] {
+                engine.au_extract(name, &[1.0]);
+            }
+            black_box(engine.au_serialize(&["PX", "PY", "MnX", "MnY", "Obj"]));
+        });
+    });
+}
+
+fn bench_write_back(c: &mut Criterion) {
+    c.bench_function("au_write_back/5_values", |b| {
+        let mut engine = Engine::new(Mode::Train);
+        engine.au_extract("out", &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut dst = [0.0f64; 5];
+        b.iter(|| {
+            engine.au_write_back(black_box("out"), &mut dst).unwrap();
+        });
+    });
+}
+
+fn bench_nn_rl_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("au_nn_rl_step");
+    group.sample_size(20);
+    // Deployment-mode (TS) step: the per-frame overhead during production.
+    group.bench_function("deploy_dense_10_features", |b| {
+        au_nn::set_init_seed(1);
+        let mut engine = Engine::new(Mode::Train);
+        engine
+            .au_config("Q", ModelConfig::q_dnn(&[64, 32]))
+            .unwrap();
+        engine.au_extract("S", &[0.0; 10]);
+        engine.au_nn_rl("Q", "S", 0.0, false, "out", 5).unwrap();
+        engine.set_mode(Mode::Test);
+        let state = [0.25f64; 10];
+        b.iter(|| {
+            engine.au_extract("S", black_box(&state));
+            black_box(engine.au_nn_rl("Q", "S", 0.0, false, "out", 5).unwrap());
+        });
+    });
+    // Raw pixel step for contrast (the paper's 3.16X-23X overhead gap).
+    group.bench_function("deploy_conv_12x12_frame", |b| {
+        au_nn::set_init_seed(2);
+        let mut engine = Engine::new(Mode::Train);
+        engine
+            .au_config("QRaw", ModelConfig::q_cnn(1, 12, 12, &[64, 32]))
+            .unwrap();
+        engine.au_extract("F", &[0.0; 144]);
+        engine.au_nn_rl("QRaw", "F", 0.0, false, "out", 5).unwrap();
+        engine.set_mode(Mode::Test);
+        let frame = [0.25f64; 144];
+        b.iter(|| {
+            engine.au_extract("F", black_box(&frame));
+            black_box(engine.au_nn_rl("QRaw", "F", 0.0, false, "out", 5).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_restore(c: &mut Criterion) {
+    // Table 2's last two columns.
+    let mut engine = Engine::new(Mode::Train);
+    let mut game = Mario::new(1);
+    for _ in 0..200 {
+        for (name, value) in game.feature_names().iter().zip(game.features()) {
+            engine.au_extract(name, &[value]);
+        }
+        let a = game.oracle_action();
+        if game.step(a).terminal {
+            game.reset();
+        }
+    }
+    c.bench_function("au_checkpoint/mario", |b| {
+        b.iter(|| black_box(engine.checkpoint_with(&game)));
+    });
+    let ckpt = engine.checkpoint_with(&game);
+    c.bench_function("au_restore/mario", |b| {
+        b.iter(|| black_box(engine.restore_with(&ckpt)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_extract,
+    bench_serialize,
+    bench_write_back,
+    bench_nn_rl_step,
+    bench_checkpoint_restore
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches for the reimplemented benchmark programs themselves —
+//! the Exec. Time baseline column of Table 3.
+
+use au_games::{Arkanoid, Breakout, Flappybird, Game, Mario, Torcs};
+use au_image::scene::SceneGenerator;
+use au_speech::{DecodeParams, Recognizer, Vocabulary};
+use au_vision::canny::{self, CannyParams};
+use au_vision::rothwell::{self, RothwellParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_vision(c: &mut Criterion) {
+    let scene = SceneGenerator::new(1).generate(32, 32);
+    c.bench_function("canny/32x32", |b| {
+        b.iter(|| black_box(canny::canny(black_box(&scene.image), CannyParams::default())));
+    });
+    c.bench_function("rothwell/32x32", |b| {
+        b.iter(|| {
+            black_box(rothwell::rothwell(
+                black_box(&scene.image),
+                RothwellParams::default(),
+            ))
+        });
+    });
+    c.bench_function("canny_ideal_search/32x32", |b| {
+        b.iter(|| black_box(canny::ideal_params(&scene.image, &scene.truth)));
+    });
+}
+
+fn bench_phylo(c: &mut Criterion) {
+    let data = au_phylo::generate_dataset(8, 150, 3);
+    c.bench_function("phylip_infer/8taxa", |b| {
+        b.iter(|| {
+            black_box(au_phylo::infer_tree(
+                black_box(&data.sequences),
+                au_phylo::DistParams::default(),
+            ))
+        });
+    });
+}
+
+fn bench_speech(c: &mut Criterion) {
+    let recognizer = Recognizer::new(Vocabulary::new(4, 20));
+    let utterance = au_speech::synthesize(recognizer.vocabulary(), 1, 5);
+    c.bench_function("sphinx_recognize/dtw", |b| {
+        b.iter(|| black_box(recognizer.recognize(black_box(&utterance), DecodeParams::default())));
+    });
+}
+
+fn bench_game_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_step");
+    macro_rules! game_bench {
+        ($name:literal, $game:expr) => {
+            group.bench_function($name, |b| {
+                let mut game = $game;
+                b.iter(|| {
+                    let a = game.oracle_action();
+                    if game.step(black_box(a)).terminal {
+                        game.reset();
+                    }
+                });
+            });
+        };
+    }
+    game_bench!("flappybird", Flappybird::new(1));
+    game_bench!("mario", Mario::new(1));
+    game_bench!("arkanoid", Arkanoid::new(1));
+    game_bench!("torcs", Torcs::new(1));
+    game_bench!("breakout", Breakout::new(1));
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let game = Mario::new(1);
+    c.bench_function("mario_render/12x12", |b| {
+        b.iter(|| black_box(game.render(12, 12)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vision,
+    bench_phylo,
+    bench_speech,
+    bench_game_steps,
+    bench_render
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Binaries (run with `cargo run --release -p au-bench --bin <name>`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — program-analysis statistics |
+//! | `table2` | Table 2 — model statistics + checkpoint/restore times |
+//! | `table3` | Table 3 — effectiveness (baseline/Raw/Med/Min, players/Raw/All) |
+//! | `fig12` | Fig. 12 — Canny per-dataset scores |
+//! | `fig13` | Fig. 13 — Canny score vs training epochs |
+//! | `fig14` | Fig. 14 — Canny qualitative edge maps (PGM files) |
+//! | `fig15_16` | Figs. 15–16 — TORCS trace pruning (ε₁ duplicates, ε₂ variance) |
+//! | `fig17` | Fig. 17 — TORCS driving score vs epochs |
+//! | `mario_study` | Section 2 — Mario self-play & self-testing studies |
+//!
+//! The [`sl`] module trains the paper's `Raw`/`Med`/`Min` supervised
+//! variants for the four data-processing programs; [`rl`] trains the
+//! `Raw`/`All` reinforcement variants for the five games; [`stats`]
+//! computes the Table 1/2 bookkeeping.
+
+#![warn(missing_docs)]
+
+pub mod rl;
+pub mod sl;
+pub mod stats;
+
+/// Formats a floating value for table output.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints a Markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_switches_precision_by_magnitude() {
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(1235.5), "1236");
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.12345), "0.1235");
+        assert_eq!(fmt(-250.0), "-250");
+    }
+
+    #[test]
+    fn row_joins_cells() {
+        assert_eq!(row(&["a".into(), "b".into()]), "a | b");
+        assert_eq!(row(&[]), "");
+    }
+}

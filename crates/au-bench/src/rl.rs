@@ -1,0 +1,362 @@
+//! Reinforcement-learning experiments: the paper's players/Raw/All
+//! comparison for the five interactive programs.
+
+use au_core::{Engine, Mode, ModelConfig};
+use au_games::harness::{self, FeatureSource, TrainReport};
+use au_games::{Arkanoid, Breakout, Flappybird, Game, Mario, Torcs};
+use au_nn::rl::DqnConfig;
+use std::time::Instant;
+
+/// Which RL model variant to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Internal program state through a dense Q-network — the paper's
+    /// `All` setting.
+    All,
+    /// Raw pixel frames through a convolutional Q-network — the paper's
+    /// `Raw` (DeepMind-style) setting.
+    Raw,
+}
+
+impl Variant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::All => "All",
+            Variant::Raw => "Raw",
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RlConfig {
+    /// Training episode budget for the `All` variant (the paper's 24-hour
+    /// cap analogue).
+    pub max_episodes: usize,
+    /// Episode budget for the `Raw` variant. Pixel episodes cost roughly an
+    /// order of magnitude more wall-clock per frame, so the equal-time cap
+    /// of the paper translates to fewer episodes.
+    pub max_episodes_raw: usize,
+    /// Frames per episode cap.
+    pub max_steps: usize,
+    /// Evaluation episodes (the paper averages 10 runs).
+    pub eval_episodes: usize,
+    /// Stop early when the evaluated score is within 20% of the oracle
+    /// (the paper's stopping rule).
+    pub early_stop: bool,
+    /// Check the stopping rule every this many episodes.
+    pub eval_every: usize,
+    /// Raw-variant frame side length.
+    pub frame: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig {
+            max_episodes: 2000,
+            max_episodes_raw: 300,
+            max_steps: 500,
+            eval_episodes: 10,
+            early_stop: true,
+            eval_every: 50,
+            frame: 12,
+            seed: 11,
+        }
+    }
+}
+
+/// Outcome of training one variant on one game.
+#[derive(Debug, Clone)]
+pub struct VariantOutcome {
+    /// Which variant.
+    pub variant: Variant,
+    /// Mean progress of the final greedy evaluation.
+    pub progress: f64,
+    /// Success rate of the final greedy evaluation.
+    pub success: f64,
+    /// Episodes actually trained.
+    pub episodes: usize,
+    /// Whether the 20%-of-oracle bar was reached within the budget
+    /// (`false` = the paper's "t/o").
+    pub reached_bar: bool,
+    /// Wall-clock training seconds.
+    pub train_secs: f64,
+    /// Mean wall-clock seconds per deployed frame.
+    pub exec_secs_per_step: f64,
+    /// Scalars recorded to the database store during training.
+    pub trace_values: u64,
+    /// Model parameter count.
+    pub model_params: usize,
+    /// Greedy-evaluation progress after each `eval_every` block (learning
+    /// curve for Fig. 17).
+    pub curve: Vec<f64>,
+}
+
+/// Full comparison for one game.
+#[derive(Debug, Clone)]
+pub struct RlComparison {
+    /// Game name.
+    pub game: &'static str,
+    /// Oracle ("players") mean progress over the evaluation episodes.
+    pub oracle_progress: f64,
+    /// Oracle success rate.
+    pub oracle_success: f64,
+    /// Outcomes for the trained variants.
+    pub variants: Vec<VariantOutcome>,
+}
+
+impl RlComparison {
+    /// Outcome of a specific variant.
+    pub fn variant(&self, v: Variant) -> &VariantOutcome {
+        self.variants
+            .iter()
+            .find(|o| o.variant == v)
+            .expect("variant present")
+    }
+}
+
+fn dqn(seed: u64) -> DqnConfig {
+    // The "slow_eps" setting from `tune_rl`: slower exploration decay,
+    // larger replay, and a patient target network stabilize every game.
+    DqnConfig {
+        hidden: vec![64, 32],
+        batch_size: 32,
+        replay_capacity: 50_000,
+        target_sync_every: 500,
+        epsilon_decay: 0.9995,
+        epsilon_end: 0.02,
+        learning_rate: 1e-3,
+        gamma: 0.99,
+        seed,
+        learn_every: 2,
+        ..DqnConfig::default()
+    }
+}
+
+/// Trains one variant on a fresh copy of the game.
+pub fn train_variant<G: Game + Clone>(
+    game: &mut G,
+    variant: Variant,
+    oracle_progress: f64,
+    cfg: RlConfig,
+) -> VariantOutcome {
+    au_nn::set_init_seed(cfg.seed ^ variant.name().len() as u64);
+    let mut engine = Engine::new(Mode::Train);
+    let model = format!("{}-{}", game.name(), variant.name());
+    let (config, source) = match variant {
+        Variant::All => (
+            ModelConfig::q_dnn(&[64, 32]).with_dqn(dqn(cfg.seed)),
+            FeatureSource::Internal,
+        ),
+        Variant::Raw => {
+            // The paper's DeepMind-style convolutional preprocessing with
+            // the same dense head.
+            let mut d = dqn(cfg.seed ^ 1);
+            d.batch_size = 16; // keep conv training tractable
+            d.learn_every = 8;
+            (
+                ModelConfig::q_cnn(1, cfg.frame, cfg.frame, &[64, 32]).with_dqn(d),
+                FeatureSource::Pixels {
+                    width: cfg.frame,
+                    height: cfg.frame,
+                },
+            )
+        }
+    };
+    engine.au_config(&model, config).expect("fresh engine");
+
+    let bar = oracle_progress * 0.8;
+    let budget = match variant {
+        Variant::All => cfg.max_episodes,
+        Variant::Raw => cfg.max_episodes_raw,
+    };
+    let train_start = Instant::now();
+    let mut episodes_done = 0;
+    let mut reached_bar = false;
+    let mut curve = Vec::new();
+    while episodes_done < budget {
+        let block = cfg.eval_every.min(budget - episodes_done);
+        harness::train(&mut engine, &model, game, block, cfg.max_steps, source)
+            .expect("training block succeeds");
+        episodes_done += block;
+        let eval = harness::evaluate(
+            &mut engine,
+            &model,
+            game,
+            cfg.eval_episodes,
+            cfg.max_steps,
+            source,
+        )
+        .expect("evaluation succeeds");
+        let score = eval.recent_progress(cfg.eval_episodes);
+        curve.push(score);
+        if cfg.early_stop && score >= bar {
+            reached_bar = true;
+            break;
+        }
+    }
+    let train_secs = train_start.elapsed().as_secs_f64();
+    let trace_values = engine.total_extracted();
+
+    // Final greedy evaluation + per-frame timing.
+    let exec_start = Instant::now();
+    let final_eval: TrainReport = harness::evaluate(
+        &mut engine,
+        &model,
+        game,
+        cfg.eval_episodes,
+        cfg.max_steps,
+        source,
+    )
+    .expect("final evaluation succeeds");
+    let total_steps: usize = final_eval.episodes.iter().map(|e| e.steps).sum();
+    let exec_secs_per_step = exec_start.elapsed().as_secs_f64() / total_steps.max(1) as f64;
+    let progress = final_eval.recent_progress(cfg.eval_episodes);
+    let success = final_eval.recent_success(cfg.eval_episodes);
+    if cfg.early_stop && progress >= bar {
+        reached_bar = true;
+    }
+
+    VariantOutcome {
+        variant,
+        progress,
+        success,
+        episodes: episodes_done,
+        reached_bar,
+        train_secs,
+        exec_secs_per_step,
+        trace_values,
+        model_params: engine
+            .model_stats(&model)
+            .map(|s| s.param_count)
+            .unwrap_or(0),
+        curve,
+    }
+}
+
+/// Runs the full players/Raw/All comparison on one game.
+pub fn compare<G: Game + Clone>(game: &mut G, cfg: RlConfig, variants: &[Variant]) -> RlComparison {
+    // Oracle baseline (the "10 human players").
+    let mut oracle_progress = 0.0;
+    let mut oracle_success = 0.0;
+    for _ in 0..cfg.eval_episodes {
+        let out = harness::run_oracle(game, cfg.max_steps);
+        oracle_progress += out.progress;
+        oracle_success += if out.succeeded { 1.0 } else { 0.0 };
+    }
+    oracle_progress /= cfg.eval_episodes as f64;
+    oracle_success /= cfg.eval_episodes as f64;
+
+    let outcomes = variants
+        .iter()
+        .map(|&v| train_variant(game, v, oracle_progress, cfg))
+        .collect();
+    RlComparison {
+        game: game.name(),
+        oracle_progress,
+        oracle_success,
+        variants: outcomes,
+    }
+}
+
+/// Constructs every RL benchmark game (with its comparison seed).
+pub fn all_games(seed: u64) -> Vec<Box<dyn GameFactory>> {
+    vec![
+        Box::new(FlappyFactory(seed)),
+        Box::new(MarioFactory(seed)),
+        Box::new(ArkanoidFactory(seed)),
+        Box::new(TorcsFactory(seed)),
+        Box::new(BreakoutFactory(seed)),
+    ]
+}
+
+/// Factory erasing the concrete game type for the table drivers.
+pub trait GameFactory {
+    /// Benchmark name.
+    fn name(&self) -> &'static str;
+    /// Runs the comparison with this factory's game.
+    fn compare(&self, cfg: RlConfig, variants: &[Variant]) -> RlComparison;
+}
+
+macro_rules! factory {
+    ($factory:ident, $game:ty, $ctor:expr) => {
+        /// Factory for the corresponding game.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $factory(pub u64);
+
+        impl GameFactory for $factory {
+            fn name(&self) -> &'static str {
+                let game: $game = $ctor(self.0);
+                game.name()
+            }
+
+            fn compare(&self, cfg: RlConfig, variants: &[Variant]) -> RlComparison {
+                let mut game: $game = $ctor(self.0);
+                compare(&mut game, cfg, variants)
+            }
+        }
+    };
+}
+
+factory!(FlappyFactory, Flappybird, Flappybird::new);
+factory!(MarioFactory, Mario, Mario::new);
+factory!(ArkanoidFactory, Arkanoid, Arkanoid::new);
+factory!(TorcsFactory, Torcs, Torcs::new);
+factory!(BreakoutFactory, Breakout, Breakout::new);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RlConfig {
+        RlConfig {
+            max_episodes: 4,
+            max_episodes_raw: 4,
+            max_steps: 60,
+            eval_episodes: 2,
+            eval_every: 2,
+            early_stop: false,
+            frame: 8,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn comparison_runs_both_variants() {
+        let mut game = Flappybird::new(1);
+        let cmp = compare(&mut game, tiny(), &[Variant::All, Variant::Raw]);
+        assert_eq!(cmp.variants.len(), 2);
+        assert!(cmp.oracle_progress > 0.0);
+        let all = cmp.variant(Variant::All);
+        let raw = cmp.variant(Variant::Raw);
+        assert_eq!(all.episodes, 4);
+        assert!(raw.model_params > all.model_params, "conv model is bigger");
+        assert!(
+            raw.trace_values > all.trace_values,
+            "pixel traces dwarf internal-state traces"
+        );
+    }
+
+    #[test]
+    fn factories_cover_all_five_games() {
+        let names: Vec<&str> = all_games(3).iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Flappybird", "Mario", "Arkanoid", "Torcs", "Breakout"]
+        );
+    }
+
+    #[test]
+    fn early_stop_halts_when_bar_reached() {
+        // With an oracle progress of ~0 (bar 0), the first evaluation stops.
+        let mut cfg = tiny();
+        cfg.early_stop = true;
+        let mut game = Flappybird::new(2);
+        let out = train_variant(&mut game, Variant::All, 0.0, cfg);
+        assert!(out.reached_bar);
+        assert!(out.episodes <= cfg.max_episodes);
+    }
+}

@@ -1,0 +1,1004 @@
+//! The Autonomizer runtime engine: primitives over the stores and models.
+
+use crate::error::AuError;
+use crate::model::{rl_step, run_model, supervised_step, Backend, ModelConfig, ModelInstance, ModelStats};
+use crate::store::DbStore;
+use au_nn::rl::DqnAgent;
+use au_nn::{Adam, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Execution mode ω from Fig. 8: training (TR) or deployment/testing (TS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// TR — the program's execution trains the model(s) while running.
+    Train,
+    /// TS — trained models replace human interaction; no learning happens.
+    Test,
+}
+
+/// A combined snapshot of host program state `S` and the database store π.
+///
+/// Fig. 8's CHECKPOINT rule snapshots ⟨σ, π⟩ *together* (their consistency
+/// matters) while the model store θ is exempt so learning accumulates across
+/// episode rollbacks.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<S> {
+    program: S,
+    db: DbStore,
+    /// Label-freshness marks are derived from π's append counters, so they
+    /// roll back with it.
+    label_marks: BTreeMap<(String, String), u64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ModelMeta {
+    output_split: Vec<usize>,
+    n_actions: usize,
+}
+
+/// The Autonomizer runtime: database store π, model store θ, and the
+/// primitive operations of the paper's execution model.
+///
+/// One engine serves one program; it supports multiple named model instances
+/// (the paper: "Autonomizer supports multiple model instances in one
+/// execution").
+#[derive(Debug)]
+pub struct Engine {
+    mode: Mode,
+    db: DbStore,
+    models: BTreeMap<String, ModelInstance>,
+    /// Split of the flat model output across the `wb` names of `au_nn`,
+    /// fixed the first time labels are seen (persisted alongside the model).
+    output_splits: BTreeMap<String, Vec<usize>>,
+    /// RL action counts per model (persisted alongside the model).
+    action_counts: BTreeMap<String, usize>,
+    model_dir: Option<PathBuf>,
+    /// Internal π-only checkpoint stack for `au_checkpoint`/`au_restore`
+    /// (each entry pairs π with the label marks derived from it).
+    db_checkpoints: Vec<(DbStore, BTreeMap<(String, String), u64>)>,
+    /// Per (model, wb-name) append-counter marks distinguishing fresh
+    /// labels from stale predictions in `au_nn`.
+    label_marks: BTreeMap<(String, String), u64>,
+    /// Lifetime count of scalars extracted, *not* rolled back by
+    /// checkpoint restores — the paper's trace-size metric (Table 2).
+    extracted_total: u64,
+}
+
+impl Engine {
+    /// Creates an engine in the given mode.
+    pub fn new(mode: Mode) -> Self {
+        Engine {
+            mode,
+            db: DbStore::new(),
+            models: BTreeMap::new(),
+            output_splits: BTreeMap::new(),
+            action_counts: BTreeMap::new(),
+            model_dir: None,
+            db_checkpoints: Vec::new(),
+            label_marks: BTreeMap::new(),
+            extracted_total: 0,
+        }
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Switches mode (e.g. finish training, then deploy in the same
+    /// process — the in-process equivalent of the paper's two executables).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Directory used to persist and load trained models.
+    pub fn set_model_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.model_dir = Some(dir.into());
+    }
+
+    /// Read access to the database store π.
+    pub fn db(&self) -> &DbStore {
+        &self.db
+    }
+
+    // ------------------------------------------------------------------
+    // Primitives
+    // ------------------------------------------------------------------
+
+    /// `@au_config(modelName, modelType, algo, layers, n1, …)`.
+    ///
+    /// Rule CONFIG-TRAIN: in TR mode, registers a fresh model (a no-op if
+    /// the same configuration is already registered). Rule CONFIG-TEST: in
+    /// TS mode, loads the trained model from the model directory.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::ModelExists`] if the name is taken by a *different*
+    /// configuration; [`AuError::ModelNotTrained`] in TS mode when no saved
+    /// model exists; [`AuError::Backend`] if a saved model fails to parse.
+    pub fn au_config(&mut self, name: &str, config: ModelConfig) -> Result<(), AuError> {
+        if let Some(existing) = self.models.get(name) {
+            if existing.config == config {
+                return Ok(()); // θ(mdName) ≢ ⊥ ⇒ θ′ = θ
+            }
+            return Err(AuError::ModelExists(name.to_owned()));
+        }
+        let mut instance = ModelInstance::new(config);
+        if self.mode == Mode::Test {
+            let (net, meta) = self.load_model_files(name)?;
+            if !meta.output_split.is_empty() {
+                self.output_splits.insert(name.to_owned(), meta.output_split);
+            }
+            self.action_counts.insert(name.to_owned(), meta.n_actions);
+            instance.backend = Some(match instance.config.algorithm {
+                crate::model::Algorithm::AdamOpt => Backend::Supervised {
+                    net,
+                    opt: Adam::new(instance.config.learning_rate),
+                    train_steps: 0,
+                },
+                crate::model::Algorithm::QLearn => {
+                    let inputs = net.in_features();
+                    let n_actions = meta_actions(&self.action_counts, name, &net);
+                    let mut dqn = instance.config.dqn.clone();
+                    dqn.epsilon_start = 0.0;
+                    dqn.epsilon_end = 0.0;
+                    Backend::Reinforcement {
+                        agent: Box::new(DqnAgent::with_network(inputs, n_actions, dqn, net)),
+                        pending: None,
+                        train_steps: 0,
+                    }
+                }
+            });
+        }
+        self.models.insert(name.to_owned(), instance);
+        Ok(())
+    }
+
+    /// `au_config` with a caller-built network — the paper's escape hatch:
+    /// "We also provide a callback function in which the users can create
+    /// arbitrary neural networks from scratch". The network's input/output
+    /// widths are fixed by the caller; `algorithm` selects supervised or
+    /// Q-learning use.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::ModelExists`] if the name is already configured.
+    pub fn au_config_custom(
+        &mut self,
+        name: &str,
+        algorithm: crate::model::Algorithm,
+        network: Network,
+    ) -> Result<(), AuError> {
+        if self.models.contains_key(name) {
+            return Err(AuError::ModelExists(name.to_owned()));
+        }
+        let config = match algorithm {
+            crate::model::Algorithm::AdamOpt => ModelConfig::dnn(&[]),
+            crate::model::Algorithm::QLearn => ModelConfig::q_dnn(&[]),
+        };
+        let mut instance = ModelInstance::new(config);
+        instance.backend = Some(match algorithm {
+            crate::model::Algorithm::AdamOpt => Backend::Supervised {
+                net: network,
+                opt: Adam::new(1e-3),
+                train_steps: 0,
+            },
+            crate::model::Algorithm::QLearn => {
+                let inputs = network.in_features();
+                let n_actions = network.out_features();
+                self.action_counts.insert(name.to_owned(), n_actions);
+                Backend::Reinforcement {
+                    agent: Box::new(DqnAgent::with_network(
+                        inputs,
+                        n_actions,
+                        instance.config.dqn.clone(),
+                        network,
+                    )),
+                    pending: None,
+                    train_steps: 0,
+                }
+            }
+        });
+        self.models.insert(name.to_owned(), instance);
+        Ok(())
+    }
+
+    /// Persists the database store π to a JSON file — the paper's runtime
+    /// "saves [feature values] to database"; a later process (offline SL
+    /// training) loads them back with [`Engine::load_db`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::Backend`] on I/O failure.
+    pub fn save_db(&self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
+        let map: BTreeMap<&str, &[f64]> = self.db.iter().collect();
+        let json = serde_json::to_string(&map).expect("db serializes");
+        std::fs::write(path, json).map_err(|e| AuError::Backend(e.into()))?;
+        Ok(())
+    }
+
+    /// Loads a database store saved by [`Engine::save_db`], replacing π.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::Backend`] on I/O failure or malformed content.
+    pub fn load_db(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
+        let raw = std::fs::read_to_string(path).map_err(|e| AuError::Backend(e.into()))?;
+        let map: BTreeMap<String, Vec<f64>> = serde_json::from_str(&raw)
+            .map_err(|e| AuError::Backend(au_nn::NnError::Format(e.to_string())))?;
+        self.db = DbStore::new();
+        for (name, values) in map {
+            self.db.append(&name, &values);
+            self.extracted_total += values.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// `@au_extract(extName, size, data)` — rule EXTRACT.
+    ///
+    /// Appends the current values of a feature variable to the π list named
+    /// `name`. The slice length plays the role of the paper's `size`.
+    pub fn au_extract(&mut self, name: &str, values: &[f64]) {
+        self.extracted_total += values.len() as u64;
+        self.db.append(name, values);
+    }
+
+    /// Lifetime count of scalars extracted through [`Engine::au_extract`].
+    /// Unlike [`DbStore::total_appended`], this survives checkpoint
+    /// restores — it is the paper's Table 2 trace-size metric.
+    pub fn total_extracted(&self) -> u64 {
+        self.extracted_total
+    }
+
+    /// `@au_serialize(t1, t2, …)` — rule SERIALIZE.
+    ///
+    /// Concatenates the named π lists into a single list (neural networks
+    /// take vector inputs) stored under the concatenated name, which is
+    /// returned for passing to [`Engine::au_nn`]/[`Engine::au_nn_rl`].
+    ///
+    /// The component lists are *consumed* (reset to ⊥): rule TRAIN/TEST
+    /// resets only the combined `extName`, and without consuming the
+    /// components a loop like Fig. 2's would feed an ever-growing input to
+    /// a fixed-width model. Consuming keeps the semantics' invariant that
+    /// each `au_NN` call sees exactly the values extracted since the last
+    /// one.
+    pub fn au_serialize(&mut self, names: &[&str]) -> String {
+        let combined = self.db.serialize(names);
+        for name in names {
+            if **name != *combined {
+                self.db.clear(name);
+            }
+        }
+        combined
+    }
+
+    /// `@au_NN(modelName, extName, wbName1, …)` for supervised models —
+    /// rules TRAIN and TEST.
+    ///
+    /// In TR mode, if π holds recorded desirable outputs under the `wb`
+    /// names (the labels — e.g. the ideal parameter values for the current
+    /// input), one gradient step is taken toward them. The model is then run
+    /// on π(`ext`); its output is split across the `wb` names in π and the
+    /// input list is reset to ⊥. Returns the flat model output.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`] if `au_config` never ran for `model`;
+    /// [`AuError::MissingData`] if π(`ext`) is empty or (on the first TR
+    /// call) no labels exist to fix the output width;
+    /// [`AuError::WrongAlgorithm`] for QLearn models.
+    pub fn au_nn(&mut self, model: &str, ext: &str, wbs: &[&str]) -> Result<Vec<f64>, AuError> {
+        let input = self.db.get(ext).to_vec();
+        if input.is_empty() {
+            return Err(AuError::MissingData {
+                name: ext.to_owned(),
+                wanted: 1,
+                available: 0,
+            });
+        }
+        // Labels recorded under the wb names (training mode only). After a
+        // previous au_NN call, each wb list starts with that call's
+        // prediction; a freshly extracted label is *appended* behind it. A
+        // wb list counts as carrying a label only if au_extract has touched
+        // it since the last au_NN call on this model, and once the output
+        // split is known only the tail of each list is the label.
+        let known_split = self.output_splits.get(model).cloned();
+        let labels: Vec<Vec<f64>> = wbs
+            .iter()
+            .enumerate()
+            .map(|(i, wb)| {
+                let mark_key = (model.to_owned(), (*wb).to_owned());
+                let fresh = self.db.append_count(wb) > self.label_marks.get(&mark_key).copied().unwrap_or(0);
+                if !fresh {
+                    return Vec::new();
+                }
+                let full = self.db.get(wb);
+                match &known_split {
+                    Some(split) if full.len() >= split[i] && split[i] > 0 => {
+                        full[full.len() - split[i]..].to_vec()
+                    }
+                    _ => full.to_vec(),
+                }
+            })
+            .collect();
+        let have_labels = self.mode == Mode::Train && labels.iter().all(|l| !l.is_empty());
+
+        let instance = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+
+        // Determine the output split: from labels, from a previous call, or
+        // from an already built/loaded backend.
+        let split: Vec<usize> = if let Some(split) = known_split {
+            split
+        } else if have_labels {
+            labels.iter().map(Vec::len).collect()
+        } else if let Some(Backend::Supervised { net, .. }) = instance.backend.as_ref() {
+            // Loaded model without sidecar: split evenly.
+            let out = net.out_features();
+            let each = out / wbs.len().max(1);
+            vec![each; wbs.len()]
+        } else {
+            return Err(AuError::MissingData {
+                name: wbs.first().copied().unwrap_or("<wb>").to_owned(),
+                wanted: 1,
+                available: 0,
+            });
+        };
+        if split.len() != wbs.len() {
+            return Err(AuError::MissingData {
+                name: wbs.first().copied().unwrap_or("<wb>").to_owned(),
+                wanted: split.len(),
+                available: wbs.len(),
+            });
+        }
+        let out_width: usize = split.iter().sum();
+        self.output_splits.insert(model.to_owned(), split.clone());
+
+        let backend = instance.ensure_supervised(model, input.len(), out_width)?;
+        let output = match backend {
+            Backend::Supervised {
+                net,
+                opt,
+                train_steps,
+            } => {
+                if have_labels {
+                    let label_flat: Vec<f64> = labels.iter().flatten().copied().collect();
+                    let _ = supervised_step(net, opt, &input, &label_flat);
+                    *train_steps += 1;
+                }
+                run_model(net, &input)
+            }
+            Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
+        };
+
+        // π[wb_i → slice of output], extName → ⊥.
+        let mut offset = 0;
+        for (wb, width) in wbs.iter().zip(&split) {
+            self.db.put(wb, output[offset..offset + width].to_vec());
+            self.label_marks.insert(
+                (model.to_owned(), (*wb).to_owned()),
+                self.db.append_count(wb),
+            );
+            offset += width;
+        }
+        self.db.clear(ext);
+        Ok(output)
+    }
+
+    /// `@au_NN(modelName, extName, reward, term, wbName)` for Q-learning
+    /// models — the RL form used by the paper's game loop (Fig. 2).
+    ///
+    /// `n_actions` fixes the discrete action space (the paper derives it
+    /// from the `size` argument of the matching `au_write_back`; here it is
+    /// explicit). In TR mode the call completes the previous transition with
+    /// `reward`/`terminal` and trains; in TS mode it only predicts. The
+    /// selected action is written to π(`wb`) as a one-hot vector of length
+    /// `n_actions`, the input list is reset to ⊥, and the action index is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`], [`AuError::MissingData`] (empty π(`ext`)),
+    /// or [`AuError::WrongAlgorithm`] for AdamOpt models.
+    pub fn au_nn_rl(
+        &mut self,
+        model: &str,
+        ext: &str,
+        reward: f64,
+        terminal: bool,
+        wb: &str,
+        n_actions: usize,
+    ) -> Result<usize, AuError> {
+        let state = self.db.get(ext).to_vec();
+        if state.is_empty() {
+            return Err(AuError::MissingData {
+                name: ext.to_owned(),
+                wanted: 1,
+                available: 0,
+            });
+        }
+        let train = self.mode == Mode::Train;
+        let instance = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        let backend = instance.ensure_reinforcement(model, state.len(), n_actions)?;
+        let action = match backend {
+            Backend::Reinforcement {
+                agent,
+                pending,
+                train_steps,
+            } => {
+                let a = rl_step(agent, pending, &state, reward, terminal, train);
+                if train {
+                    *train_steps += 1;
+                }
+                a
+            }
+            Backend::Supervised { .. } => unreachable!("ensure_reinforcement checked"),
+        };
+        self.action_counts.insert(model.to_owned(), n_actions);
+        let mut one_hot = vec![0.0; n_actions];
+        one_hot[action] = 1.0;
+        self.db.put(wb, one_hot);
+        self.db.clear(ext);
+        Ok(action)
+    }
+
+    /// `@au_write_back(wbName, size, x)` — rule WRITE-BACK.
+    ///
+    /// Copies the first `dst.len()` values of π(`name`) into the program
+    /// variable `dst` (the slice length plays the role of `size`).
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::MissingData`] if π(`name`) holds fewer values than
+    /// requested.
+    pub fn au_write_back(&mut self, name: &str, dst: &mut [f64]) -> Result<(), AuError> {
+        let src = self.db.get(name);
+        if src.len() < dst.len() {
+            return Err(AuError::MissingData {
+                name: name.to_owned(),
+                wanted: dst.len(),
+                available: src.len(),
+            });
+        }
+        dst.copy_from_slice(&src[..dst.len()]);
+        Ok(())
+    }
+
+    /// Scalar convenience form of [`Engine::au_write_back`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::MissingData`] if π(`name`) is empty.
+    pub fn au_write_back_scalar(&mut self, name: &str) -> Result<f64, AuError> {
+        let mut v = [0.0];
+        self.au_write_back(name, &mut v)?;
+        Ok(v[0])
+    }
+
+    /// `@au_checkpoint()` over π only — rule CHECKPOINT, for host programs
+    /// that snapshot their own σ (see [`Engine::checkpoint_with`] for the
+    /// combined form). Pushes onto a stack; [`Engine::au_restore`] restores
+    /// the most recent checkpoint without consuming it (the paper creates a
+    /// checkpoint once and restores it at every episode end).
+    pub fn au_checkpoint(&mut self) {
+        self.db_checkpoints
+            .push((self.db.clone(), self.label_marks.clone()));
+    }
+
+    /// `@au_restore()` over π only — rule RESTORE. The model store θ is
+    /// deliberately untouched so learning accumulates.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::NoCheckpoint`] if no checkpoint exists.
+    pub fn au_restore(&mut self) -> Result<(), AuError> {
+        let (db, marks) = self.db_checkpoints.last().ok_or(AuError::NoCheckpoint)?;
+        self.db = db.clone();
+        self.label_marks = marks.clone();
+        Ok(())
+    }
+
+    /// Discards the most recent checkpoint.
+    pub fn pop_checkpoint(&mut self) {
+        self.db_checkpoints.pop();
+    }
+
+    /// Combined ⟨σ, π⟩ checkpoint: clones the host program state `S`
+    /// together with π, keeping both consistent as the semantics require.
+    pub fn checkpoint_with<S: Clone>(&self, program: &S) -> Checkpoint<S> {
+        Checkpoint {
+            program: program.clone(),
+            db: self.db.clone(),
+            label_marks: self.label_marks.clone(),
+        }
+    }
+
+    /// Restores a combined checkpoint, returning the program state to
+    /// reinstall. θ is untouched.
+    pub fn restore_with<S: Clone>(&mut self, ckpt: &Checkpoint<S>) -> S {
+        self.db = ckpt.db.clone();
+        self.label_marks = ckpt.label_marks.clone();
+        ckpt.program.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Model persistence and experiment support
+    // ------------------------------------------------------------------
+
+    /// Persists a trained model (plus its output-split sidecar) to the
+    /// model directory so a TS-mode run can `au_config`-load it.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`] if unknown, [`AuError::ModelNotTrained`] if
+    /// the backend was never built, or [`AuError::Backend`] on I/O failure.
+    pub fn save_model(&mut self, name: &str) -> Result<(), AuError> {
+        let dir = self
+            .model_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir).map_err(|e| AuError::Backend(e.into()))?;
+        let instance = self
+            .models
+            .get_mut(name)
+            .ok_or_else(|| AuError::UnknownModel(name.to_owned()))?;
+        let net_json = match instance.backend.as_mut() {
+            Some(Backend::Supervised { net, .. }) => net.to_json(),
+            Some(Backend::Reinforcement { agent, .. }) => agent.network_mut().to_json(),
+            None => return Err(AuError::ModelNotTrained(name.to_owned())),
+        };
+        std::fs::write(dir.join(format!("{name}.json")), net_json)
+            .map_err(|e| AuError::Backend(e.into()))?;
+        let meta = ModelMeta {
+            output_split: self.output_splits.get(name).cloned().unwrap_or_default(),
+            n_actions: self.action_counts.get(name).copied().unwrap_or(0),
+        };
+        let meta_json = serde_json::to_string(&meta).expect("meta serializes");
+        std::fs::write(dir.join(format!("{name}.meta.json")), meta_json)
+            .map_err(|e| AuError::Backend(e.into()))?;
+        Ok(())
+    }
+
+    fn load_model_files(&self, name: &str) -> Result<(Network, ModelMeta), AuError> {
+        let dir = self
+            .model_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."));
+        let net_path = dir.join(format!("{name}.json"));
+        if !net_path.exists() {
+            return Err(AuError::ModelNotTrained(name.to_owned()));
+        }
+        let net = Network::load(&net_path)?;
+        let meta_path = dir.join(format!("{name}.meta.json"));
+        let meta = if meta_path.exists() {
+            let raw = std::fs::read_to_string(&meta_path).map_err(|e| AuError::Backend(e.into()))?;
+            serde_json::from_str(&raw)
+                .map_err(|e| AuError::Backend(au_nn::NnError::Format(e.to_string())))?
+        } else {
+            ModelMeta {
+                output_split: Vec::new(),
+                n_actions: 0,
+            }
+        };
+        Ok((net, meta))
+    }
+
+    /// Offline supervised training over a dataset — the paper trains SL
+    /// models "offline after execution" on the collected traces. One epoch
+    /// performs one gradient step per `(x, y)` pair. Returns the mean loss
+    /// of the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::au_nn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or the dataset is empty.
+    pub fn train_supervised(
+        &mut self,
+        model: &str,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        epochs: usize,
+    ) -> Result<f64, AuError> {
+        assert_eq!(xs.len(), ys.len(), "dataset inputs and labels must pair up");
+        assert!(!xs.is_empty(), "dataset must be non-empty");
+        let instance = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        let backend = instance.ensure_supervised(model, xs[0].len(), ys[0].len())?;
+        self.output_splits
+            .entry(model.to_owned())
+            .or_insert_with(|| vec![ys[0].len()]);
+        match backend {
+            Backend::Supervised {
+                net,
+                opt,
+                train_steps,
+            } => {
+                let mut last_epoch_loss = 0.0f64;
+                for _ in 0..epochs {
+                    let mut total = 0.0f64;
+                    for (x, y) in xs.iter().zip(ys) {
+                        total += f64::from(supervised_step(net, opt, x, y));
+                        *train_steps += 1;
+                    }
+                    last_epoch_loss = total / xs.len() as f64;
+                }
+                Ok(last_epoch_loss)
+            }
+            Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
+        }
+    }
+
+    /// Direct prediction bypassing π — used by experiment harnesses to
+    /// score models on held-out inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`] or [`AuError::ModelNotTrained`].
+    pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<Vec<f64>, AuError> {
+        let instance = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        match instance.backend.as_mut() {
+            Some(Backend::Supervised { net, .. }) => Ok(run_model(net, x)),
+            Some(Backend::Reinforcement { agent, .. }) => {
+                let q = agent.q_values(&crate::model::to_f32(x));
+                Ok(q.into_iter().map(f64::from).collect())
+            }
+            None => Err(AuError::ModelNotTrained(model.to_owned())),
+        }
+    }
+
+    /// Size/training statistics for a built model (Table 2's model size).
+    pub fn model_stats(&mut self, name: &str) -> Option<ModelStats> {
+        self.models.get_mut(name)?.stats()
+    }
+
+    /// Names of configured models.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+}
+
+fn meta_actions(counts: &BTreeMap<String, usize>, name: &str, net: &Network) -> usize {
+    let n = counts.get(name).copied().unwrap_or(0);
+    if n > 0 {
+        n
+    } else {
+        net.out_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    #[test]
+    fn extract_then_write_back_round_trip() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("A", &[1.0, 2.0, 3.0]);
+        let mut out = [0.0; 2];
+        e.au_write_back("A", &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn write_back_checks_availability() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("A", &[1.0]);
+        let mut out = [0.0; 3];
+        assert!(matches!(
+            e.au_write_back("A", &mut out),
+            Err(AuError::MissingData { wanted: 3, available: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn au_nn_requires_config() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("F", &[1.0]);
+        assert!(matches!(
+            e.au_nn("nope", "F", &["P"]),
+            Err(AuError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn au_nn_requires_input() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+        assert!(matches!(
+            e.au_nn("M", "F", &["P"]),
+            Err(AuError::MissingData { .. })
+        ));
+    }
+
+    #[test]
+    fn au_nn_trains_toward_labels_and_clears_input() {
+        au_nn::set_init_seed(21);
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        // learn y = 2x on [0,1]
+        for step in 0..300 {
+            let x = (step % 20) as f64 / 20.0;
+            e.au_extract("F", &[x]);
+            e.au_extract("P", &[2.0 * x]);
+            e.au_nn("M", "F", &["P"]).unwrap();
+            assert_eq!(e.db().get("F"), &[] as &[f64], "ext reset to ⊥");
+        }
+        e.au_extract("F", &[0.5]);
+        // Deployment-style call: no labels (π("P") holds the last prediction,
+        // but we clear it to simulate a fresh run).
+        e.db.clear("P");
+        e.set_mode(Mode::Test);
+        e.au_nn("M", "F", &["P"]).unwrap();
+        let p = e.au_write_back_scalar("P").unwrap();
+        assert!((p - 1.0).abs() < 0.25, "predicted {p}, want ≈1.0");
+    }
+
+    #[test]
+    fn au_nn_splits_outputs_across_wb_names() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[8])).unwrap();
+        e.au_extract("HIST", &[0.1, 0.2]);
+        e.au_extract("LO", &[0.3]);
+        e.au_extract("HI", &[0.9]);
+        let out = e.au_nn("M", "HIST", &["LO", "HI"]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.db().get("LO").len(), 1);
+        assert_eq!(e.db().get("HI").len(), 1);
+    }
+
+    #[test]
+    fn au_nn_rl_returns_action_and_one_hot() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("Mario", ModelConfig::q_dnn(&[8])).unwrap();
+        e.au_extract("PX", &[0.5]);
+        e.au_extract("PY", &[0.25]);
+        let ser = e.au_serialize(&["PX", "PY"]);
+        let action = e.au_nn_rl("Mario", &ser, 0.0, false, "output", 5).unwrap();
+        assert!(action < 5);
+        let out = e.db().get("output").to_vec();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().filter(|&&v| v == 1.0).count(), 1);
+        assert_eq!(out[action], 1.0);
+        let mut keys = vec![0.0; 5];
+        e.au_write_back("output", &mut keys).unwrap();
+        assert_eq!(keys[action], 1.0);
+    }
+
+    #[test]
+    fn algorithm_mismatch_is_rejected() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("SL", ModelConfig::dnn(&[4])).unwrap();
+        e.au_config("RL", ModelConfig::q_dnn(&[4])).unwrap();
+        e.au_extract("F", &[1.0]);
+        assert!(matches!(
+            e.au_nn_rl("SL", "F", 0.0, false, "o", 2),
+            Err(AuError::WrongAlgorithm { .. })
+        ));
+        e.au_extract("F", &[1.0]);
+        e.au_extract("L", &[1.0]);
+        assert!(matches!(
+            e.au_nn("RL", "F", &["L"]),
+            Err(AuError::WrongAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfiguring_same_model_is_idempotent() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+        assert!(e.au_config("M", ModelConfig::dnn(&[4])).is_ok());
+        assert!(matches!(
+            e.au_config("M", ModelConfig::dnn(&[8])),
+            Err(AuError::ModelExists(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restores_db_but_not_model() {
+        au_nn::set_init_seed(22);
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+        e.au_extract("STATE", &[42.0]);
+        e.au_checkpoint();
+        e.au_extract("STATE", &[99.0]);
+        // Train a little so θ changes after the checkpoint.
+        e.au_extract("F", &[1.0]);
+        e.au_extract("L", &[0.5]);
+        e.au_nn("M", "F", &["L"]).unwrap();
+        let steps_before = e.model_stats("M").unwrap().train_steps;
+        e.au_restore().unwrap();
+        assert_eq!(e.db().get("STATE"), &[42.0], "π rolled back");
+        assert_eq!(
+            e.model_stats("M").unwrap().train_steps,
+            steps_before,
+            "θ untouched by restore"
+        );
+        // Restore is repeatable (the paper restores every episode).
+        e.au_extract("STATE", &[7.0]);
+        e.au_restore().unwrap();
+        assert_eq!(e.db().get("STATE"), &[42.0]);
+    }
+
+    #[test]
+    fn restore_without_checkpoint_errors() {
+        let mut e = Engine::new(Mode::Train);
+        assert!(matches!(e.au_restore(), Err(AuError::NoCheckpoint)));
+    }
+
+    #[test]
+    fn combined_checkpoint_round_trip() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("D", &[1.0]);
+        let game_state = (3usize, vec![1.0f64, 2.0]);
+        let ckpt = e.checkpoint_with(&game_state);
+        e.au_extract("D", &[2.0]);
+        let restored = e.restore_with(&ckpt);
+        assert_eq!(restored, game_state);
+        assert_eq!(e.db().get("D"), &[1.0]);
+    }
+
+    #[test]
+    fn save_and_load_model_across_modes() {
+        au_nn::set_init_seed(23);
+        let dir = std::env::temp_dir().join("au_core_engine_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // TR run: train y = x + 1 and save.
+        let mut tr = Engine::new(Mode::Train);
+        tr.set_model_dir(&dir);
+        tr.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] + 1.0]).collect();
+        tr.train_supervised("M", &xs, &ys, 150).unwrap();
+        tr.save_model("M").unwrap();
+
+        // TS run in a fresh engine: au_config loads the trained model.
+        let mut ts = Engine::new(Mode::Test);
+        ts.set_model_dir(&dir);
+        ts.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        ts.au_extract("F", &[0.5]);
+        ts.au_nn("M", "F", &["P"]).unwrap();
+        let p = ts.au_write_back_scalar("P").unwrap();
+        assert!((p - 1.5).abs() < 0.3, "loaded model predicts {p}, want ≈1.5");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn test_mode_config_without_saved_model_errors() {
+        let dir = std::env::temp_dir().join("au_core_missing_model");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ts = Engine::new(Mode::Test);
+        ts.set_model_dir(&dir);
+        assert!(matches!(
+            ts.au_config("Ghost", ModelConfig::dnn(&[4])),
+            Err(AuError::ModelNotTrained(_))
+        ));
+    }
+
+    #[test]
+    fn rl_model_save_load_round_trip() {
+        au_nn::set_init_seed(24);
+        let dir = std::env::temp_dir().join("au_core_rl_model");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tr = Engine::new(Mode::Train);
+        tr.set_model_dir(&dir);
+        tr.au_config("Q", ModelConfig::q_dnn(&[8])).unwrap();
+        for _ in 0..5 {
+            tr.au_extract("S", &[0.5]);
+            tr.au_nn_rl("Q", "S", 1.0, false, "out", 3).unwrap();
+        }
+        tr.save_model("Q").unwrap();
+
+        let mut ts = Engine::new(Mode::Test);
+        ts.set_model_dir(&dir);
+        ts.au_config("Q", ModelConfig::q_dnn(&[8])).unwrap();
+        ts.au_extract("S", &[0.5]);
+        let a = ts.au_nn_rl("Q", "S", 0.0, false, "out", 3).unwrap();
+        assert!(a < 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn custom_network_config_works_for_both_algorithms() {
+        use au_nn::Activation;
+        au_nn::set_init_seed(55);
+        let mut e = Engine::new(Mode::Train);
+        let sl_net = Network::builder(3)
+            .dense(6)
+            .activation(Activation::Tanh)
+            .dense(1)
+            .build();
+        e.au_config_custom("CustomSL", crate::model::Algorithm::AdamOpt, sl_net)
+            .unwrap();
+        e.au_extract("F", &[0.1, 0.2, 0.3]);
+        e.au_extract("Y", &[1.0]);
+        e.au_nn("CustomSL", "F", &["Y"]).unwrap();
+        assert_eq!(e.model_stats("CustomSL").unwrap().train_steps, 1);
+
+        let rl_net = Network::builder(2).dense(8).dense(3).build();
+        e.au_config_custom("CustomRL", crate::model::Algorithm::QLearn, rl_net)
+            .unwrap();
+        e.au_extract("S", &[0.5, -0.5]);
+        let a = e.au_nn_rl("CustomRL", "S", 0.0, false, "out", 3).unwrap();
+        assert!(a < 3);
+        // Duplicate registration is rejected.
+        let dup = Network::builder(2).dense(3).build();
+        assert!(matches!(
+            e.au_config_custom("CustomRL", crate::model::Algorithm::QLearn, dup),
+            Err(AuError::ModelExists(_))
+        ));
+    }
+
+    #[test]
+    fn db_save_load_round_trip() {
+        let dir = std::env::temp_dir().join("au_core_db_roundtrip.json");
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("A", &[1.0, 2.0]);
+        e.au_extract("B", &[3.0]);
+        e.save_db(&dir).unwrap();
+
+        let mut fresh = Engine::new(Mode::Train);
+        fresh.load_db(&dir).unwrap();
+        assert_eq!(fresh.db().get("A"), &[1.0, 2.0]);
+        assert_eq!(fresh.db().get("B"), &[3.0]);
+        assert_eq!(fresh.total_extracted(), 3);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn supervised_cnn_model_works_through_primitives() {
+        au_nn::set_init_seed(56);
+        let mut e = Engine::new(Mode::Train);
+        // The SL Raw setting with a convolutional front end: an 8x8 frame
+        // in, one parameter out.
+        e.au_config("RawSL", ModelConfig::cnn(1, 8, 8, &[16]).with_learning_rate(5e-3))
+            .unwrap();
+        for step in 0..30 {
+            let brightness = (step % 10) as f64 / 10.0;
+            let frame = vec![brightness; 64];
+            e.au_extract("IMG", &frame);
+            e.au_extract("P", &[brightness * 2.0]);
+            e.au_nn("RawSL", "IMG", &["P"]).unwrap();
+        }
+        let stats = e.model_stats("RawSL").unwrap();
+        assert_eq!(stats.train_steps, 30);
+        // Conv stack parameters present (not just the dense head).
+        assert!(stats.param_count > 16);
+        e.set_mode(Mode::Test);
+        e.au_extract("IMG", &vec![0.5; 64]);
+        e.au_nn("RawSL", "IMG", &["P"]).unwrap();
+        let p = e.au_write_back_scalar("P").unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn serialize_matches_fig2_usage() {
+        let mut e = Engine::new(Mode::Train);
+        e.au_extract("PX", &[1.0]);
+        e.au_extract("PY", &[2.0]);
+        e.au_extract("MnX", &[3.0]);
+        e.au_extract("MnY", &[4.0]);
+        e.au_extract("Obj", &[5.0]);
+        let name = e.au_serialize(&["PX", "PY", "MnX", "MnY", "Obj"]);
+        assert_eq!(e.db().get(&name), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

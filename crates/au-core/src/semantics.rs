@@ -1,0 +1,550 @@
+//! An executable small-step machine for the Fig. 8 operational semantics.
+//!
+//! Where [`crate::Engine`] is the production runtime (the program store σ
+//! lives in the host program), this module interprets the paper's
+//! *configuration* ⟨σ, π, θ, ω⟩ literally: programs are sequences of
+//! [`Stmt`]s, each step applies exactly one transition rule, and the rule
+//! that fired is reported — so the test suite can check the semantics
+//! rule by rule, and documentation can show executable derivations.
+
+use crate::engine::{Engine, Mode};
+use crate::error::AuError;
+use crate::model::ModelConfig;
+use crate::store::{ProgramStore, Value};
+
+/// A statement of the Fig. 8 language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x := v` (rule ASSIGN).
+    Assign {
+        /// Variable name.
+        var: String,
+        /// Value assigned.
+        value: Value,
+    },
+    /// `@au_config(mdName, δ, α, l, n1, …)` (rules CONFIG-TRAIN/TEST).
+    AuConfig {
+        /// Model name.
+        model: String,
+        /// Model configuration (δ, α, layers).
+        config: ModelConfig,
+    },
+    /// `@au_extract(extName, size, x)` (rule EXTRACT).
+    AuExtract {
+        /// Database-store list name.
+        ext: String,
+        /// Program variable whose value is appended.
+        var: String,
+        /// Number of scalars to take from the variable (the paper's
+        /// `σ[size]`).
+        size: usize,
+    },
+    /// `@au_NN(mdName, extName, wbName)` (rules TRAIN/TEST).
+    AuNn {
+        /// Model name.
+        model: String,
+        /// Input list name.
+        ext: String,
+        /// Output list name(s).
+        wbs: Vec<String>,
+    },
+    /// `@au_write_back(wbName, size, x)` (rule WRITE-BACK).
+    AuWriteBack {
+        /// Database-store list name.
+        wb: String,
+        /// Destination program variable.
+        var: String,
+        /// Number of scalars copied.
+        size: usize,
+    },
+    /// `@au_serialize(t1, t2, …)` (rule SERIALIZE).
+    AuSerialize {
+        /// List names to concatenate.
+        names: Vec<String>,
+    },
+    /// The RL form of `@au_NN(mdName, extName, reward, term, wbName)`
+    /// (rules TRAIN/TEST with the Q algorithm). Reads `reward` and
+    /// `terminated` from σ, exactly as Fig. 2 computes them into program
+    /// variables before the call.
+    AuNnRl {
+        /// Model name.
+        model: String,
+        /// Input list name.
+        ext: String,
+        /// σ variable holding the current reward.
+        reward_var: String,
+        /// σ variable holding the terminal flag (non-zero = terminated).
+        term_var: String,
+        /// Output list name.
+        wb: String,
+        /// Action-space size (the paper's `au_write_back` size).
+        n_actions: usize,
+    },
+    /// `@au_checkpoint()` (rule CHECKPOINT).
+    AuCheckpoint,
+    /// `@au_restore()` (rule RESTORE).
+    AuRestore,
+}
+
+/// Which transition rule fired for a step — the label over the arrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `x := v`.
+    Assign,
+    /// Model registered fresh (TR mode).
+    ConfigTrain,
+    /// Model loaded from persistent storage (TS mode).
+    ConfigTest,
+    /// Feature values appended to π.
+    Extract,
+    /// Model trained then run (TR mode).
+    Train,
+    /// Model run without update (TS mode).
+    Test,
+    /// Values copied from π to σ.
+    WriteBack,
+    /// Lists concatenated.
+    Serialize,
+    /// ⟨σ, π⟩ snapshot taken.
+    Checkpoint,
+    /// ⟨σ, π⟩ snapshot reinstated.
+    Restore,
+}
+
+/// The machine configuration ⟨σ, π, θ, ω⟩ plus the statement queue.
+#[derive(Debug)]
+pub struct Machine {
+    /// The program store σ.
+    sigma: ProgramStore,
+    /// π and θ live inside the engine; ω is its mode.
+    engine: Engine,
+    checkpoint: Option<crate::engine::Checkpoint<ProgramStore>>,
+}
+
+impl Machine {
+    /// Creates a machine in the given mode with empty stores.
+    pub fn new(mode: Mode) -> Self {
+        Machine {
+            sigma: ProgramStore::new(),
+            engine: Engine::new(mode),
+            checkpoint: None,
+        }
+    }
+
+    /// Read access to σ.
+    pub fn sigma(&self) -> &ProgramStore {
+        &self.sigma
+    }
+
+    /// Read access to the engine holding π, θ, and ω.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (e.g. to set a model directory before
+    /// CONFIG-TEST).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Executes one statement, returning the rule that fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; additionally reports missing program
+    /// variables as [`AuError::MissingData`] on the variable name.
+    pub fn step(&mut self, stmt: &Stmt) -> Result<Rule, AuError> {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                self.sigma.assign(var, value.clone());
+                Ok(Rule::Assign)
+            }
+            Stmt::AuConfig { model, config } => {
+                let mode = self.engine.mode();
+                self.engine.au_config(model, config.clone())?;
+                Ok(match mode {
+                    Mode::Train => Rule::ConfigTrain,
+                    Mode::Test => Rule::ConfigTest,
+                })
+            }
+            Stmt::AuExtract { ext, var, size } => {
+                let value = self.sigma.get(var).ok_or_else(|| AuError::MissingData {
+                    name: var.clone(),
+                    wanted: *size,
+                    available: 0,
+                })?;
+                let slice = value.as_slice();
+                if slice.len() < *size {
+                    return Err(AuError::MissingData {
+                        name: var.clone(),
+                        wanted: *size,
+                        available: slice.len(),
+                    });
+                }
+                let taken = slice[..*size].to_vec();
+                self.engine.au_extract(ext, &taken);
+                Ok(Rule::Extract)
+            }
+            Stmt::AuNn { model, ext, wbs } => {
+                let mode = self.engine.mode();
+                let wb_refs: Vec<&str> = wbs.iter().map(String::as_str).collect();
+                self.engine.au_nn(model, ext, &wb_refs)?;
+                Ok(match mode {
+                    Mode::Train => Rule::Train,
+                    Mode::Test => Rule::Test,
+                })
+            }
+            Stmt::AuNnRl {
+                model,
+                ext,
+                reward_var,
+                term_var,
+                wb,
+                n_actions,
+            } => {
+                let mode = self.engine.mode();
+                let reward = self
+                    .sigma
+                    .get_scalar(reward_var)
+                    .ok_or_else(|| AuError::MissingData {
+                        name: reward_var.clone(),
+                        wanted: 1,
+                        available: 0,
+                    })?;
+                let terminal = self
+                    .sigma
+                    .get_scalar(term_var)
+                    .ok_or_else(|| AuError::MissingData {
+                        name: term_var.clone(),
+                        wanted: 1,
+                        available: 0,
+                    })?
+                    != 0.0;
+                self.engine
+                    .au_nn_rl(model, ext, reward, terminal, wb, *n_actions)?;
+                Ok(match mode {
+                    Mode::Train => Rule::Train,
+                    Mode::Test => Rule::Test,
+                })
+            }
+            Stmt::AuWriteBack { wb, var, size } => {
+                let mut buffer = vec![0.0; *size];
+                self.engine.au_write_back(wb, &mut buffer)?;
+                let value = if *size == 1 {
+                    Value::Scalar(buffer[0])
+                } else {
+                    Value::Vector(buffer)
+                };
+                self.sigma.assign(var, value);
+                Ok(Rule::WriteBack)
+            }
+            Stmt::AuSerialize { names } => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                self.engine.au_serialize(&refs);
+                Ok(Rule::Serialize)
+            }
+            Stmt::AuCheckpoint => {
+                self.checkpoint = Some(self.engine.checkpoint_with(&self.sigma));
+                Ok(Rule::Checkpoint)
+            }
+            Stmt::AuRestore => {
+                let ckpt = self.checkpoint.clone().ok_or(AuError::NoCheckpoint)?;
+                self.sigma = self.engine.restore_with(&ckpt);
+                Ok(Rule::Restore)
+            }
+        }
+    }
+
+    /// Runs a whole statement sequence, returning the rule trace — the
+    /// derivation's rule labels in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing statement.
+    pub fn run(&mut self, program: &[Stmt]) -> Result<Vec<Rule>, AuError> {
+        program.iter().map(|stmt| self.step(stmt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_updates_sigma_only() {
+        let mut m = Machine::new(Mode::Train);
+        let rule = m
+            .step(&Stmt::Assign {
+                var: "x".into(),
+                value: Value::Scalar(3.0),
+            })
+            .unwrap();
+        assert_eq!(rule, Rule::Assign);
+        assert_eq!(m.sigma().get_scalar("x"), Some(3.0));
+        assert!(m.engine().db().is_empty(), "π untouched by ASSIGN");
+    }
+
+    #[test]
+    fn extract_moves_sigma_values_into_pi() {
+        let mut m = Machine::new(Mode::Train);
+        m.step(&Stmt::Assign {
+            var: "hist".into(),
+            value: Value::Vector(vec![1.0, 2.0, 3.0]),
+        })
+        .unwrap();
+        let rule = m
+            .step(&Stmt::AuExtract {
+                ext: "HIST".into(),
+                var: "hist".into(),
+                size: 2,
+            })
+            .unwrap();
+        assert_eq!(rule, Rule::Extract);
+        assert_eq!(m.engine().db().get("HIST"), &[1.0, 2.0], "σ[size] prefix");
+    }
+
+    #[test]
+    fn extract_respects_size_bound() {
+        let mut m = Machine::new(Mode::Train);
+        m.step(&Stmt::Assign {
+            var: "x".into(),
+            value: Value::Scalar(1.0),
+        })
+        .unwrap();
+        let err = m
+            .step(&Stmt::AuExtract {
+                ext: "X".into(),
+                var: "x".into(),
+                size: 4,
+            })
+            .unwrap_err();
+        assert!(matches!(err, AuError::MissingData { wanted: 4, .. }));
+    }
+
+    #[test]
+    fn full_derivation_matches_rule_sequence() {
+        au_nn::set_init_seed(81);
+        let mut m = Machine::new(Mode::Train);
+        let program = vec![
+            Stmt::AuConfig {
+                model: "M".into(),
+                config: ModelConfig::dnn(&[8]),
+            },
+            Stmt::Assign {
+                var: "feat".into(),
+                value: Value::Vector(vec![0.1, 0.2]),
+            },
+            Stmt::Assign {
+                var: "ideal".into(),
+                value: Value::Scalar(0.7),
+            },
+            Stmt::AuExtract {
+                ext: "F".into(),
+                var: "feat".into(),
+                size: 2,
+            },
+            Stmt::AuExtract {
+                ext: "P".into(),
+                var: "ideal".into(),
+                size: 1,
+            },
+            Stmt::AuNn {
+                model: "M".into(),
+                ext: "F".into(),
+                wbs: vec!["P".into()],
+            },
+            Stmt::AuWriteBack {
+                wb: "P".into(),
+                var: "param".into(),
+                size: 1,
+            },
+        ];
+        let trace = m.run(&program).unwrap();
+        assert_eq!(
+            trace,
+            vec![
+                Rule::ConfigTrain,
+                Rule::Assign,
+                Rule::Assign,
+                Rule::Extract,
+                Rule::Extract,
+                Rule::Train,
+                Rule::WriteBack
+            ]
+        );
+        assert!(m.sigma().get_scalar("param").is_some());
+        assert!(m.engine().db().get("F").is_empty(), "extName ↦ ⊥ after TRAIN");
+    }
+
+    #[test]
+    fn ts_mode_fires_test_rule() {
+        au_nn::set_init_seed(82);
+        let mut m = Machine::new(Mode::Train);
+        m.run(&[
+            Stmt::AuConfig {
+                model: "M".into(),
+                config: ModelConfig::dnn(&[4]),
+            },
+            Stmt::Assign {
+                var: "f".into(),
+                value: Value::Scalar(0.5),
+            },
+            Stmt::Assign {
+                var: "l".into(),
+                value: Value::Scalar(1.0),
+            },
+            Stmt::AuExtract {
+                ext: "F".into(),
+                var: "f".into(),
+                size: 1,
+            },
+            Stmt::AuExtract {
+                ext: "L".into(),
+                var: "l".into(),
+                size: 1,
+            },
+            Stmt::AuNn {
+                model: "M".into(),
+                ext: "F".into(),
+                wbs: vec!["L".into()],
+            },
+        ])
+        .unwrap();
+        m.engine_mut().set_mode(Mode::Test);
+        m.step(&Stmt::AuExtract {
+            ext: "F".into(),
+            var: "f".into(),
+            size: 1,
+        })
+        .unwrap();
+        let rule = m
+            .step(&Stmt::AuNn {
+                model: "M".into(),
+                ext: "F".into(),
+                wbs: vec!["L".into()],
+            })
+            .unwrap();
+        assert_eq!(rule, Rule::Test);
+    }
+
+    #[test]
+    fn checkpoint_restore_rolls_sigma_and_pi_together() {
+        let mut m = Machine::new(Mode::Train);
+        m.run(&[
+            Stmt::Assign {
+                var: "lives".into(),
+                value: Value::Scalar(3.0),
+            },
+            Stmt::AuExtract {
+                ext: "L".into(),
+                var: "lives".into(),
+                size: 1,
+            },
+            Stmt::AuCheckpoint,
+            Stmt::Assign {
+                var: "lives".into(),
+                value: Value::Scalar(0.0),
+            },
+            Stmt::AuExtract {
+                ext: "L".into(),
+                var: "lives".into(),
+                size: 1,
+            },
+        ])
+        .unwrap();
+        assert_eq!(m.engine().db().get("L").len(), 2);
+        let rule = m.step(&Stmt::AuRestore).unwrap();
+        assert_eq!(rule, Rule::Restore);
+        assert_eq!(m.sigma().get_scalar("lives"), Some(3.0), "σ restored");
+        assert_eq!(m.engine().db().get("L"), &[3.0], "π restored consistently");
+    }
+
+    #[test]
+    fn restore_without_checkpoint_is_an_error() {
+        let mut m = Machine::new(Mode::Train);
+        assert!(matches!(
+            m.step(&Stmt::AuRestore),
+            Err(AuError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn rl_statement_runs_fig2_shape() {
+        au_nn::set_init_seed(83);
+        let mut m = Machine::new(Mode::Train);
+        m.run(&[
+            Stmt::AuConfig {
+                model: "Mario".into(),
+                config: ModelConfig::q_dnn(&[8]),
+            },
+            Stmt::Assign {
+                var: "reward".into(),
+                value: Value::Scalar(0.0),
+            },
+            Stmt::Assign {
+                var: "terminated".into(),
+                value: Value::Scalar(0.0),
+            },
+            Stmt::Assign {
+                var: "px".into(),
+                value: Value::Scalar(1.0),
+            },
+            Stmt::AuExtract {
+                ext: "PX".into(),
+                var: "px".into(),
+                size: 1,
+            },
+        ])
+        .unwrap();
+        let rule = m
+            .step(&Stmt::AuNnRl {
+                model: "Mario".into(),
+                ext: "PX".into(),
+                reward_var: "reward".into(),
+                term_var: "terminated".into(),
+                wb: "output".into(),
+                n_actions: 5,
+            })
+            .unwrap();
+        assert_eq!(rule, Rule::Train);
+        m.step(&Stmt::AuWriteBack {
+            wb: "output".into(),
+            var: "actionKey".into(),
+            size: 5,
+        })
+        .unwrap();
+        let action_key = m.sigma().get("actionKey").unwrap().as_slice().to_vec();
+        assert_eq!(action_key.len(), 5);
+        assert_eq!(action_key.iter().filter(|&&v| v == 1.0).count(), 1);
+    }
+
+    #[test]
+    fn serialize_rule_concatenates() {
+        let mut m = Machine::new(Mode::Train);
+        m.run(&[
+            Stmt::Assign {
+                var: "a".into(),
+                value: Value::Scalar(1.0),
+            },
+            Stmt::Assign {
+                var: "b".into(),
+                value: Value::Scalar(2.0),
+            },
+            Stmt::AuExtract {
+                ext: "A".into(),
+                var: "a".into(),
+                size: 1,
+            },
+            Stmt::AuExtract {
+                ext: "B".into(),
+                var: "b".into(),
+                size: 1,
+            },
+            Stmt::AuSerialize {
+                names: vec!["A".into(), "B".into()],
+            },
+        ])
+        .unwrap();
+        assert_eq!(m.engine().db().get("AB"), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! The two stores of the operational semantics.
+//!
+//! Fig. 8 defines a *program store* σ (`Var → Value`) and a *database store*
+//! π (`String → list of Value`). They are isolated: data moves between them
+//! only through the primitives.
+
+use std::collections::BTreeMap;
+
+/// A program-store value: a scalar or a numeric vector.
+///
+/// The paper's formalization treats all values as numbers (they are fed to
+/// neural networks); vectors cover array-typed variables such as histograms
+/// or image buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A single number.
+    Scalar(f64),
+    /// A numeric array.
+    Vector(Vec<f64>),
+}
+
+impl Value {
+    /// Views the value as a flat slice of numbers.
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            Value::Scalar(v) => std::slice::from_ref(v),
+            Value::Vector(v) => v,
+        }
+    }
+
+    /// The scalar inside, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(v) => Some(*v),
+            Value::Vector(_) => None,
+        }
+    }
+
+    /// Number of scalars held.
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Scalar(_) => 1,
+            Value::Vector(v) => v.len(),
+        }
+    }
+
+    /// Whether the value holds no scalars (an empty vector).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Scalar(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Vector(v)
+    }
+}
+
+/// The program store σ: a map from variable names to current values.
+///
+/// Host programs embedding the engine usually keep their state in native
+/// Rust variables; `ProgramStore` exists for interpreted programs (AuLang)
+/// and for the semantics test harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramStore {
+    vars: BTreeMap<String, Value>,
+}
+
+impl ProgramStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ProgramStore::default()
+    }
+
+    /// Rule ASSIGN: `σ[x ↦ v]`.
+    pub fn assign(&mut self, var: &str, value: impl Into<Value>) {
+        self.vars.insert(var.to_owned(), value.into());
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.vars.get(var)
+    }
+
+    /// Reads a scalar variable.
+    pub fn get_scalar(&self, var: &str) -> Option<f64> {
+        self.vars.get(var).and_then(Value::as_scalar)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates variables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// The database store π: `String → list of values`.
+///
+/// `au_extract` appends here; `au_NN` reads model inputs from here and
+/// writes model outputs back here; `au_write_back` copies values out to
+/// program variables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbStore {
+    lists: BTreeMap<String, Vec<f64>>,
+    /// Total scalars ever appended — the paper's "trace size" metric
+    /// (Table 2) in units of recorded values.
+    appended: u64,
+    /// Per-key append counters, used by the engine to tell freshly
+    /// extracted labels apart from stale model predictions.
+    appends_by_key: BTreeMap<String, u64>,
+}
+
+impl DbStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DbStore::default()
+    }
+
+    /// Rule EXTRACT: appends `values` to the list under `name`.
+    pub fn append(&mut self, name: &str, values: &[f64]) {
+        self.appended += values.len() as u64;
+        *self.appends_by_key.entry(name.to_owned()).or_default() += 1;
+        self.lists
+            .entry(name.to_owned())
+            .or_default()
+            .extend_from_slice(values);
+    }
+
+    /// How many times [`DbStore::append`] has run for `name`.
+    pub fn append_count(&self, name: &str) -> u64 {
+        self.appends_by_key.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads the list under `name` (empty slice if absent — the paper's ⊥).
+    pub fn get(&self, name: &str) -> &[f64] {
+        self.lists.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Replaces the list under `name`.
+    pub fn put(&mut self, name: &str, values: Vec<f64>) {
+        self.lists.insert(name.to_owned(), values);
+    }
+
+    /// Rule TRAIN/TEST's `extName ↦ ⊥`: resets a list to empty.
+    pub fn clear(&mut self, name: &str) {
+        self.lists.remove(name);
+    }
+
+    /// Rule SERIALIZE: concatenates the lists under `names` into one list
+    /// stored under the strcat of the names, returning the combined name.
+    pub fn serialize(&mut self, names: &[&str]) -> String {
+        let combined_name = names.concat();
+        let mut combined = Vec::new();
+        for name in names {
+            combined.extend_from_slice(self.get(name));
+        }
+        self.lists.insert(combined_name.clone(), combined);
+        combined_name
+    }
+
+    /// Number of named lists.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether no lists exist.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Total scalars appended over the store's lifetime (survives `clear`,
+    /// reset by checkpointing restore only insofar as the snapshot's counter
+    /// is restored).
+    pub fn total_appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Iterates lists in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.lists.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_slice_views() {
+        assert_eq!(Value::Scalar(2.0).as_slice(), &[2.0]);
+        assert_eq!(Value::Vector(vec![1.0, 2.0]).as_slice(), &[1.0, 2.0]);
+        assert_eq!(Value::Scalar(2.0).as_scalar(), Some(2.0));
+        assert_eq!(Value::Vector(vec![]).as_scalar(), None);
+        assert!(Value::Vector(vec![]).is_empty());
+    }
+
+    #[test]
+    fn program_store_assign_overwrites() {
+        let mut s = ProgramStore::new();
+        s.assign("x", 1.0);
+        s.assign("x", 2.0);
+        assert_eq!(s.get_scalar("x"), Some(2.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn db_append_accumulates_in_order() {
+        let mut db = DbStore::new();
+        db.append("A", &[1.0]);
+        db.append("A", &[2.0, 3.0]);
+        assert_eq!(db.get("A"), &[1.0, 2.0, 3.0]);
+        assert_eq!(db.total_appended(), 3);
+    }
+
+    #[test]
+    fn db_get_missing_is_bottom() {
+        let db = DbStore::new();
+        assert_eq!(db.get("nope"), &[] as &[f64]);
+    }
+
+    #[test]
+    fn db_clear_resets_to_bottom() {
+        let mut db = DbStore::new();
+        db.append("A", &[1.0]);
+        db.clear("A");
+        assert_eq!(db.get("A"), &[] as &[f64]);
+        // lifetime counter unaffected
+        assert_eq!(db.total_appended(), 1);
+    }
+
+    #[test]
+    fn serialize_concatenates_values_and_names() {
+        let mut db = DbStore::new();
+        db.append("PX", &[1.0]);
+        db.append("PY", &[2.0]);
+        db.append("MnX", &[3.0, 4.0]);
+        let name = db.serialize(&["PX", "PY", "MnX"]);
+        assert_eq!(name, "PXPYMnX");
+        assert_eq!(db.get(&name), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn serialize_with_missing_list_uses_bottom() {
+        let mut db = DbStore::new();
+        db.append("A", &[1.0]);
+        let name = db.serialize(&["A", "B"]);
+        assert_eq!(db.get(&name), &[1.0]);
+    }
+
+    #[test]
+    fn stores_are_isolated_types() {
+        // A compile-time property, but assert the runtime surfaces differ:
+        // ProgramStore has no append; DbStore has no assign. Nothing to do
+        // beyond constructing both.
+        let _ = (ProgramStore::new(), DbStore::new());
+    }
+}

@@ -1,0 +1,196 @@
+//! Arkanoid: paddle/ball/bricks with a structured, partially filled layout
+//! (the "more complex playing field" the paper contrasts with Breakout).
+
+use crate::game::{Game, StepResult};
+use crate::paddle::PaddleCore;
+use au_trace::AnalysisDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Arkanoid benchmark.
+///
+/// Actions: `0` = stay, `1` = left, `2` = right. Score is the pair
+/// (fraction of bricks cleared, all-clear success), as in the paper.
+#[derive(Debug, Clone)]
+pub struct Arkanoid {
+    core: PaddleCore,
+    seed: u64,
+}
+
+impl Arkanoid {
+    /// Builds a seeded level: 4 rows × 10 columns with a patterned,
+    /// hole-punched layout.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let holes: Vec<(usize, usize)> = (0..8)
+            .map(|_| (rng.gen_range(0..4usize), rng.gen_range(0..10usize)))
+            .collect();
+        let serve = rng.gen_range(-0.6..0.6f64);
+        let core = PaddleCore::new(
+            4,
+            10,
+            |r, c| {
+                // Checker-dense pattern with random holes — an uneven field.
+                ((r + c) % 3 != 0) && !holes.contains(&(r, c))
+            },
+            serve,
+        );
+        Arkanoid { core, seed }
+    }
+
+    /// Bricks destroyed so far.
+    pub fn bricks_hit(&self) -> usize {
+        self.core.hits
+    }
+}
+
+impl Game for Arkanoid {
+    fn name(&self) -> &'static str {
+        "Arkanoid"
+    }
+
+    fn n_actions(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) {
+        *self = Arkanoid::new(self.seed);
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        if self.core.missed || self.core.cleared() {
+            return StepResult {
+                reward: 0.0,
+                terminal: true,
+            };
+        }
+        let broken = self.core.step(action);
+        if self.core.missed {
+            return StepResult {
+                reward: -10.0,
+                terminal: true,
+            };
+        }
+        if self.core.cleared() {
+            return StepResult {
+                reward: 10.0,
+                terminal: true,
+            };
+        }
+        StepResult {
+            reward: broken as f64 * 2.0,
+            terminal: false,
+        }
+    }
+
+    fn features(&self) -> Vec<f64> {
+        self.core.features()
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        PaddleCore::feature_names()
+    }
+
+    fn render(&self, width: usize, height: usize) -> Vec<f64> {
+        self.core.render(width, height)
+    }
+
+    fn oracle_action(&self) -> usize {
+        self.core.oracle_action()
+    }
+
+    fn progress(&self) -> f64 {
+        1.0 - self.core.bricks_left() as f64 / self.core.total_bricks.max(1) as f64
+    }
+
+    fn succeeded(&self) -> bool {
+        self.core.cleared()
+    }
+
+    fn record_dependences(&self, db: &mut AnalysisDb) {
+        db.record_assign("paddleX", &["paddleX", "actionKey"], None, "updatePaddle");
+        db.record_assign("ballX", &["ballX", "ballVX"], None, "updateBall");
+        db.record_assign("ballY", &["ballY", "ballVY"], None, "updateBall");
+        db.record_assign("ballVX", &["ballVX", "paddleX", "ballX"], None, "updateBall");
+        db.record_assign("ballVY", &["ballVY", "ballY"], None, "updateBall");
+        db.record_assign("relBallX", &["ballX", "paddleX"], None, "gameLoop");
+        db.record_assign("bricksLeft", &["bricksLeft", "ballX", "ballY"], None, "brickCollision");
+        db.record_assign("score", &["bricksLeft", "relBallX", "actionKey"], None, "gameLoop");
+        db.mark_target("actionKey");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Arkanoid::new(4);
+        let mut b = Arkanoid::new(4);
+        for i in 0..200 {
+            assert_eq!(a.step(i % 3), b.step(i % 3));
+        }
+    }
+
+    #[test]
+    fn layout_has_holes() {
+        let game = Arkanoid::new(1);
+        let total = game.core.total_bricks;
+        assert!(total < 40, "patterned layout leaves holes: {total}");
+        assert!(total > 10);
+    }
+
+    #[test]
+    fn oracle_clears_bricks() {
+        let mut game = Arkanoid::new(2);
+        for _ in 0..6000 {
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                break;
+            }
+        }
+        assert!(
+            game.progress() > 0.3,
+            "oracle should clear a chunk of the wall, got {}",
+            game.progress()
+        );
+    }
+
+    #[test]
+    fn idle_paddle_eventually_misses() {
+        let mut game = Arkanoid::new(3);
+        let mut terminal = false;
+        for _ in 0..10_000 {
+            if game.step(0).terminal {
+                terminal = true;
+                break;
+            }
+        }
+        assert!(terminal);
+    }
+
+    #[test]
+    fn features_and_names_align() {
+        let game = Arkanoid::new(1);
+        assert_eq!(game.features().len(), game.feature_names().len());
+    }
+
+    #[test]
+    fn breaking_bricks_rewards() {
+        let mut game = Arkanoid::new(5);
+        let mut got_reward = false;
+        for _ in 0..6000 {
+            let a = game.oracle_action();
+            let r = game.step(a);
+            if r.reward > 0.0 && !r.terminal {
+                got_reward = true;
+                break;
+            }
+            if r.terminal {
+                break;
+            }
+        }
+        assert!(got_reward, "breaking a brick should pay off");
+    }
+}

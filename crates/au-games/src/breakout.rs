@@ -1,0 +1,162 @@
+//! Breakout: the Atari-style full brick wall — the simplest RL benchmark,
+//! and the only one whose `Raw` pixel model also converges in the paper
+//! ("the playing field for this game is not as complex as other
+//! benchmarks").
+
+use crate::game::{Game, StepResult};
+use crate::paddle::PaddleCore;
+use au_trace::AnalysisDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Breakout benchmark.
+///
+/// Actions: `0` = stay, `1` = left, `2` = right. The paper's score is the
+/// number of bricks hit before missing the ball ([`Breakout::bricks_hit`]).
+#[derive(Debug, Clone)]
+pub struct Breakout {
+    core: PaddleCore,
+    seed: u64,
+}
+
+impl Breakout {
+    /// Builds a seeded game: 3 full rows × 12 columns.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let serve = rng.gen_range(-0.5..0.5f64);
+        Breakout {
+            core: PaddleCore::new(3, 12, |_, _| true, serve),
+            seed,
+        }
+    }
+
+    /// Bricks hit so far — the paper's Breakout score.
+    pub fn bricks_hit(&self) -> usize {
+        self.core.hits
+    }
+}
+
+impl Game for Breakout {
+    fn name(&self) -> &'static str {
+        "Breakout"
+    }
+
+    fn n_actions(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) {
+        *self = Breakout::new(self.seed);
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        if self.core.missed || self.core.cleared() {
+            return StepResult {
+                reward: 0.0,
+                terminal: true,
+            };
+        }
+        let broken = self.core.step(action);
+        if self.core.missed {
+            return StepResult {
+                reward: -5.0,
+                terminal: true,
+            };
+        }
+        if self.core.cleared() {
+            return StepResult {
+                reward: 10.0,
+                terminal: true,
+            };
+        }
+        StepResult {
+            reward: broken as f64,
+            terminal: false,
+        }
+    }
+
+    fn features(&self) -> Vec<f64> {
+        self.core.features()
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        PaddleCore::feature_names()
+    }
+
+    fn render(&self, width: usize, height: usize) -> Vec<f64> {
+        self.core.render(width, height)
+    }
+
+    fn oracle_action(&self) -> usize {
+        self.core.oracle_action()
+    }
+
+    fn progress(&self) -> f64 {
+        self.core.hits as f64 / self.core.total_bricks.max(1) as f64
+    }
+
+    fn succeeded(&self) -> bool {
+        self.core.cleared()
+    }
+
+    fn record_dependences(&self, db: &mut AnalysisDb) {
+        db.record_assign("paddleX", &["paddleX", "actionKey"], None, "updatePaddle");
+        db.record_assign("ballX", &["ballX", "ballVX"], None, "updateBall");
+        db.record_assign("ballY", &["ballY", "ballVY"], None, "updateBall");
+        db.record_assign("ballVX", &["ballVX", "paddleX", "ballX"], None, "updateBall");
+        db.record_assign("ballVY", &["ballVY", "ballY"], None, "updateBall");
+        db.record_assign("relBallX", &["ballX", "paddleX"], None, "gameLoop");
+        db.record_assign("bricksLeft", &["bricksLeft", "ballX", "ballY"], None, "brickCollision");
+        db.record_assign("score", &["bricksLeft", "relBallX", "actionKey"], None, "gameLoop");
+        db.mark_target("actionKey");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_wall_layout() {
+        let game = Breakout::new(1);
+        assert_eq!(game.core.total_bricks, 36);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Breakout::new(2);
+        let mut b = Breakout::new(2);
+        for i in 0..200 {
+            assert_eq!(a.step(i % 3), b.step(i % 3));
+        }
+    }
+
+    #[test]
+    fn oracle_hits_many_bricks() {
+        let mut game = Breakout::new(3);
+        for _ in 0..8000 {
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                break;
+            }
+        }
+        assert!(
+            game.bricks_hit() >= 8,
+            "oracle should rack up hits, got {}",
+            game.bricks_hit()
+        );
+    }
+
+    #[test]
+    fn score_counts_hits_before_miss() {
+        let mut game = Breakout::new(4);
+        // Play badly on purpose: hold left.
+        for _ in 0..5000 {
+            if game.step(1).terminal {
+                break;
+            }
+        }
+        assert!(game.bricks_hit() <= game.core.total_bricks);
+        assert_eq!(game.progress(), game.bricks_hit() as f64 / 36.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Flappybird: one-button navigation through pipe gaps.
+
+use crate::game::{Game, StepResult};
+use au_trace::AnalysisDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRAVITY: f64 = 0.004;
+const FLAP_VY: f64 = -0.02;
+const SPEED: f64 = 0.004;
+const GAP_HALF: f64 = 0.14;
+const PIPE_HALF_WIDTH: f64 = 0.015;
+
+/// The Flappybird benchmark. Vertical position grows downward in `[0, 1]`.
+///
+/// Actions: `0` = glide, `1` = flap.
+#[derive(Debug, Clone)]
+pub struct Flappybird {
+    bird_y: f64,
+    bird_vy: f64,
+    x: f64,
+    /// `(x, gap_center)` per pipe, sorted by x.
+    pipes: Vec<(f64, f64)>,
+    dead: bool,
+    finished: bool,
+    seed: u64,
+}
+
+impl Flappybird {
+    /// Creates a course determined by `seed` (12 pipes over a unit-length
+    /// course).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Gap centers follow a bounded random walk so consecutive pipes
+        // stay physically reachable at the bird's climb rate.
+        let mut gap = 0.5f64;
+        let pipes = (0..12)
+            .map(|i| {
+                let x = 0.15 + i as f64 * 0.07;
+                gap = (gap + rng.gen_range(-0.18..0.18f64)).clamp(0.25, 0.75);
+                (x, gap)
+            })
+            .collect();
+        Flappybird {
+            bird_y: 0.5,
+            bird_vy: 0.0,
+            x: 0.0,
+            pipes,
+            dead: false,
+            finished: false,
+            seed,
+        }
+    }
+
+    /// The next pipe at or ahead of the bird, if any.
+    fn next_pipe(&self) -> Option<(f64, f64)> {
+        self.pipes
+            .iter()
+            .copied()
+            .find(|&(px, _)| px + PIPE_HALF_WIDTH >= self.x)
+    }
+
+    fn pipe_after_next(&self) -> Option<(f64, f64)> {
+        self.pipes
+            .iter()
+            .copied()
+            .filter(|&(px, _)| px + PIPE_HALF_WIDTH >= self.x)
+            .nth(1)
+    }
+
+    /// Whether the bird has collided or flown out of bounds.
+    pub fn dead(&self) -> bool {
+        self.dead
+    }
+}
+
+impl Game for Flappybird {
+    fn name(&self) -> &'static str {
+        "Flappybird"
+    }
+
+    fn n_actions(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) {
+        *self = Flappybird::new(self.seed);
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(action < 2, "flappy has 2 actions");
+        if self.dead || self.finished {
+            return StepResult {
+                reward: 0.0,
+                terminal: true,
+            };
+        }
+        if action == 1 {
+            self.bird_vy = FLAP_VY;
+        }
+        self.bird_vy += GRAVITY;
+        self.bird_y += self.bird_vy;
+        self.x += SPEED;
+
+        // Out of bounds.
+        if !(0.0..=1.0).contains(&self.bird_y) {
+            self.dead = true;
+            return StepResult {
+                reward: -10.0,
+                terminal: true,
+            };
+        }
+        // Pipe collision.
+        for &(px, gap) in &self.pipes {
+            if (self.x - px).abs() <= PIPE_HALF_WIDTH && (self.bird_y - gap).abs() > GAP_HALF {
+                self.dead = true;
+                return StepResult {
+                    reward: -10.0,
+                    terminal: true,
+                };
+            }
+        }
+        if self.x >= 1.0 {
+            self.finished = true;
+            return StepResult {
+                reward: 10.0,
+                terminal: true,
+            };
+        }
+        StepResult {
+            reward: 0.1,
+            terminal: false,
+        }
+    }
+
+    fn features(&self) -> Vec<f64> {
+        let (nx, ngap) = self.next_pipe().unwrap_or((1.0, 0.5));
+        let (_, ngap2) = self.pipe_after_next().unwrap_or((1.2, 0.5));
+        vec![
+            self.bird_y,
+            self.bird_vy * 20.0, // scale velocity into a comparable range
+            (nx - self.x) * 5.0,
+            ngap,
+            self.bird_y - ngap,
+            ngap2,
+        ]
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec!["birdY", "birdVY", "pipeDX", "gapY", "relY", "gap2Y"]
+    }
+
+    fn render(&self, width: usize, height: usize) -> Vec<f64> {
+        let mut frame = vec![0.0; width * height];
+        // Pipes within the visible window [x, x+0.25).
+        let window = 0.25;
+        for &(px, gap) in &self.pipes {
+            if px < self.x || px >= self.x + window {
+                continue;
+            }
+            let col = (((px - self.x) / window) * width as f64) as usize;
+            let col = col.min(width - 1);
+            for row in 0..height {
+                let y = row as f64 / height as f64;
+                if (y - gap).abs() > GAP_HALF {
+                    frame[row * width + col] = 0.6;
+                }
+            }
+        }
+        // Bird at the left edge.
+        let row = ((self.bird_y * height as f64) as usize).min(height - 1);
+        frame[row * width] = 1.0;
+        frame
+    }
+
+    fn oracle_action(&self) -> usize {
+        let target = self.next_pipe().map(|(_, g)| g).unwrap_or(0.5);
+        // Flap whenever below the gap center (y grows downward); the weak
+        // flap impulse makes repeated flapping a steady climb.
+        if self.bird_y > target {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.x.min(1.0)
+    }
+
+    fn succeeded(&self) -> bool {
+        self.finished
+    }
+
+    fn record_dependences(&self, db: &mut AnalysisDb) {
+        // The loop-carried updates a dynamic tracer observes: the bird
+        // integrates its own state; collisions combine bird and pipe state.
+        db.record_assign("birdVY", &["birdVY", "actionKey"], None, "updateBird");
+        db.record_assign("birdY", &["birdY", "birdVY"], None, "updateBird");
+        db.record_assign("pipeDX", &["pipeDX"], None, "checkPipes");
+        db.record_assign("gapY", &["gapY"], None, "checkPipes");
+        db.record_assign("gap2Y", &["gap2Y"], None, "checkPipes");
+        db.record_assign("relY", &["birdY", "gapY"], None, "checkPipes");
+        db.record_assign("collide", &["birdY", "relY", "pipeDX"], None, "gameLoop");
+        db.record_assign("score", &["collide", "actionKey"], None, "gameLoop");
+        db.mark_target("actionKey");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Flappybird::new(3);
+        let mut b = Flappybird::new(3);
+        for _ in 0..50 {
+            assert_eq!(a.step(0), b.step(0));
+        }
+        assert_eq!(a.features(), b.features());
+    }
+
+    #[test]
+    fn gliding_forever_dies() {
+        let mut game = Flappybird::new(1);
+        let mut terminal = false;
+        for _ in 0..2000 {
+            if game.step(0).terminal {
+                terminal = true;
+                break;
+            }
+        }
+        assert!(terminal, "gravity must end a glide-only run");
+        assert!(game.dead());
+    }
+
+    #[test]
+    fn oracle_beats_random_glide() {
+        let mut oracle_game = Flappybird::new(7);
+        for _ in 0..2000 {
+            let a = oracle_game.oracle_action();
+            if oracle_game.step(a).terminal {
+                break;
+            }
+        }
+        let mut glide_game = Flappybird::new(7);
+        for _ in 0..2000 {
+            if glide_game.step(0).terminal {
+                break;
+            }
+        }
+        assert!(
+            oracle_game.progress() > glide_game.progress(),
+            "oracle {} vs glide {}",
+            oracle_game.progress(),
+            glide_game.progress()
+        );
+    }
+
+    #[test]
+    fn oracle_finishes_the_course() {
+        let mut game = Flappybird::new(11);
+        for _ in 0..5000 {
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                break;
+            }
+        }
+        assert!(
+            game.progress() > 0.9,
+            "oracle should clear most of the course, got {}",
+            game.progress()
+        );
+    }
+
+    #[test]
+    fn features_and_names_align() {
+        let game = Flappybird::new(1);
+        assert_eq!(game.features().len(), game.feature_names().len());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut game = Flappybird::new(5);
+        let initial = game.features();
+        game.step(1);
+        game.step(1);
+        game.reset();
+        assert_eq!(game.features(), initial);
+    }
+
+    #[test]
+    fn render_contains_bird_and_pipes() {
+        let game = Flappybird::new(2);
+        let frame = game.render(16, 16);
+        assert_eq!(frame.len(), 256);
+        assert!(frame.contains(&1.0), "bird pixel present");
+        assert!(frame.iter().any(|&p| p > 0.5 && p < 1.0), "pipe pixels present");
+    }
+
+    #[test]
+    fn terminal_steps_are_absorbing() {
+        let mut game = Flappybird::new(1);
+        while !game.step(0).terminal {}
+        let r = game.step(1);
+        assert!(r.terminal);
+        assert_eq!(r.reward, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The [`Game`] trait: the contract every interactive benchmark implements.
+
+use au_trace::AnalysisDb;
+
+/// Outcome of one game step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Reward for the action just taken.
+    pub reward: f64,
+    /// Whether the episode ended (death, wall bump, stage clear, …).
+    pub terminal: bool,
+}
+
+/// An interactive program that the Autonomizer can drive.
+///
+/// Implementations are deterministic given their construction seed and are
+/// `Clone` so checkpoint/restore can snapshot the whole program state σ.
+pub trait Game: std::fmt::Debug {
+    /// Benchmark name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Size of the discrete action space.
+    fn n_actions(&self) -> usize;
+
+    /// Resets to the initial state (a fresh episode).
+    fn reset(&mut self);
+
+    /// Advances one frame under `action`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= n_actions()`.
+    fn step(&mut self, action: usize) -> StepResult;
+
+    /// Internal program state — the paper's `All` feature vector, i.e. the
+    /// variables Algorithm 2 selects and `au_extract` collects each frame.
+    fn features(&self) -> Vec<f64>;
+
+    /// Names of the feature variables, parallel to [`Game::features`].
+    fn feature_names(&self) -> Vec<&'static str>;
+
+    /// Rasterizes the current state into a `width × height` grayscale frame
+    /// in `[0, 1]` — the `Raw` input.
+    fn render(&self, width: usize, height: usize) -> Vec<f64>;
+
+    /// A scripted near-optimal action — the stand-in for the paper's human
+    /// players.
+    fn oracle_action(&self) -> usize;
+
+    /// Episode progress in `[0, 1]` (distance travelled, bricks cleared…).
+    fn progress(&self) -> f64;
+
+    /// Whether the episode's success condition has been reached (flag
+    /// taken, all bricks cleared, finish line crossed).
+    fn succeeded(&self) -> bool;
+
+    /// Records this frame's variable values and usage sites into the
+    /// analysis database (what Valgrind-style tracing observes per
+    /// iteration). The default implementation records every feature
+    /// variable as a loop-carried update inside `gameLoop`.
+    fn record_frame(&self, db: &mut AnalysisDb) {
+        let names = self.feature_names();
+        let values = self.features();
+        for (name, value) in names.iter().zip(values) {
+            db.record_value(name, value);
+            db.record_use(name, "gameLoop");
+        }
+    }
+
+    /// Records the program's static dependence shape once (edges between
+    /// state variables and the action target) — what dynamic tracing
+    /// accumulates over a profiled run.
+    fn record_dependences(&self, db: &mut AnalysisDb);
+
+    /// Renders the current state as ASCII art (for terminal demos and
+    /// debugging). Each brightness band maps to a character ramp.
+    fn render_ascii(&self, width: usize, height: usize) -> String {
+        const RAMP: [char; 6] = [' ', '.', ':', 'o', '#', '@'];
+        let frame = self.render(width, height);
+        let mut out = String::with_capacity((width + 1) * height);
+        for row in 0..height {
+            for col in 0..width {
+                let v = frame[row * width + col].clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Game, Mario};
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let game = Mario::new(1);
+        let art = game.render_ascii(20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 20));
+        // Mario's bright pixel maps to the densest character.
+        assert!(art.contains('@'));
+    }
+}

@@ -1,0 +1,42 @@
+//! Interactive benchmark programs (the paper's RL case studies).
+//!
+//! Five game/driving simulators reproduce the paper's reinforcement-learning
+//! evaluation suite, each exposing both **internal program state** (the
+//! paper's `All` setting — what `au_extract` collects from program
+//! variables) and **raw pixel frames** (the `Raw` / DeepMind-style setting):
+//!
+//! - [`Flappybird`]: one-button pipe-gap navigation;
+//! - [`Mario`]: a side-scrolling platformer with goombas, pits, pipes,
+//!   coins, and a flag pole, plus [`Coverage`] counters for the paper's
+//!   *software self-testing* case study (Section 2);
+//! - [`Arkanoid`]: paddle/ball/bricks with a structured layout;
+//! - [`Breakout`]: the simpler Atari-style variant (the one game where the
+//!   paper's `Raw` model also converges);
+//! - [`Torcs`]: track driving with steering control, including the
+//!   redundant (`roll`) and unchanging (`accX`) state variables behind the
+//!   paper's Figs. 15–16 pruning examples.
+//!
+//! All games implement the [`Game`] trait, are deterministic under their
+//! seed, and are `Clone` so `au_checkpoint`/`au_restore` can snapshot them.
+//! [`harness`] trains agents through the Autonomizer primitives exactly as
+//! the paper's Fig. 2 game loop does.
+
+#![warn(missing_docs)]
+
+pub mod arkanoid;
+pub mod breakout;
+mod coverage;
+pub mod flappy;
+mod game;
+pub mod harness;
+pub mod mario;
+mod paddle;
+pub mod torcs;
+
+pub use arkanoid::Arkanoid;
+pub use breakout::Breakout;
+pub use coverage::Coverage;
+pub use flappy::Flappybird;
+pub use game::{Game, StepResult};
+pub use mario::Mario;
+pub use torcs::Torcs;

@@ -1,0 +1,273 @@
+//! Shared paddle/ball/bricks physics used by Arkanoid and Breakout.
+
+/// A brick wall: rows × cols of breakable cells in the top part of a unit
+/// square playfield.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PaddleCore {
+    pub ball_x: f64,
+    pub ball_y: f64,
+    pub ball_vx: f64,
+    pub ball_vy: f64,
+    pub paddle_x: f64,
+    pub paddle_half: f64,
+    pub rows: usize,
+    pub cols: usize,
+    /// `true` = brick still present.
+    pub bricks: Vec<bool>,
+    pub total_bricks: usize,
+    pub hits: usize,
+    pub missed: bool,
+}
+
+/// Ball speed per frame.
+const SPEED: f64 = 0.02;
+/// Top region occupied by the brick wall.
+const WALL_TOP: f64 = 0.08;
+const WALL_BOTTOM: f64 = 0.38;
+/// Paddle vertical position.
+const PADDLE_Y: f64 = 0.95;
+const PADDLE_STEP: f64 = 0.03;
+
+impl PaddleCore {
+    /// Creates a playfield; `layout(row, col)` decides which cells hold a
+    /// brick.
+    pub fn new(rows: usize, cols: usize, layout: impl Fn(usize, usize) -> bool, serve_angle: f64) -> Self {
+        let bricks: Vec<bool> = (0..rows * cols)
+            .map(|i| layout(i / cols, i % cols))
+            .collect();
+        let total = bricks.iter().filter(|&&b| b).count();
+        PaddleCore {
+            ball_x: 0.5,
+            ball_y: 0.6,
+            ball_vx: SPEED * serve_angle.sin(),
+            ball_vy: -SPEED * serve_angle.cos().abs(),
+            paddle_x: 0.5,
+            paddle_half: 0.09,
+            rows,
+            cols,
+            bricks,
+            total_bricks: total,
+            hits: 0,
+            missed: false,
+        }
+    }
+
+    pub fn bricks_left(&self) -> usize {
+        self.bricks.iter().filter(|&&b| b).count()
+    }
+
+    pub fn cleared(&self) -> bool {
+        self.bricks_left() == 0
+    }
+
+    fn brick_at(&self, x: f64, y: f64) -> Option<usize> {
+        if !(0.0..1.0).contains(&x) || !(WALL_TOP..WALL_BOTTOM).contains(&y) {
+            return None;
+        }
+        let row = ((y - WALL_TOP) / (WALL_BOTTOM - WALL_TOP) * self.rows as f64) as usize;
+        let col = (x * self.cols as f64) as usize;
+        let idx = row.min(self.rows - 1) * self.cols + col.min(self.cols - 1);
+        self.bricks[idx].then_some(idx)
+    }
+
+    /// Advances one frame. `action`: 0 = stay, 1 = left, 2 = right.
+    /// Returns the number of bricks broken this frame.
+    pub fn step(&mut self, action: usize) -> usize {
+        assert!(action < 3, "paddle games have 3 actions");
+        if self.missed || self.cleared() {
+            return 0;
+        }
+        match action {
+            1 => self.paddle_x = (self.paddle_x - PADDLE_STEP).max(self.paddle_half),
+            2 => self.paddle_x = (self.paddle_x + PADDLE_STEP).min(1.0 - self.paddle_half),
+            _ => {}
+        }
+        self.ball_x += self.ball_vx;
+        self.ball_y += self.ball_vy;
+
+        // Side and top walls.
+        if self.ball_x <= 0.0 {
+            self.ball_x = -self.ball_x;
+            self.ball_vx = self.ball_vx.abs();
+        } else if self.ball_x >= 1.0 {
+            self.ball_x = 2.0 - self.ball_x;
+            self.ball_vx = -self.ball_vx.abs();
+        }
+        if self.ball_y <= 0.0 {
+            self.ball_y = -self.ball_y;
+            self.ball_vy = self.ball_vy.abs();
+        }
+
+        // Brick collision.
+        let mut broken = 0;
+        if let Some(idx) = self.brick_at(self.ball_x, self.ball_y) {
+            self.bricks[idx] = false;
+            self.hits += 1;
+            broken += 1;
+            self.ball_vy = -self.ball_vy;
+        }
+
+        // Paddle bounce.
+        if self.ball_vy > 0.0
+            && self.ball_y >= PADDLE_Y
+            && self.ball_y <= PADDLE_Y + 0.03
+            && (self.ball_x - self.paddle_x).abs() <= self.paddle_half
+        {
+            self.ball_vy = -self.ball_vy.abs();
+            // English: contact point shapes the outgoing angle.
+            let offset = (self.ball_x - self.paddle_x) / self.paddle_half;
+            self.ball_vx = SPEED * offset * 0.9;
+        }
+
+        // Miss.
+        if self.ball_y > 1.0 {
+            self.missed = true;
+        }
+        broken
+    }
+
+    /// Internal feature vector shared by both games.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.ball_x,
+            self.ball_y,
+            self.ball_vx / SPEED,
+            self.ball_vy / SPEED,
+            self.paddle_x,
+            self.ball_x - self.paddle_x,
+            self.bricks_left() as f64 / self.total_bricks.max(1) as f64,
+        ]
+    }
+
+    pub fn feature_names() -> Vec<&'static str> {
+        vec![
+            "ballX", "ballY", "ballVX", "ballVY", "paddleX", "relBallX", "bricksLeft",
+        ]
+    }
+
+    /// Oracle: track the ball's x position.
+    pub fn oracle_action(&self) -> usize {
+        let diff = self.ball_x - self.paddle_x;
+        if diff < -PADDLE_STEP / 2.0 {
+            1
+        } else if diff > PADDLE_STEP / 2.0 {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Grayscale render shared by both games.
+    pub fn render(&self, width: usize, height: usize) -> Vec<f64> {
+        let mut frame = vec![0.0; width * height];
+        let to_px = |x: f64, y: f64| -> usize {
+            let col = ((x * width as f64) as usize).min(width - 1);
+            let row = ((y * height as f64) as usize).min(height - 1);
+            row * width + col
+        };
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                if self.bricks[row * self.cols + col] {
+                    let x = (col as f64 + 0.5) / self.cols as f64;
+                    let y = WALL_TOP
+                        + (row as f64 + 0.5) / self.rows as f64 * (WALL_BOTTOM - WALL_TOP);
+                    frame[to_px(x, y)] = 0.6;
+                }
+            }
+        }
+        // Paddle.
+        let steps = 5;
+        for i in 0..=steps {
+            let x = self.paddle_x - self.paddle_half
+                + 2.0 * self.paddle_half * i as f64 / steps as f64;
+            frame[to_px(x.clamp(0.0, 1.0), PADDLE_Y)] = 0.8;
+        }
+        frame[to_px(self.ball_x.clamp(0.0, 1.0), self.ball_y.clamp(0.0, 1.0))] = 1.0;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> PaddleCore {
+        PaddleCore::new(2, 4, |_, _| true, 0.3)
+    }
+
+    #[test]
+    fn serve_moves_up() {
+        let mut core = full();
+        let y0 = core.ball_y;
+        core.step(0);
+        assert!(core.ball_y < y0);
+    }
+
+    #[test]
+    fn walls_reflect() {
+        let mut core = full();
+        core.ball_x = 0.01;
+        core.ball_vx = -SPEED;
+        core.ball_vy = 0.0;
+        core.step(0);
+        assert!(core.ball_vx > 0.0);
+    }
+
+    #[test]
+    fn bricks_break_and_count() {
+        let mut core = full();
+        core.ball_x = 0.5;
+        core.ball_y = WALL_BOTTOM + 0.01;
+        core.ball_vx = 0.0;
+        core.ball_vy = -SPEED;
+        let broken = core.step(0);
+        assert_eq!(broken, 1);
+        assert_eq!(core.hits, 1);
+        assert_eq!(core.bricks_left(), core.total_bricks - 1);
+        assert!(core.ball_vy > 0.0, "ball reflects off the brick");
+    }
+
+    #[test]
+    fn missing_the_ball_ends_play() {
+        let mut core = full();
+        core.ball_y = 0.99;
+        core.ball_x = 0.1;
+        core.paddle_x = 0.9; // far away
+        core.ball_vy = SPEED;
+        for _ in 0..5 {
+            core.step(0);
+        }
+        assert!(core.missed);
+    }
+
+    #[test]
+    fn paddle_bounce_applies_english() {
+        let mut core = full();
+        core.ball_x = core.paddle_x + core.paddle_half * 0.8;
+        core.ball_y = PADDLE_Y - 0.005;
+        core.ball_vx = 0.0;
+        core.ball_vy = SPEED;
+        core.step(0);
+        assert!(core.ball_vy < 0.0);
+        assert!(core.ball_vx > 0.0, "off-center hit angles the ball");
+    }
+
+    #[test]
+    fn oracle_tracks_ball() {
+        let mut core = full();
+        core.ball_x = 0.1;
+        core.paddle_x = 0.9;
+        assert_eq!(core.oracle_action(), 1);
+        core.ball_x = 0.95;
+        assert_eq!(core.oracle_action(), 2);
+    }
+
+    #[test]
+    fn paddle_clamped_to_field() {
+        let mut core = full();
+        for _ in 0..100 {
+            core.step(1);
+        }
+        assert!(core.paddle_x >= core.paddle_half);
+    }
+}

@@ -1,0 +1,317 @@
+//! Torcs: track driving with steering control.
+//!
+//! The paper's TORCS case study (Section 6.3) annotates the `steer`
+//! variable as the target and lets Algorithm 2 extract twenty feature
+//! variables, pruning `roll` (a near-duplicate of `posX`, Fig. 15) and
+//! `accX` (near-constant, Fig. 16). This simulator exposes exactly those
+//! variables: `posX`/`roll` track the lateral offset redundantly, and
+//! `accX` barely moves because the car drives at constant speed.
+
+use crate::game::{Game, StepResult};
+use au_trace::AnalysisDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TRACK_SEGMENTS: usize = 400;
+const HALF_WIDTH: f64 = 1.0;
+const STEER_STEP: f64 = 0.05;
+/// Lookahead segments exposed as features.
+const LOOKAHEAD: usize = 5;
+
+/// The Torcs benchmark.
+///
+/// Actions: `0` = steer left, `1` = straight, `2` = steer right (the three
+/// model outputs of the paper's comparison).
+#[derive(Debug, Clone)]
+pub struct Torcs {
+    /// Curvature per track segment.
+    track: Vec<f64>,
+    /// Current segment index.
+    s: usize,
+    /// Lateral offset from the center line (`posX` in the paper).
+    pos: f64,
+    /// Heading angle relative to the track direction.
+    angle: f64,
+    /// Longitudinal acceleration — near-constant (cruise control), the
+    /// paper's `accX` pruning example.
+    acc_x: f64,
+    bumped: bool,
+    finished: bool,
+    seed: u64,
+}
+
+impl Torcs {
+    /// Builds a seeded track of smooth alternating curves.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut track = Vec::with_capacity(TRACK_SEGMENTS);
+        let mut curv = 0.0f64;
+        for _ in 0..TRACK_SEGMENTS {
+            // Smooth random walk over curvature, bounded.
+            curv = (curv + rng.gen_range(-0.01..0.01)).clamp(-0.05, 0.05);
+            track.push(curv);
+        }
+        Torcs {
+            track,
+            s: 0,
+            pos: 0.0,
+            angle: 0.0,
+            acc_x: 0.0,
+            bumped: false,
+            finished: false,
+            seed,
+        }
+    }
+
+    /// Lateral offset (`posX`).
+    pub fn pos_x(&self) -> f64 {
+        self.pos
+    }
+
+    /// The redundant `roll` variable: physically tied to the lateral
+    /// offset, so its trace duplicates `posX` (Fig. 15).
+    pub fn roll(&self) -> f64 {
+        self.pos
+    }
+
+    /// The near-constant `accX` variable (Fig. 16): cruise control keeps
+    /// longitudinal acceleration within a hair of zero.
+    pub fn acc_x(&self) -> f64 {
+        self.acc_x
+    }
+
+    fn curvature_at(&self, offset: usize) -> f64 {
+        let idx = (self.s + offset).min(TRACK_SEGMENTS - 1);
+        self.track[idx]
+    }
+}
+
+impl Game for Torcs {
+    fn name(&self) -> &'static str {
+        "Torcs"
+    }
+
+    fn n_actions(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) {
+        *self = Torcs::new(self.seed);
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(action < 3, "torcs has 3 actions");
+        if self.bumped || self.finished {
+            return StepResult {
+                reward: 0.0,
+                terminal: true,
+            };
+        }
+        let steer = match action {
+            0 => -STEER_STEP,
+            2 => STEER_STEP,
+            _ => 0.0,
+        };
+        self.angle += steer;
+        // The track curving under the car shifts its relative position.
+        self.pos += self.angle + self.curvature_at(0);
+        // accX: a launch burst on the very first frame, then cruise-control
+        // jitter near zero — so the min-max-scaled trace has variance just
+        // under the paper's ε₂ = 0.01 (Fig. 16 reports ~0.007).
+        self.acc_x = if self.s == 0 {
+            1.0
+        } else {
+            0.002 * ((self.s as f64) * 0.7).sin()
+        };
+        self.s += 1;
+
+        if self.pos.abs() > HALF_WIDTH {
+            self.bumped = true;
+            return StepResult {
+                reward: -10.0,
+                terminal: true,
+            };
+        }
+        if self.s >= TRACK_SEGMENTS {
+            self.finished = true;
+            return StepResult {
+                reward: 10.0,
+                terminal: true,
+            };
+        }
+        // Centered driving pays more.
+        StepResult {
+            reward: 1.0 - self.pos.abs() / HALF_WIDTH,
+            terminal: false,
+        }
+    }
+
+    fn features(&self) -> Vec<f64> {
+        let mut f = vec![self.pos, self.angle, self.roll(), self.acc_x, 1.0 /* speed */];
+        for i in 1..=LOOKAHEAD {
+            f.push(self.curvature_at(i) * 20.0);
+        }
+        f
+    }
+
+    fn feature_names(&self) -> Vec<&'static str> {
+        vec![
+            "posX", "angle", "roll", "accX", "speedX", "curv1", "curv2", "curv3", "curv4",
+            "curv5",
+        ]
+    }
+
+    fn render(&self, width: usize, height: usize) -> Vec<f64> {
+        // Driver's view: each row is an upcoming segment; road edges drawn
+        // relative to the accumulating curvature; car marked on the bottom
+        // row.
+        let mut frame = vec![0.0; width * height];
+        let mut drift = 0.0;
+        for row in 0..height {
+            let seg = height - 1 - row; // far rows at top
+            drift += self.curvature_at(seg) * 8.0;
+            let center = 0.5 + drift;
+            let half = 0.35;
+            for side in [-1.0, 1.0] {
+                let edge = center + side * half;
+                if (0.0..1.0).contains(&edge) {
+                    let col = (edge * width as f64) as usize;
+                    frame[row * width + col.min(width - 1)] = 0.6;
+                }
+            }
+        }
+        let car_col = (((self.pos / HALF_WIDTH) * 0.35 + 0.5) * width as f64)
+            .clamp(0.0, width as f64 - 1.0) as usize;
+        frame[(height - 1) * width + car_col] = 1.0;
+        frame
+    }
+
+    fn oracle_action(&self) -> usize {
+        // Proportional controller: align the heading against the offset and
+        // the upcoming curvature.
+        let desired = -(self.pos * 0.35) - self.curvature_at(1) * 1.5;
+        if self.angle > desired + STEER_STEP / 2.0 {
+            0
+        } else if self.angle < desired - STEER_STEP / 2.0 {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.s as f64 / TRACK_SEGMENTS as f64
+    }
+
+    fn succeeded(&self) -> bool {
+        self.finished
+    }
+
+    fn record_dependences(&self, db: &mut AnalysisDb) {
+        db.record_assign("angle", &["angle", "steer"], None, "drive");
+        db.record_assign("posX", &["posX", "angle", "curv1"], None, "drive");
+        db.record_assign("roll", &["posX"], None, "physics");
+        db.record_assign("accX", &["speedX"], None, "physics");
+        db.record_assign("curv1", &["curv1"], None, "trackSensor");
+        db.record_assign("curv2", &["curv2"], None, "trackSensor");
+        db.record_assign("curv3", &["curv3"], None, "trackSensor");
+        db.record_assign("curv4", &["curv4"], None, "trackSensor");
+        db.record_assign("curv5", &["curv5"], None, "trackSensor");
+        db.record_assign("speedX", &["speedX"], None, "physics");
+        db.record_assign("damage", &["posX", "roll", "curv1"], None, "drive");
+        db.record_assign("score", &["damage", "steer", "accX", "curv2", "curv3", "curv4", "curv5"], None, "gameLoop");
+        db.mark_target("steer");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_trace::{extract_rl, RlParams};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Torcs::new(1);
+        let mut b = Torcs::new(1);
+        for i in 0..300 {
+            assert_eq!(a.step(i % 3), b.step(i % 3));
+        }
+    }
+
+    #[test]
+    fn oracle_finishes_the_track() {
+        let mut game = Torcs::new(7);
+        for _ in 0..1000 {
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                break;
+            }
+        }
+        assert!(game.succeeded(), "oracle progress {}", game.progress());
+    }
+
+    #[test]
+    fn never_steering_bumps_the_wall() {
+        let mut game = Torcs::new(3);
+        let mut terminal = false;
+        for _ in 0..TRACK_SEGMENTS + 10 {
+            if game.step(1).terminal {
+                terminal = true;
+                break;
+            }
+        }
+        assert!(terminal);
+        assert!(!game.succeeded(), "curvature accumulates without steering");
+    }
+
+    #[test]
+    fn roll_duplicates_pos_x() {
+        let mut game = Torcs::new(5);
+        for _ in 0..50 {
+            game.step(game.oracle_action());
+            assert_eq!(game.roll(), game.pos_x());
+        }
+    }
+
+    #[test]
+    fn acc_x_is_nearly_constant_after_launch() {
+        let mut game = Torcs::new(5);
+        let mut values = Vec::new();
+        for i in 0..100 {
+            game.step(game.oracle_action());
+            if i >= 5 {
+                values.push(game.acc_x());
+            }
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        assert!(var < 1e-4, "accX variance {var}");
+    }
+
+    #[test]
+    fn algorithm2_prunes_roll_and_accx() {
+        // Reproduce the paper's Fig. 15/16 pruning on live traces.
+        let mut game = Torcs::new(9);
+        let mut db = AnalysisDb::new();
+        game.record_dependences(&mut db);
+        for _ in 0..120 {
+            game.record_frame(&mut db);
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                break;
+            }
+        }
+        let features = extract_rl(&db, RlParams::default());
+        let steer = db.id("steer").unwrap();
+        let names: Vec<&str> = features[&steer].iter().map(|&v| db.name(v)).collect();
+        assert!(names.contains(&"posX"), "{names:?}");
+        assert!(!names.contains(&"roll"), "roll is ε₁-pruned: {names:?}");
+        assert!(!names.contains(&"accX"), "accX is ε₂-pruned: {names:?}");
+    }
+
+    #[test]
+    fn features_and_names_align() {
+        let game = Torcs::new(1);
+        assert_eq!(game.features().len(), game.feature_names().len());
+    }
+}

@@ -1,0 +1,389 @@
+//! Grayscale image type and basic operations.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A grayscale image with `f32` pixels in `[0, 1]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        GrayImage {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps existing pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f32>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrow the pixels (row-major).
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutably borrow the pixels.
+    pub fn pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Pixel at `(x, y)`; out-of-bounds reads clamp to the border
+    /// (convenient for convolution).
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Gaussian-smooths the image with standard deviation `sigma`
+    /// (separable two-pass filter, kernel radius `⌈3σ⌉`).
+    ///
+    /// A non-positive `sigma` returns a copy unchanged.
+    pub fn gaussian_smooth(&self, sigma: f32) -> GrayImage {
+        if sigma <= 0.0 {
+            return self.clone();
+        }
+        let radius = (3.0 * sigma).ceil() as isize;
+        let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+        let denom = 2.0 * sigma * sigma;
+        for i in -radius..=radius {
+            kernel.push((-((i * i) as f32) / denom).exp());
+        }
+        let sum: f32 = kernel.iter().sum();
+        for k in &mut kernel {
+            *k /= sum;
+        }
+        // Horizontal pass.
+        let mut tmp = GrayImage::new(self.width, self.height);
+        for y in 0..self.height as isize {
+            for x in 0..self.width as isize {
+                let mut acc = 0.0;
+                for (i, k) in kernel.iter().enumerate() {
+                    acc += k * self.get_clamped(x + i as isize - radius, y);
+                }
+                tmp.pixels[y as usize * self.width + x as usize] = acc;
+            }
+        }
+        // Vertical pass.
+        let mut out = GrayImage::new(self.width, self.height);
+        for y in 0..self.height as isize {
+            for x in 0..self.width as isize {
+                let mut acc = 0.0;
+                for (i, k) in kernel.iter().enumerate() {
+                    acc += k * tmp.get_clamped(x, y + i as isize - radius);
+                }
+                out.pixels[y as usize * self.width + x as usize] = acc;
+            }
+        }
+        out
+    }
+
+    /// Convolves with a 3×3 kernel (row-major), clamping at borders.
+    pub fn convolve3(&self, kernel: &[f32; 9]) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height);
+        for y in 0..self.height as isize {
+            for x in 0..self.width as isize {
+                let mut acc = 0.0;
+                for ky in -1..=1isize {
+                    for kx in -1..=1isize {
+                        let k = kernel[((ky + 1) * 3 + kx + 1) as usize];
+                        acc += k * self.get_clamped(x + kx, y + ky);
+                    }
+                }
+                out.pixels[y as usize * self.width + x as usize] = acc;
+            }
+        }
+        out
+    }
+
+    /// Sobel gradient magnitudes and directions (radians).
+    pub fn sobel(&self) -> (GrayImage, GrayImage) {
+        let gx = self.convolve3(&[-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0]);
+        let gy = self.convolve3(&[-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0]);
+        let mut mag = GrayImage::new(self.width, self.height);
+        let mut dir = GrayImage::new(self.width, self.height);
+        for i in 0..self.pixels.len() {
+            mag.pixels[i] = (gx.pixels[i] * gx.pixels[i] + gy.pixels[i] * gy.pixels[i]).sqrt();
+            dir.pixels[i] = gy.pixels[i].atan2(gx.pixels[i]);
+        }
+        (mag, dir)
+    }
+
+    /// Histogram of pixel values over `bins` equal-width buckets spanning
+    /// the image's own min–max range (counts, as `f64` for direct use as
+    /// model features — the paper's `hist` variable in Canny).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn histogram(&self, bins: usize) -> Vec<f64> {
+        assert!(bins > 0, "bins must be positive");
+        let min = self.pixels.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = self.pixels.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut hist = vec![0.0f64; bins];
+        let range = (max - min).max(1e-12);
+        for &p in &self.pixels {
+            let idx = (((p - min) / range) * bins as f32) as usize;
+            hist[idx.min(bins - 1)] += 1.0;
+        }
+        hist
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+
+    /// Writes the image as a binary PGM (P5) file, mapping `[0,1]` to 0–255.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_pgm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        write!(file, "P5\n{} {}\n255\n", self.width, self.height)?;
+        let bytes: Vec<u8> = self
+            .pixels
+            .iter()
+            .map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect();
+        file.write_all(&bytes)
+    }
+
+    /// Pixels as `f64` — the raw-input feature vector for `Raw` models.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.pixels.iter().map(|&p| f64::from(p)).collect()
+    }
+
+    /// Reads a binary PGM (P5) file written by [`GrayImage::write_pgm`]
+    /// (or any 8-bit binary PGM).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for non-P5 files, malformed headers, maxval
+    /// other than 255, or truncated pixel data.
+    pub fn read_pgm(path: impl AsRef<Path>) -> std::io::Result<GrayImage> {
+        use std::io::{Error, ErrorKind};
+        let bytes = std::fs::read(path)?;
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_owned());
+        // Header: "P5" <ws> width <ws> height <ws> maxval <single ws> data.
+        let mut pos = 0usize;
+        let mut token = |bytes: &[u8]| -> std::io::Result<String> {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            // Comments run to end of line.
+            while pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                    pos += 1;
+                }
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(Error::new(ErrorKind::InvalidData, "truncated pgm header"));
+            }
+            Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+        };
+        if token(&bytes)? != "P5" {
+            return Err(bad("not a binary pgm (P5) file"));
+        }
+        let width: usize = token(&bytes)?.parse().map_err(|_| bad("bad width"))?;
+        let height: usize = token(&bytes)?.parse().map_err(|_| bad("bad height"))?;
+        let maxval: usize = token(&bytes)?.parse().map_err(|_| bad("bad maxval"))?;
+        if maxval != 255 {
+            return Err(bad("only maxval 255 is supported"));
+        }
+        if width == 0 || height == 0 {
+            return Err(bad("zero dimension"));
+        }
+        pos += 1; // single whitespace after maxval
+        let data = &bytes[pos..];
+        if data.len() < width * height {
+            return Err(bad("truncated pixel data"));
+        }
+        let pixels = data[..width * height]
+            .iter()
+            .map(|&b| f32::from(b) / 255.0)
+            .collect();
+        Ok(GrayImage::from_pixels(width, height, pixels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.pixels().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dims() {
+        let _ = GrayImage::new(0, 3);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = GrayImage::new(3, 3);
+        img.set(1, 2, 0.5);
+        assert_eq!(img.get(1, 2), 0.5);
+        assert_eq!(img.get_clamped(-5, 2), img.get(0, 2));
+        assert_eq!(img.get_clamped(99, 2), img.get(2, 2));
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_images() {
+        let img = GrayImage::from_pixels(5, 5, vec![0.7; 25]);
+        let smoothed = img.gaussian_smooth(1.5);
+        for &p in smoothed.pixels() {
+            assert!((p - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_contrast() {
+        let mut img = GrayImage::new(9, 9);
+        img.set(4, 4, 1.0);
+        let smoothed = img.gaussian_smooth(1.0);
+        assert!(smoothed.get(4, 4) < 1.0);
+        assert!(smoothed.get(3, 4) > 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut img = GrayImage::new(3, 3);
+        img.set(1, 1, 0.3);
+        assert_eq!(img.gaussian_smooth(0.0), img);
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let mut img = GrayImage::new(8, 8);
+        for y in 0..8 {
+            for x in 4..8 {
+                img.set(x, y, 1.0);
+            }
+        }
+        let (mag, _) = img.sobel();
+        // Strongest response at the boundary column.
+        assert!(mag.get(4, 4) > mag.get(1, 4));
+        assert!(mag.get(4, 4) > mag.get(7, 4));
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_pixel_count() {
+        let img = GrayImage::from_pixels(2, 2, vec![0.0, 0.25, 0.5, 1.0]);
+        let hist = img.histogram(4);
+        assert_eq!(hist.iter().sum::<f64>() as usize, 4);
+        assert_eq!(hist[0], 1.0);
+        assert_eq!(hist[3], 1.0);
+    }
+
+    #[test]
+    fn pgm_write_produces_header() {
+        let img = GrayImage::new(2, 2);
+        let path = std::env::temp_dir().join("au_image_test.pgm");
+        img.write_pgm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), "P5\n2 2\n255\n".len() + 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let mut img = GrayImage::new(3, 2);
+        img.set(0, 0, 0.0);
+        img.set(1, 0, 0.5);
+        img.set(2, 1, 1.0);
+        let path = std::env::temp_dir().join("au_image_roundtrip.pgm");
+        img.write_pgm(&path).unwrap();
+        let back = GrayImage::read_pgm(&path).unwrap();
+        assert_eq!(back.width(), 3);
+        assert_eq!(back.height(), 2);
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6, "{a} vs {b}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_pgm_rejects_garbage() {
+        let path = std::env::temp_dir().join("au_image_bad.pgm");
+        std::fs::write(&path, b"P6 junk").unwrap();
+        assert!(GrayImage::read_pgm(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn convolve3_identity_kernel() {
+        let mut img = GrayImage::new(4, 4);
+        img.set(2, 2, 0.9);
+        let id = [0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(img.convolve3(&id), img);
+    }
+}

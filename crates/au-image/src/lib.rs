@@ -1,0 +1,34 @@
+//! Image substrate for the Autonomizer reproduction.
+//!
+//! The paper's supervised-learning case studies (Canny, Rothwell) operate on
+//! grayscale images with expert-provided ground-truth edge maps. This crate
+//! provides:
+//!
+//! - [`GrayImage`]: a `f32` grayscale image with PGM I/O;
+//! - separable [Gaussian smoothing](GrayImage::gaussian_smooth), 2-D
+//!   [convolution](GrayImage::convolve3), gradients, and
+//!   [histograms](GrayImage::histogram);
+//! - [`ssim`]: the structural-similarity score the paper uses to grade edge
+//!   detections against the ground truth (Wang et al. 2004);
+//! - [`scene`]: a deterministic synthetic scene generator with *exact* edge
+//!   ground truth — our substitute for the BSDS/Heath et al. datasets.
+//!
+//! # Example
+//!
+//! ```
+//! use au_image::{scene, ssim};
+//!
+//! let s = scene::SceneGenerator::new(42).generate(64, 64);
+//! assert_eq!(s.image.width(), 64);
+//! // The ground truth is a perfect match with itself.
+//! assert!((ssim(&s.truth, &s.truth) - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod gray;
+pub mod scene;
+mod similarity;
+
+pub use gray::GrayImage;
+pub use similarity::{f1_edge_score, ssim};

@@ -1,0 +1,160 @@
+//! Image similarity scores: SSIM (the paper's metric) and an edge-F1
+//! alternative.
+
+use crate::gray::GrayImage;
+
+/// Structural similarity (Wang et al. 2004) between two images, computed
+/// globally with the standard stabilizing constants. Returns a value in
+/// `[-1, 1]`; 1 means identical structure.
+///
+/// The paper grades Canny outputs against expert ground truth with "the SSIM
+/// score"; we use the same formula.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn ssim(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "ssim: width mismatch");
+    assert_eq!(a.height(), b.height(), "ssim: height mismatch");
+    let n = a.pixels().len() as f64;
+    let mean = |img: &GrayImage| img.pixels().iter().map(|&p| f64::from(p)).sum::<f64>() / n;
+    let mu_a = mean(a);
+    let mu_b = mean(b);
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for (&pa, &pb) in a.pixels().iter().zip(b.pixels()) {
+        let da = f64::from(pa) - mu_a;
+        let db = f64::from(pb) - mu_b;
+        var_a += da * da;
+        var_b += db * db;
+        cov += da * db;
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    // Standard constants for dynamic range L = 1.
+    let c1 = (0.01f64).powi(2);
+    let c2 = (0.03f64).powi(2);
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+/// F1 score between binarized edge maps (threshold 0.5) with a one-pixel
+/// tolerance — a sharper alternative metric used in ablation benches.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn f1_edge_score(detected: &GrayImage, truth: &GrayImage) -> f64 {
+    assert_eq!(detected.width(), truth.width(), "f1: width mismatch");
+    assert_eq!(detected.height(), truth.height(), "f1: height mismatch");
+    let is_edge = |img: &GrayImage, x: usize, y: usize| img.get(x, y) > 0.5;
+    let near_edge = |img: &GrayImage, x: usize, y: usize| {
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                if img.get_clamped(x as isize + dx, y as isize + dy) > 0.5 {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    let (mut tp, mut fp, mut fn_) = (0.0f64, 0.0f64, 0.0f64);
+    for y in 0..truth.height() {
+        for x in 0..truth.width() {
+            if is_edge(detected, x, y) {
+                if near_edge(truth, x, y) {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+            } else if is_edge(truth, x, y) && !near_edge(detected, x, y) {
+                fn_ += 1.0;
+            }
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                if (x + y) % 2 == 0 {
+                    img.set(x, y, 1.0);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let img = checker(8, 8);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_inverted_is_low() {
+        let img = checker(8, 8);
+        let inverted = GrayImage::from_pixels(
+            8,
+            8,
+            img.pixels().iter().map(|&p| 1.0 - p).collect(),
+        );
+        assert!(ssim(&img, &inverted) < 0.2);
+    }
+
+    #[test]
+    fn ssim_degrades_with_noise() {
+        let img = checker(16, 16);
+        let mut noisy = img.clone();
+        for (i, p) in noisy.pixels_mut().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *p = 1.0 - *p;
+            }
+        }
+        let s = ssim(&img, &noisy);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn f1_identical_is_one() {
+        let img = checker(8, 8);
+        assert!((f1_edge_score(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_empty_detection_is_zero() {
+        let truth = checker(8, 8);
+        let empty = GrayImage::new(8, 8);
+        assert_eq!(f1_edge_score(&empty, &truth), 0.0);
+    }
+
+    #[test]
+    fn f1_tolerates_one_pixel_shift() {
+        let mut truth = GrayImage::new(8, 8);
+        let mut shifted = GrayImage::new(8, 8);
+        for y in 0..8 {
+            truth.set(3, y, 1.0);
+            shifted.set(4, y, 1.0);
+        }
+        assert!(f1_edge_score(&shifted, &truth) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ssim_rejects_mismatched_sizes() {
+        let _ = ssim(&GrayImage::new(2, 2), &GrayImage::new(3, 2));
+    }
+}

@@ -1,0 +1,158 @@
+//! AuLang abstract syntax.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuiting)
+    And,
+    /// `||` (short-circuiting)
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array literal `[e1, e2, …]`.
+    Array(Vec<Expr>),
+    /// Indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;` — introduces a variable in the current scope.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `x = e;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `a[i] = e;`
+    AssignIndex {
+        /// Array variable name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// New value.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Expression statement (calls evaluated for effect).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: a list of functions; execution starts at `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Function definitions in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

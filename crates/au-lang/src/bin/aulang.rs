@@ -1,0 +1,126 @@
+//! The AuLang command-line runner.
+//!
+//! ```text
+//! aulang run <file.au> [--input name=value]... [--seed N] [--no-trace]
+//! aulang dot <file.au>          # dynamic dependence graph (Graphviz)
+//! aulang static <file.au>       # static dependence graph (Graphviz)
+//! aulang fmt <file.au>          # canonical pretty-printed source
+//! aulang features <file.au>     # run + Algorithm 1/2 feature extraction
+//! ```
+//!
+//! The runner executes the program with the full Autonomizer runtime: the
+//! `au_*` primitives train/serve models in-process, and (unless
+//! `--no-trace`) every assignment is recorded into the dynamic dependence
+//! graph used by `dot` and `features`.
+
+use au_lang::{parse, pretty, static_analysis, Interpreter, Value};
+use au_trace::{extract_rl, extract_sl, RlParams};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: aulang <run|dot|static|fmt|features> <file.au> [--input name=value]... [--seed N] [--no-trace]"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return Err(usage()),
+    };
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+
+    match command {
+        "fmt" => {
+            let program = parse(&source).map_err(|e| e.to_string())?;
+            print!("{}", pretty::print_program(&program));
+            Ok(())
+        }
+        "static" => {
+            let program = parse(&source).map_err(|e| e.to_string())?;
+            let db = static_analysis::analyze(&program);
+            print!("{}", db.to_dot());
+            Ok(())
+        }
+        "run" | "dot" | "features" => {
+            let mut interp = Interpreter::compile(&source).map_err(|e| e.to_string())?;
+            for window in args[2..].windows(2) {
+                match (window[0].as_str(), window[1].as_str()) {
+                    ("--input", pair) => {
+                        let (name, value) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("--input needs name=value, got `{pair}`"))?;
+                        let value: f64 = value
+                            .parse()
+                            .map_err(|e| format!("input {name} is not numeric: {e}"))?;
+                        interp.set_input(name, Value::Num(value));
+                    }
+                    ("--seed", n) => {
+                        let seed: u64 =
+                            n.parse().map_err(|e| format!("bad --seed value: {e}"))?;
+                        interp.set_seed(seed);
+                    }
+                    _ => {}
+                }
+            }
+            if args.iter().any(|a| a == "--no-trace") {
+                interp.set_tracing(false);
+            }
+            let result = interp.run().map_err(|e| e.to_string())?;
+            for line in interp.output() {
+                println!("{line}");
+            }
+            match command {
+                "run" => {
+                    println!("=> {result}");
+                    let stats = interp.stats();
+                    eprintln!(
+                        "[{} statements, {} traced assignments, call depth {}]",
+                        stats.steps, stats.assignments, stats.max_depth
+                    );
+                }
+                "dot" => print!("{}", interp.analysis().to_dot()),
+                "features" => {
+                    let db = interp.analysis();
+                    if db.targets().is_empty() {
+                        eprintln!(
+                            "no target variables (assign from au_write_back or call mark_target)"
+                        );
+                    }
+                    let sl = extract_sl(db);
+                    for (&target, ranked) in &sl {
+                        println!(
+                            "Algorithm 1: {} <- {:?}",
+                            db.name(target),
+                            ranked
+                                .iter()
+                                .map(|f| format!("{}@{}", db.name(f.var), f.distance))
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                    let rl = extract_rl(db, RlParams::default());
+                    for (&target, selected) in &rl {
+                        println!(
+                            "Algorithm 2: {} <- {:?}",
+                            db.name(target),
+                            selected.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+                        );
+                    }
+                }
+                _ => unreachable!("matched above"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

@@ -1,0 +1,408 @@
+//! AuLang lexer.
+
+use crate::LangError;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (without quotes).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Converts AuLang source text into tokens.
+///
+/// Supports `//` line comments, decimal numbers (with optional fraction),
+/// double-quoted strings with `\n`/`\t`/`\"`/`\\` escapes, and the operator
+/// set of the grammar.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Lexes the entire input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Lex`] on unknown characters, malformed numbers,
+    /// or unterminated strings.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LangError> {
+        let mut tokens = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let done = token.kind == TokenKind::Eof;
+            tokens.push(token);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LangError {
+        LangError::Lex {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia();
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
+        };
+        let kind = match c {
+            b'0'..=b'9' => self.lex_number()?,
+            b'"' => self.lex_string()?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            _ => self.lex_operator()?,
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LangError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(TokenKind::Num)
+            .map_err(|e| self.err(format!("invalid number `{text}`: {e}")))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LangError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    other => {
+                        return Err(self.err(format!(
+                            "unknown escape `\\{}`",
+                            other.map(char::from).unwrap_or(' ')
+                        )))
+                    }
+                },
+                Some(c) => out.push(char::from(c)),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match text {
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            _ => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn lex_operator(&mut self) -> Result<TokenKind, LangError> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(second) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Not),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::And
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::Or
+                } else {
+                    return Err(self.err("expected `||`"));
+                }
+            }
+            other => return Err(self.err(format!("unexpected character `{}`", char::from(other)))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main while x"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("main".into()),
+                TokenKind::While,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.25"),
+            vec![TokenKind::Num(42.0), TokenKind::Num(3.25), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n" "a\"b""#),
+            vec![
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || = < >"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("x // comment\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = Lexer::new("x\ny").tokenize().unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(
+            Lexer::new("\"oops").tokenize(),
+            Err(LangError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(matches!(
+            Lexer::new("a & b").tokenize(),
+            Err(LangError::Lex { .. })
+        ));
+    }
+}

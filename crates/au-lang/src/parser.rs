@@ -1,0 +1,555 @@
+//! Recursive-descent parser for AuLang.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::LangError;
+
+/// Parses AuLang source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] with a line number.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn err(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), LangError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut functions = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            functions.push(self.function()?);
+        }
+        if functions.iter().filter(|f| f.name == "main").count() != 1 {
+            return Err(self.err("program must define exactly one `main` function"));
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<Function, LangError> {
+        self.expect(TokenKind::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.bump(); // `}`
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().clone() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let { name, init })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if *self.peek() == TokenKind::Else {
+                    self.bump();
+                    if *self.peek() == TokenKind::If {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::For => self.for_statement(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::Ident(name) => {
+                // Lookahead distinguishes `x = …;`, `x[i] = …;`, and an
+                // expression statement starting with an identifier.
+                let start = self.pos;
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::Assign => {
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Assign { name, value })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(TokenKind::RBracket, "`]`")?;
+                        if *self.peek() == TokenKind::Assign {
+                            self.bump();
+                            let value = self.expr()?;
+                            self.expect(TokenKind::Semi, "`;`")?;
+                            Ok(Stmt::AssignIndex { name, index, value })
+                        } else {
+                            // Not an assignment — rewind and parse as expr.
+                            self.pos = start;
+                            let e = self.expr()?;
+                            self.expect(TokenKind::Semi, "`;`")?;
+                            Ok(Stmt::Expr(e))
+                        }
+                    }
+                    _ => {
+                        self.pos = start;
+                        let e = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Expr(e))
+                    }
+                }
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Parses C-style `for (init; cond; post) { body }` and desugars it at
+    /// parse time into `if (true) { init; while (cond) { body…; post; } }`
+    /// (the `if` introduces a scope for the initializer), so the
+    /// interpreter and analyses only ever see core statements.
+    ///
+    /// Known sugar limitation: `continue` inside a `for` body skips the
+    /// `post` step too — documented AuLang behaviour matching the naive
+    /// expansion.
+    fn for_statement(&mut self) -> Result<Stmt, LangError> {
+        self.bump(); // `for`
+        self.expect(TokenKind::LParen, "`(`")?;
+        // init: `let x = e` or `x = e`
+        let init = match self.peek().clone() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                Stmt::Let { name, init: value }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.expect(TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                Stmt::Assign { name, value }
+            }
+            other => return Err(self.err(format!("expected for-loop initializer, found {other:?}"))),
+        };
+        self.expect(TokenKind::Semi, "`;`")?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        // post: `x = e` (no trailing semicolon)
+        let post = {
+            let name = self.ident("post-step variable")?;
+            self.expect(TokenKind::Assign, "`=`")?;
+            let value = self.expr()?;
+            Stmt::Assign { name, value }
+        };
+        self.expect(TokenKind::RParen, "`)`")?;
+        let mut body = self.block()?;
+        body.push(post);
+        Ok(Stmt::If {
+            cond: Expr::Bool(true),
+            then_body: vec![init, Stmt::While { cond, body }],
+            else_body: Vec::new(),
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokenKind::Or {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokenKind::And {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary_expr()?;
+        while *self.peek() == TokenKind::LBracket {
+            self.bump();
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            expr = Expr::Index(Box::new(expr), Box::new(index));
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != TokenKind::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if *self.peek() == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket, "`]`")?;
+                Ok(Expr::Array(items))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_main() {
+        let p = parse("fn main() { return 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+    }
+
+    #[test]
+    fn requires_main() {
+        assert!(matches!(
+            parse("fn helper() { return 0; }"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("fn main() { let x = 1 + 2 * 3; return x; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Let { init, .. } => match init {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top: {other:?}"),
+            },
+            other => panic!("expected let: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let src = "fn main() { if (1 < 2) { return 1; } else if (2 < 3) { return 2; } else { return 3; } }";
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::If { else_body, .. } => {
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_assignment_and_read() {
+        let src = "fn main() { let a = [1, 2]; a[0] = 5; return a[0]; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::AssignIndex { .. }));
+    }
+
+    #[test]
+    fn parses_calls_with_string_args() {
+        let src = r#"fn main() { au_extract("PX", 1); return 0; }"#;
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Expr(Expr::Call { name, args }) => {
+                assert_eq!(name, "au_extract");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_read_statement_is_not_assignment() {
+        let src = "fn main() { let a = [1]; a[0]; return 0; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::Expr(_)));
+    }
+
+    #[test]
+    fn reports_parse_error_line() {
+        let err = parse("fn main() {\n let = 3; }").unwrap_err();
+        match err {
+            LangError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_desugars_and_runs() {
+        let src = "fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }";
+        let p = parse(src).unwrap();
+        // Desugared: the for becomes an if-true wrapper.
+        assert!(matches!(p.functions[0].body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn for_loop_with_assign_initializer() {
+        let src = "fn main() { let i = 9; for (i = 0; i < 3; i = i + 1) { } return i; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn for_loop_rejects_missing_post() {
+        let src = "fn main() { for (let i = 0; i < 3;) { } return 0; }";
+        assert!(matches!(parse(src), Err(LangError::Parse { .. })));
+    }
+
+    #[test]
+    fn parses_while_with_break_continue() {
+        let src = "fn main() { let i = 0; while (true) { i = i + 1; if (i > 3) { break; } continue; } return i; }";
+        assert!(parse(src).is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! AST pretty-printer: renders a [`Program`] back to AuLang source.
+//!
+//! The printer produces canonical source that re-parses to the same AST
+//! (round-trip property), which the test suite uses to validate the parser
+//! against itself.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Renders a whole program as canonical AuLang source.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, func) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(func, &mut out);
+    }
+    out
+}
+
+fn print_function(func: &Function, out: &mut String) {
+    let _ = writeln!(out, "fn {}({}) {{", func.name, func.params.join(", "));
+    for stmt in &func.body {
+        print_stmt(stmt, 1, out);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(stmts: &[Stmt], level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for stmt in stmts {
+        print_stmt(stmt, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Let { name, init } => {
+            let _ = writeln!(out, "let {name} = {};", print_expr(init));
+        }
+        Stmt::Assign { name, value } => {
+            let _ = writeln!(out, "{name} = {};", print_expr(value));
+        }
+        Stmt::AssignIndex { name, index, value } => {
+            let _ = writeln!(out, "{name}[{}] = {};", print_expr(index), print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block(then_body, level, out);
+            if !else_body.is_empty() {
+                out.push_str(" else ");
+                // `else if` chains are parsed as a single-statement else
+                // block; print them back flat.
+                if else_body.len() == 1 {
+                    if let Stmt::If { .. } = &else_body[0] {
+                        let mut nested = String::new();
+                        print_stmt(&else_body[0], 0, &mut nested);
+                        out.push_str(nested.trim_start());
+                        return;
+                    }
+                }
+                print_block(else_body, level, out);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", print_expr(e));
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+    }
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Renders one expression with full parenthesization (canonical form: the
+/// output re-parses to the identical AST without precedence reasoning).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Expr::Bool(b) => b.to_string(),
+        Expr::Str(s) => {
+            // Only the escapes the lexer understands: \n, \t, \", \\.
+            // Other characters pass through verbatim.
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Array(items) => {
+            let inner: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Index(target, index) => {
+            format!("{}[{}]", print_expr(target), print_expr(index))
+        }
+        Expr::Call { name, args } => {
+            let inner: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), bin_op_str(*op), print_expr(rhs))
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("(-{})", print_expr(expr)),
+            UnOp::Not => format!("(!{})", print_expr(expr)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let ast = parse(src).unwrap();
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source must re-parse: {e}\n{printed}"));
+        assert_eq!(ast, reparsed, "round-trip AST mismatch for:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_basic_program() {
+        round_trip("fn main() { let x = 1 + 2 * 3; return x; }");
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "fn main() { let i = 0; while (i < 10) { if (i % 2 == 0) { i = i + 1; } else { break; } continue; } return i; }",
+        );
+    }
+
+    #[test]
+    fn round_trips_arrays_and_calls() {
+        round_trip(
+            r#"fn f(a, b) { return a[0] + b; } fn main() { let a = [1, 2, 3]; a[1] = f(a, 2); return len(a); }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_primitives() {
+        round_trip(
+            r#"fn main() { au_config("M", "DNN", "AdamOpt", 1, 8); au_extract("X", 1); au_nn("M", "X", "Y"); let y = au_write_back("Y"); return y; }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_strings_with_escapes() {
+        round_trip(r#"fn main() { print("a\"b\\c\n"); return 0; }"#);
+    }
+
+    #[test]
+    fn round_trips_unary_and_logic() {
+        round_trip("fn main() { let b = !(1 < 2) || true && false; if (b) { return -1; } return 0 - -2; }");
+    }
+
+    #[test]
+    fn round_trips_else_if_chain() {
+        round_trip(
+            "fn main() { let x = 3; if (x < 1) { return 1; } else if (x < 2) { return 2; } else { return 3; } }",
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        // Printing the parse of a printed program yields the same text.
+        let src = "fn main() { let x = (1 + 2) * 3; return x; }";
+        let once = print_program(&parse(src).unwrap());
+        let twice = print_program(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

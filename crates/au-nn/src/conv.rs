@@ -1,0 +1,487 @@
+//! Convolution, max-pooling, and flatten layers.
+//!
+//! These implement the "Raw" baseline of the paper: the DeepMind-style model
+//! that consumes raw pixel frames and derives high-level features through
+//! convolutional preprocessing layers (Section 2 and Table 2). All layers
+//! keep the network-wide `[batch, features]` convention — each batch row is a
+//! flattened `[channels, height, width]` volume whose spatial shape is part
+//! of the layer configuration.
+
+use crate::init::xavier;
+use crate::layer::{Layer, LayerSpec, Param};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution with square kernels and no padding.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    in_h: usize,
+    in_w: usize,
+    /// `[out_c, in_c * k * k]` — each output channel's flattened kernel.
+    weight: Param,
+    /// `[1, out_c]`.
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution over `[in_channels, in_h, in_w]` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the input or any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel <= in_h && kernel <= in_w,
+            "kernel {kernel} exceeds input {in_h}x{in_w}"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            in_h,
+            in_w,
+            weight: Param::new(xavier(fan_in, out_channels, &[out_channels, fan_in])),
+            bias: Param::new(Tensor::zeros(&[1, out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Reconstructs a convolution from saved weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_weights(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        in_h: usize,
+        in_w: usize,
+        weight: Tensor,
+        bias: Tensor,
+    ) -> Self {
+        // Constructed directly (not via `new`) so loading a saved model
+        // does not advance the global initialization stream.
+        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel <= in_h && kernel <= in_w,
+            "kernel {kernel} exceeds input {in_h}x{in_w}"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        assert_eq!(weight.shape(), &[out_channels, fan_in], "weight shape");
+        assert_eq!(bias.shape(), &[1, out_channels], "bias shape");
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            in_h,
+            in_w,
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.kernel) / self.stride + 1
+    }
+
+    fn in_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    fn out_len(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    #[inline]
+    fn input_index(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.in_h + y) * self.in_w + x
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            input.row_len(),
+            self.in_len(),
+            "conv2d expected {} features, got {}",
+            self.in_len(),
+            input.row_len()
+        );
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = self.kernel;
+        let mut out = Tensor::zeros(&[input.batch(), self.out_len()]);
+        for b in 0..input.batch() {
+            let row = input.row_slice(b);
+            for oc in 0..self.out_channels {
+                let wrow =
+                    &self.weight.value.data()[oc * self.in_channels * k * k..][..self.in_channels * k * k];
+                let bias = self.bias.value.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        let mut widx = 0;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy * self.stride + ky;
+                                let base = self.input_index(ic, iy, ox * self.stride);
+                                for kx in 0..k {
+                                    acc += wrow[widx] * row[base + kx];
+                                    widx += 1;
+                                }
+                            }
+                        }
+                        let oidx = (oc * oh + oy) * ow + ox;
+                        out.data_mut()[b * self.out_len() + oidx] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = self.kernel;
+        let mut grad_in = Tensor::zeros(&[input.batch(), self.in_len()]);
+        for b in 0..input.batch() {
+            let in_row = input.row_slice(b);
+            let go_row = grad_out.row_slice(b);
+            for oc in 0..self.out_channels {
+                let wbase = oc * self.in_channels * k * k;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go_row[(oc * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad.data_mut()[oc] += g;
+                        let mut widx = 0;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy * self.stride + ky;
+                                let base = self.input_index(ic, iy, ox * self.stride);
+                                for kx in 0..k {
+                                    self.weight.grad.data_mut()[wbase + widx] +=
+                                        g * in_row[base + kx];
+                                    grad_in.data_mut()[b * self.in_len() + base + kx] +=
+                                        g * self.weight.value.data()[wbase + widx];
+                                    widx += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn out_features(&self) -> Option<usize> {
+        Some(self.out_len())
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Conv2d {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            weight: self.weight.value.clone(),
+            bias: self.bias.value.clone(),
+        }
+    }
+}
+
+/// Non-overlapping 2-D max pooling (window == stride).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    channels: usize,
+    window: usize,
+    in_h: usize,
+    in_w: usize,
+    /// Flat input index of the maximum chosen for each output element.
+    cached_argmax: Option<Vec<usize>>,
+    cached_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer over `[channels, in_h, in_w]` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or exceeds the spatial dimensions.
+    pub fn new(channels: usize, window: usize, in_h: usize, in_w: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            window <= in_h && window <= in_w,
+            "window {window} exceeds input {in_h}x{in_w}"
+        );
+        MaxPool2d {
+            channels,
+            window,
+            in_h,
+            in_w,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.window
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.window
+    }
+
+    fn in_len(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+
+    fn out_len(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.row_len(), self.in_len(), "maxpool input size mismatch");
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let w = self.window;
+        let mut out = Tensor::zeros(&[input.batch(), self.out_len()]);
+        let mut argmax = vec![0usize; input.batch() * self.out_len()];
+        for b in 0..input.batch() {
+            let row = input.row_slice(b);
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..w {
+                            for kx in 0..w {
+                                let iy = oy * w + ky;
+                                let ix = ox * w + kx;
+                                let idx = (c * self.in_h + iy) * self.in_w + ix;
+                                if row[idx] > best {
+                                    best = row[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = (c * oh + oy) * ow + ox;
+                        out.data_mut()[b * self.out_len() + oidx] = best;
+                        argmax[b * self.out_len() + oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_batch = input.batch();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward called before forward");
+        let mut grad_in = Tensor::zeros(&[self.cached_batch, self.in_len()]);
+        for b in 0..self.cached_batch {
+            let go = grad_out.row_slice(b);
+            for (o, &g) in go.iter().enumerate() {
+                let idx = argmax[b * self.out_len() + o];
+                grad_in.data_mut()[b * self.in_len() + idx] += g;
+            }
+        }
+        grad_in
+    }
+
+    fn out_features(&self) -> Option<usize> {
+        Some(self.out_len())
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool2d {
+            channels: self.channels,
+            window: self.window,
+            in_h: self.in_h,
+            in_w: self.in_w,
+        }
+    }
+}
+
+/// Identity layer marking the transition from spatial to flat features.
+///
+/// Since the whole network already uses `[batch, features]`, flatten is a
+/// no-op at runtime but documents the architecture and fixes the feature
+/// count for shape inference.
+#[derive(Debug)]
+pub struct Flatten {
+    features: usize,
+}
+
+impl Flatten {
+    /// Creates a flatten marker for `features` flat features.
+    pub fn new(features: usize) -> Self {
+        Flatten { features }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.row_len(), self.features, "flatten size mismatch");
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn out_features(&self) -> Option<usize> {
+        Some(self.features)
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Flatten {
+            features: self.features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_copies_input() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let mut conv = Conv2d::from_weights(
+            1,
+            1,
+            1,
+            1,
+            2,
+            2,
+            Tensor::from_vec(&[1, 1], vec![1.0]),
+            Tensor::zeros(&[1, 1]),
+        );
+        let x = Tensor::row(&[1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_sums_window() {
+        // 2x2 all-ones kernel over a 2x2 input = sum of all pixels.
+        let mut conv = Conv2d::from_weights(
+            1,
+            1,
+            2,
+            1,
+            2,
+            2,
+            Tensor::from_vec(&[1, 4], vec![1.0; 4]),
+            Tensor::zeros(&[1, 1]),
+        );
+        let y = conv.forward(&Tensor::row(&[1.0, 2.0, 3.0, 4.0]), false);
+        assert_eq!(y.data(), &[10.0]);
+    }
+
+    #[test]
+    fn conv_output_dims() {
+        let conv = Conv2d::new(1, 4, 3, 2, 9, 9);
+        assert_eq!(conv.out_h(), 4);
+        assert_eq!(conv.out_w(), 4);
+        assert_eq!(conv.out_features(), Some(4 * 4 * 4));
+    }
+
+    #[test]
+    fn conv_backward_distributes_gradient() {
+        let mut conv = Conv2d::from_weights(
+            1,
+            1,
+            2,
+            1,
+            2,
+            2,
+            Tensor::from_vec(&[1, 4], vec![1.0; 4]),
+            Tensor::zeros(&[1, 1]),
+        );
+        let x = Tensor::row(&[1.0, 2.0, 3.0, 4.0]);
+        let _ = conv.forward(&x, true);
+        let dx = conv.backward(&Tensor::row(&[1.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+        let params = conv.params_mut();
+        assert_eq!(params[0].grad.data(), x.data());
+        assert_eq!(params[1].grad.data(), &[1.0]);
+    }
+
+    #[test]
+    fn maxpool_selects_maximum() {
+        let mut pool = MaxPool2d::new(1, 2, 2, 2);
+        let y = pool.forward(&Tensor::row(&[1.0, 5.0, 3.0, 2.0]), false);
+        assert_eq!(y.data(), &[5.0]);
+        let dx = pool.backward(&Tensor::row(&[1.0]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_per_channel() {
+        let mut pool = MaxPool2d::new(2, 2, 2, 2);
+        let x = Tensor::row(&[1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn flatten_is_identity() {
+        let mut f = Flatten::new(4);
+        let x = Tensor::row(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.forward(&x, false), x);
+        assert_eq!(f.backward(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn conv_rejects_oversized_kernel() {
+        let _ = Conv2d::new(1, 1, 5, 1, 3, 3);
+    }
+}

@@ -1,0 +1,511 @@
+//! Sequential networks: construction, training, and persistence.
+
+use crate::activation::{Activation, ActivationLayer};
+use crate::conv::{Conv2d, Flatten, MaxPool2d};
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::layer::{Layer, LayerSpec};
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum NnError {
+    /// I/O failure while reading or writing a model file.
+    Io(std::io::Error),
+    /// The model file was not valid JSON or described an unknown layer.
+    Format(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Io(e) => write!(f, "model i/o failed: {e}"),
+            NnError::Format(msg) => write!(f, "invalid model format: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            NnError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ModelFile {
+    in_features: usize,
+    layers: Vec<LayerSpec>,
+}
+
+/// A sequential feed-forward network.
+///
+/// Built with [`Network::builder`]; trained with [`Network::train_batch`];
+/// persisted with [`Network::save`] / [`Network::load`] so the paper's
+/// TR→TS (train → deploy) mode split works across processes.
+#[derive(Debug)]
+pub struct Network {
+    in_features: usize,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Starts building a network that accepts `in_features` inputs.
+    pub fn builder(in_features: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            in_features,
+            current: in_features,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features (the last shaped layer's width).
+    pub fn out_features(&self) -> usize {
+        self.layers
+            .iter()
+            .rev()
+            .find_map(|l| l.out_features())
+            .unwrap_or(self.in_features)
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count — the paper's "model size" metric
+    /// (Table 2) counts these.
+    pub fn param_count(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .map(|l| l.params_mut().iter().map(|p| p.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Runs inference (TS mode) on a `[batch, in]` tensor.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.forward_mode(input, false)
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs one training step on a batch, returning the loss before the
+    /// update. This is the semantics' `gradient(Parm, v)` statement.
+    pub fn train_batch(
+        &mut self,
+        input: &Tensor,
+        target: &Tensor,
+        loss: Loss,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let output = self.forward_mode(input, true);
+        let loss_value = loss.value(&output, target);
+        let mut grad = loss.gradient(&output, target);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        for layer in &mut self.layers {
+            for param in layer.params_mut() {
+                opt.step(param);
+                param.zero_grad();
+            }
+        }
+        opt.end_batch();
+        loss_value
+    }
+
+    /// Like [`Network::train_batch`] but with a caller-supplied output
+    /// gradient instead of a loss — needed by Q-learning, which only
+    /// penalizes the taken action's output.
+    pub fn train_with_output_grad(&mut self, input: &Tensor, grad_out: &Tensor, opt: &mut dyn Optimizer) {
+        let _ = self.forward_mode(input, true);
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        for layer in &mut self.layers {
+            for param in layer.params_mut() {
+                opt.step(param);
+                param.zero_grad();
+            }
+        }
+        opt.end_batch();
+    }
+
+    /// Serializes the model (architecture + weights) to a JSON string.
+    pub fn to_json(&self) -> String {
+        let file = ModelFile {
+            in_features: self.in_features,
+            layers: self.layers.iter().map(|l| l.spec()).collect(),
+        };
+        serde_json::to_string(&file).expect("model serialization cannot fail")
+    }
+
+    /// Reconstructs a model from [`Network::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Format`] if the JSON is malformed or names an
+    /// unknown activation.
+    pub fn from_json(json: &str) -> Result<Self, NnError> {
+        let file: ModelFile =
+            serde_json::from_str(json).map_err(|e| NnError::Format(e.to_string()))?;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(file.layers.len());
+        for spec in file.layers {
+            layers.push(build_layer(spec)?);
+        }
+        Ok(Network {
+            in_features: file.in_features,
+            layers,
+        })
+    }
+
+    /// Saves the model to a file — Fig. 8's persistent model state for
+    /// `loadModel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), NnError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`Network::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on filesystem failure and [`NnError::Format`]
+    /// for malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, NnError> {
+        let json = std::fs::read_to_string(path)?;
+        Network::from_json(&json)
+    }
+
+    /// Copies all weights from `other` into `self`.
+    ///
+    /// Used for DQN target-network synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_weights_from(&mut self, other: &mut Network) {
+        assert_eq!(self.depth(), other.depth(), "architecture mismatch");
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter_mut()) {
+            let mut bp = b.params_mut();
+            for (pa, pb) in a.params_mut().into_iter().zip(bp.iter_mut()) {
+                assert_eq!(pa.value.shape(), pb.value.shape(), "parameter shape mismatch");
+                pa.value = pb.value.clone();
+            }
+        }
+    }
+
+    /// Direct access to layers for gradient checking.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+fn build_layer(spec: LayerSpec) -> Result<Box<dyn Layer>, NnError> {
+    Ok(match spec {
+        LayerSpec::Dense { weight, bias, .. } => Box::new(Dense::from_weights(weight, bias)),
+        LayerSpec::Activation { kind } => {
+            let act = Activation::from_name(&kind)
+                .ok_or_else(|| NnError::Format(format!("unknown activation `{kind}`")))?;
+            Box::new(ActivationLayer::new(act))
+        }
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            in_h,
+            in_w,
+            weight,
+            bias,
+        } => Box::new(Conv2d::from_weights(
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            in_h,
+            in_w,
+            weight,
+            bias,
+        )),
+        LayerSpec::MaxPool2d {
+            channels,
+            window,
+            in_h,
+            in_w,
+        } => Box::new(MaxPool2d::new(channels, window, in_h, in_w)),
+        LayerSpec::Flatten { features } => Box::new(Flatten::new(features)),
+        LayerSpec::Dropout { p } => Box::new(Dropout::new(p)),
+    })
+}
+
+/// Incremental [`Network`] constructor with shape inference.
+///
+/// Each method appends a layer; widths are threaded automatically so callers
+/// only give output sizes (matching the paper's `au_config` where input and
+/// output layer sizes are "automatically computed").
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    in_features: usize,
+    current: usize,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl NetworkBuilder {
+    /// Appends a dense layer with `out` outputs.
+    pub fn dense(mut self, out: usize) -> Self {
+        self.layers.push(Box::new(Dense::new(self.current, out)));
+        self.current = out;
+        self
+    }
+
+    /// Appends an activation.
+    pub fn activation(mut self, act: Activation) -> Self {
+        self.layers.push(Box::new(ActivationLayer::new(act)));
+        self
+    }
+
+    /// Appends a convolution over the current features viewed as
+    /// `[channels, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels * h * w` does not equal the current feature count.
+    pub fn conv2d(mut self, channels: usize, h: usize, w: usize, out_channels: usize, kernel: usize, stride: usize) -> Self {
+        assert_eq!(
+            channels * h * w,
+            self.current,
+            "conv2d input volume {}x{}x{} does not match current features {}",
+            channels,
+            h,
+            w,
+            self.current
+        );
+        let conv = Conv2d::new(channels, out_channels, kernel, stride, h, w);
+        self.current = conv.out_features().expect("conv has a size");
+        self.layers.push(Box::new(conv));
+        self
+    }
+
+    /// Appends non-overlapping max pooling over `[channels, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume does not match the current feature count.
+    pub fn max_pool2d(mut self, channels: usize, h: usize, w: usize, window: usize) -> Self {
+        assert_eq!(channels * h * w, self.current, "pool input volume mismatch");
+        let pool = MaxPool2d::new(channels, window, h, w);
+        self.current = pool.out_features().expect("pool has a size");
+        self.layers.push(Box::new(pool));
+        self
+    }
+
+    /// Appends an explicit flatten marker.
+    pub fn flatten(mut self) -> Self {
+        self.layers.push(Box::new(Flatten::new(self.current)));
+        self
+    }
+
+    /// Appends inverted dropout with drop probability `p` (active only in
+    /// training mode).
+    pub fn dropout(mut self, p: f32) -> Self {
+        self.layers.push(Box::new(Dropout::new(p)));
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> Network {
+        Network {
+            in_features: self.in_features,
+            layers: self.layers,
+        }
+    }
+}
+
+/// Builds the paper's default SL architecture: a fully connected network with
+/// the given hidden layer sizes and ReLU activations (`au_config(…, DNN,
+/// AdamOpt, layers, n1, …)`).
+pub(crate) fn dnn(in_features: usize, hidden: &[usize], out_features: usize) -> Network {
+    let mut b = Network::builder(in_features);
+    for &h in hidden {
+        b = b.dense(h).activation(Activation::Relu);
+    }
+    b.dense(out_features).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Sgd};
+
+    #[test]
+    fn builder_threads_shapes() {
+        let mut net = Network::builder(4).dense(8).activation(Activation::Relu).dense(2).build();
+        assert_eq!(net.in_features(), 4);
+        assert_eq!(net.out_features(), 2);
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn trains_xor() {
+        crate::init::set_init_seed(3);
+        let mut net = Network::builder(2)
+            .dense(8)
+            .activation(Activation::Tanh)
+            .dense(1)
+            .build();
+        let xs = Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let ys = Tensor::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::MAX;
+        for _ in 0..800 {
+            last = net.train_batch(&xs, &ys, Loss::Mse, &mut opt);
+        }
+        assert!(last < 0.05, "xor loss should fall below 0.05, got {last}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let mut net = Network::builder(3).dense(5).activation(Activation::Sigmoid).dense(2).build();
+        let x = Tensor::row(&[0.1, -0.2, 0.3]);
+        let before = net.forward(&x);
+        let mut restored = Network::from_json(&net.to_json()).unwrap();
+        let after = restored.forward(&x);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            Network::from_json("not json"),
+            Err(NnError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let dir = std::env::temp_dir().join("au_nn_test_model.json");
+        let mut net = Network::builder(2).dense(2).build();
+        net.save(&dir).unwrap();
+        let mut loaded = Network::load(&dir).unwrap();
+        let x = Tensor::row(&[1.0, -1.0]);
+        assert_eq!(net.forward(&x), loaded.forward(&x));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn copy_weights_synchronizes() {
+        let mut a = Network::builder(2).dense(3).dense(1).build();
+        let mut b = Network::builder(2).dense(3).dense(1).build();
+        let x = Tensor::row(&[0.5, 0.5]);
+        assert_ne!(a.forward(&x), b.forward(&x));
+        a.copy_weights_from(&mut b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn conv_network_builds_and_runs() {
+        // A miniature DeepMind-style pixel network: conv → pool → dense.
+        let mut net = Network::builder(8 * 8)
+            .conv2d(1, 8, 8, 2, 3, 1)
+            .activation(Activation::Relu)
+            .max_pool2d(2, 6, 6, 2)
+            .flatten()
+            .dense(4)
+            .build();
+        let x = Tensor::zeros(&[2, 64]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_too() {
+        crate::init::set_init_seed(11);
+        let mut net = Network::builder(1).dense(4).activation(Activation::Tanh).dense(1).build();
+        let xs = Tensor::from_rows(&[&[0.0], &[1.0]]);
+        let ys = Tensor::from_rows(&[&[1.0], &[-1.0]]);
+        let mut opt = Sgd::new(0.1);
+        let first = net.train_batch(&xs, &ys, Loss::Mse, &mut opt);
+        let mut last = first;
+        for _ in 0..200 {
+            last = net.train_batch(&xs, &ys, Loss::Mse, &mut opt);
+        }
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn dropout_network_json_round_trip() {
+        crate::init::set_init_seed(13);
+        let mut net = Network::builder(4)
+            .dense(8)
+            .dropout(0.3)
+            .activation(Activation::Relu)
+            .dense(2)
+            .build();
+        let x = Tensor::row(&[0.1, 0.2, 0.3, 0.4]);
+        // Inference is deterministic (dropout inactive in TS mode).
+        let before = net.forward(&x);
+        let mut restored = Network::from_json(&net.to_json()).unwrap();
+        assert_eq!(restored.forward(&x), before);
+        assert_eq!(restored.depth(), 4);
+    }
+
+    #[test]
+    fn dropout_training_still_converges() {
+        crate::init::set_init_seed(14);
+        let mut net = Network::builder(1)
+            .dense(16)
+            .activation(Activation::Tanh)
+            .dropout(0.1)
+            .dense(1)
+            .build();
+        let xs = Tensor::from_rows(&[&[0.0], &[0.5], &[1.0]]);
+        let ys = Tensor::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..400 {
+            net.train_batch(&xs, &ys, Loss::Mse, &mut opt);
+        }
+        let out = net.forward(&Tensor::row(&[0.5]));
+        assert!((out.data()[0] - 1.0).abs() < 0.3, "got {}", out.data()[0]);
+    }
+
+    #[test]
+    fn dnn_helper_shapes() {
+        let net = dnn(10, &[256, 64], 5);
+        assert_eq!(net.in_features(), 10);
+        assert_eq!(net.out_features(), 5);
+        // dense+relu per hidden, final dense
+        assert_eq!(net.depth(), 5);
+    }
+}

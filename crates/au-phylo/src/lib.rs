@@ -1,0 +1,683 @@
+//! Phylogeny-inference benchmark program (the paper's Phylip substitute).
+//!
+//! Phylip's distance-based pipeline carries parameters that strongly affect
+//! tree quality and whose ideal values depend on the input alignment (rate
+//! heterogeneity, divergence). This crate reimplements that pipeline:
+//!
+//! 1. [`generate_dataset`]: simulates a random true tree and evolves DNA
+//!    sequences along it under Jukes–Cantor with gamma-distributed
+//!    site-rate heterogeneity;
+//! 2. [`estimate_distances`]: pairwise distance estimation with the tunable
+//!    **target parameters** `alpha` (gamma-correction shape), `cutoff`
+//!    (distance saturation cap), and `pseudo` (pseudocount regularizer);
+//! 3. [`neighbor_joining`]: tree reconstruction;
+//! 4. [`robinson_foulds`]: the quality score against the true tree —
+//!    **lower is better**, matching the paper's ↓ mark for Phylip.
+//!
+//! # Example
+//!
+//! ```
+//! use au_phylo::{generate_dataset, infer_tree, robinson_foulds, DistParams};
+//!
+//! let data = generate_dataset(8, 200, 42);
+//! let tree = infer_tree(&data.sequences, DistParams::default());
+//! let score = robinson_foulds(&tree, &data.true_tree);
+//! assert!(score <= 2.0 * (8.0 - 3.0)); // RF is bounded by 2(n-3)
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A rooted binary tree over taxa `0..n`, stored as merge events.
+///
+/// Topology-only: branch lengths do not participate in Robinson–Foulds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Number of leaf taxa.
+    pub taxa: usize,
+    /// Internal nodes as (left-child, right-child) pairs; children index
+    /// either leaves (`< taxa`) or earlier internal nodes (`taxa + i`).
+    pub merges: Vec<(usize, usize)>,
+}
+
+impl Tree {
+    /// The set of non-trivial *unrooted* bipartitions, each in canonical
+    /// form: of the two complementary sides of a split, the one **not**
+    /// containing taxon 0 is stored (so `{0,1}` and `{2,3}` of a 4-taxon
+    /// tree denote the same split and compare equal).
+    pub fn bipartitions(&self) -> BTreeSet<Vec<usize>> {
+        let mut clades: Vec<Vec<usize>> = Vec::with_capacity(self.merges.len());
+        let mut out = BTreeSet::new();
+        for &(a, b) in &self.merges {
+            let mut clade = Vec::new();
+            for &child in &[a, b] {
+                if child < self.taxa {
+                    clade.push(child);
+                } else {
+                    clade.extend(clades[child - self.taxa].iter().copied());
+                }
+            }
+            clade.sort_unstable();
+            clades.push(clade.clone());
+            // Canonicalize: store the side without taxon 0.
+            let canonical = if clade.contains(&0) {
+                (0..self.taxa).filter(|t| !clade.contains(t)).collect()
+            } else {
+                clade
+            };
+            // Trivial splits (a single leaf on either side, or everything)
+            // carry no signal.
+            if canonical.len() > 1 && canonical.len() < self.taxa - 1 {
+                out.insert(canonical);
+            }
+        }
+        out
+    }
+}
+
+/// A simulated dataset: true tree plus evolved sequences.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The topology that generated the data.
+    pub true_tree: Tree,
+    /// One DNA sequence (values 0–3) per taxon.
+    pub sequences: Vec<Vec<u8>>,
+    /// The gamma shape used for site rates (latent; drives the ideal
+    /// `alpha`).
+    pub gamma_shape: f64,
+}
+
+/// Distance-estimation parameters — the target variables of this benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistParams {
+    /// Gamma-correction shape α for the Jukes–Cantor distance; the correct
+    /// value matches the (unknown) rate heterogeneity of the data.
+    pub alpha: f64,
+    /// Saturation cap: estimated distances are clamped to this value.
+    pub cutoff: f64,
+    /// Pseudocount added to the mismatch proportion (regularizes short
+    /// alignments).
+    pub pseudo: f64,
+}
+
+impl Default for DistParams {
+    /// Shipped defaults — the `baseline` setting (no gamma correction).
+    fn default() -> Self {
+        DistParams {
+            alpha: 100.0, // effectively no rate-heterogeneity correction
+            cutoff: 3.0,
+            pseudo: 0.0,
+        }
+    }
+}
+
+/// Simulates a uniform random binary topology and evolves sequences of the
+/// given length along it. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `taxa < 4` or `len == 0`.
+pub fn generate_dataset(taxa: usize, len: usize, seed: u64) -> Dataset {
+    assert!(taxa >= 4, "need at least 4 taxa");
+    assert!(len > 0, "sequences must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gamma_shape = rng.gen_range(0.3..2.0f64);
+
+    // Random topology by repeatedly joining two live lineages.
+    let mut live: Vec<usize> = (0..taxa).collect();
+    let mut merges = Vec::with_capacity(taxa - 1);
+    let mut next_id = taxa;
+    while live.len() > 1 {
+        let i = rng.gen_range(0..live.len());
+        let a = live.swap_remove(i);
+        let j = rng.gen_range(0..live.len());
+        let b = live.swap_remove(j);
+        merges.push((a, b));
+        live.push(next_id);
+        next_id += 1;
+    }
+    let true_tree = Tree { taxa, merges };
+
+    // Per-site rates from a crude gamma sampler (sum of exponentials
+    // rounded by the shape, adequate for rate heterogeneity).
+    let site_rates: Vec<f64> = (0..len)
+        .map(|_| sample_gamma(&mut rng, gamma_shape) / gamma_shape)
+        .collect();
+
+    // Evolve sequences: root sequence random, each merge event's children
+    // diverge with per-branch substitution probability.
+    // We evolve top-down: assign the root (last merge), then walk down.
+    let node_count = taxa + true_tree.merges.len();
+    let mut seqs: Vec<Option<Vec<u8>>> = vec![None; node_count];
+    let root = node_count - 1;
+    seqs[root] = Some((0..len).map(|_| rng.gen_range(0..4u8)).collect());
+    for (i, &(a, b)) in true_tree.merges.iter().enumerate().rev() {
+        let parent = taxa + i;
+        let parent_seq = seqs[parent].clone().expect("parents are filled top-down");
+        for &child in &[a, b] {
+            let branch = rng.gen_range(0.02..0.25f64);
+            let mut child_seq = parent_seq.clone();
+            for (site, base) in child_seq.iter_mut().enumerate() {
+                // JC69: substitution probability along the branch, scaled
+                // by the site's rate.
+                let p = 0.75 * (1.0 - (-4.0 / 3.0 * branch * site_rates[site]).exp());
+                if rng.gen_bool(p.clamp(0.0, 0.74)) {
+                    let shift = rng.gen_range(1..4u8);
+                    *base = (*base + shift) % 4;
+                }
+            }
+            seqs[child] = Some(child_seq);
+        }
+    }
+    let sequences = (0..taxa)
+        .map(|i| seqs[i].clone().expect("all leaves evolved"))
+        .collect();
+    Dataset {
+        true_tree,
+        sequences,
+        gamma_shape,
+    }
+}
+
+fn sample_gamma(rng: &mut StdRng, shape: f64) -> f64 {
+    // Sum-of-exponentials for the integer part + a fractional correction —
+    // adequate for generating rate heterogeneity.
+    let k = shape.floor() as usize;
+    let mut acc = 0.0;
+    for _ in 0..k {
+        acc += -rng.gen_range(1e-9..1.0f64).ln();
+    }
+    let frac = shape - k as f64;
+    if frac > 1e-9 {
+        acc += -rng.gen_range(1e-9..1.0f64).ln() * frac;
+    }
+    acc.max(1e-6)
+}
+
+/// Estimates the pairwise distance matrix under gamma-corrected Jukes–
+/// Cantor with the given parameters.
+///
+/// # Panics
+///
+/// Panics if sequences are empty or have unequal lengths.
+pub fn estimate_distances(sequences: &[Vec<u8>], params: DistParams) -> Vec<Vec<f64>> {
+    assert!(!sequences.is_empty(), "no sequences");
+    let len = sequences[0].len();
+    assert!(
+        sequences.iter().all(|s| s.len() == len),
+        "sequences must share a length"
+    );
+    let n = sequences.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mismatches = sequences[i]
+                .iter()
+                .zip(&sequences[j])
+                .filter(|(a, b)| a != b)
+                .count() as f64;
+            let p = ((mismatches + params.pseudo) / (len as f64 + params.pseudo)).min(0.7499);
+            // Gamma-corrected JC69:
+            //   d = (3/4)·α·((1 − 4p/3)^(−1/α) − 1)
+            let inner: f64 = 1.0 - 4.0 * p / 3.0;
+            let dist = 0.75 * params.alpha * (inner.powf(-1.0 / params.alpha) - 1.0);
+            let dist = dist.min(params.cutoff).max(0.0);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// Neighbor-joining tree reconstruction (Saitou & Nei 1987).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or has fewer than 4 rows.
+#[allow(clippy::needless_range_loop)]
+pub fn neighbor_joining(matrix: &[Vec<f64>]) -> Tree {
+    let n = matrix.len();
+    assert!(n >= 4, "need at least 4 taxa");
+    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    let mut d: Vec<Vec<f64>> = matrix.to_vec();
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+    while ids.len() > 2 {
+        let m = ids.len();
+        let totals: Vec<f64> = (0..m).map(|i| d[i].iter().sum()).collect();
+        // Q-criterion minimization.
+        let (mut best, mut bi, mut bj) = (f64::INFINITY, 0, 1);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let q = (m as f64 - 2.0) * d[i][j] - totals[i] - totals[j];
+                if q < best {
+                    best = q;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // New distances to the joined node.
+        let mut new_row = Vec::with_capacity(m - 1);
+        for k in 0..m {
+            if k != bi && k != bj {
+                new_row.push(0.5 * (d[bi][k] + d[bj][k] - d[bi][bj]));
+            }
+        }
+        merges.push((ids[bi], ids[bj]));
+        // Remove bj then bi (bj > bi), append the new node.
+        let remove = |v: &mut Vec<Vec<f64>>, idx: usize| {
+            v.remove(idx);
+            for row in v.iter_mut() {
+                row.remove(idx);
+            }
+        };
+        remove(&mut d, bj);
+        remove(&mut d, bi);
+        ids.remove(bj);
+        ids.remove(bi);
+        for (row, &dist) in d.iter_mut().zip(&new_row) {
+            row.push(dist);
+        }
+        let mut last = new_row.clone();
+        last.push(0.0);
+        d.push(last);
+        ids.push(next_id);
+        next_id += 1;
+    }
+    merges.push((ids[0], ids[1]));
+    Tree { taxa: n, merges }
+}
+
+/// Convenience: distances + neighbor joining in one call.
+/// UPGMA tree reconstruction (average-linkage clustering) — Phylip's other
+/// distance method, used as an in-crate baseline comparator for NJ.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or has fewer than 2 rows.
+#[allow(clippy::needless_range_loop)]
+pub fn upgma(matrix: &[Vec<f64>]) -> Tree {
+    let n = matrix.len();
+    assert!(n >= 2, "need at least 2 taxa");
+    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    let mut d: Vec<Vec<f64>> = matrix.to_vec();
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<f64> = vec![1.0; n];
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+    while ids.len() > 1 {
+        let m = ids.len();
+        // Closest pair under average linkage.
+        let (mut best, mut bi, mut bj) = (f64::INFINITY, 0, 1);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (si, sj) = (sizes[bi], sizes[bj]);
+        let mut new_row = Vec::with_capacity(m - 1);
+        for k in 0..m {
+            if k != bi && k != bj {
+                new_row.push((si * d[bi][k] + sj * d[bj][k]) / (si + sj));
+            }
+        }
+        merges.push((ids[bi], ids[bj]));
+        let remove = |v: &mut Vec<Vec<f64>>, idx: usize| {
+            v.remove(idx);
+            for row in v.iter_mut() {
+                row.remove(idx);
+            }
+        };
+        remove(&mut d, bj);
+        remove(&mut d, bi);
+        ids.remove(bj);
+        ids.remove(bi);
+        sizes.remove(bj.max(bi));
+        sizes.remove(bj.min(bi));
+        for (row, &dist) in d.iter_mut().zip(&new_row) {
+            row.push(dist);
+        }
+        let mut last = new_row.clone();
+        last.push(0.0);
+        d.push(last);
+        ids.push(next_id);
+        sizes.push(si + sj);
+        next_id += 1;
+    }
+    Tree { taxa: n, merges }
+}
+
+/// Convenience: distance estimation + neighbor joining in one call.
+pub fn infer_tree(sequences: &[Vec<u8>], params: DistParams) -> Tree {
+    neighbor_joining(&estimate_distances(sequences, params))
+}
+
+/// Robinson–Foulds distance between two trees over the same taxa: the
+/// number of bipartitions present in exactly one of them. **Lower is
+/// better**; 0 means identical topologies.
+///
+/// # Panics
+///
+/// Panics if the trees have different leaf counts.
+pub fn robinson_foulds(a: &Tree, b: &Tree) -> f64 {
+    assert_eq!(a.taxa, b.taxa, "trees must share a taxon set");
+    let ba = a.bipartitions();
+    let bb = b.bipartitions();
+    ba.symmetric_difference(&bb).count() as f64
+}
+
+/// Per-dataset oracle: searches the parameter grid for the lowest RF
+/// distance — the "ideal configuration" labels.
+pub fn ideal_params(data: &Dataset) -> (DistParams, f64) {
+    let mut best = (DistParams::default(), f64::INFINITY);
+    for &alpha in &[0.3f64, 0.5, 1.0, 2.0, 100.0] {
+        for &cutoff in &[1.0f64, 2.0, 3.0] {
+            for &pseudo in &[0.0f64, 1.0] {
+                let params = DistParams {
+                    alpha,
+                    cutoff,
+                    pseudo,
+                };
+                let tree = infer_tree(&data.sequences, params);
+                let score = robinson_foulds(&tree, &data.true_tree);
+                if score < best.1 {
+                    best = (params, score);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Summary features of a dataset's raw distance structure, used as the
+/// compact (`Min`) feature band: mean/max/variance/quantiles of the
+/// pairwise distances, per-site mismatch heterogeneity (the observable
+/// footprint of rate variation, which determines the ideal `alpha`), and
+/// the taxon count.
+pub fn distance_summary(sequences: &[Vec<u8>]) -> Vec<f64> {
+    let raw = estimate_distances(
+        sequences,
+        DistParams {
+            alpha: 100.0,
+            cutoff: 10.0,
+            pseudo: 0.0,
+        },
+    );
+    let mut values = Vec::new();
+    for (i, row) in raw.iter().enumerate() {
+        for &v in row.iter().skip(i + 1) {
+            values.push(v);
+        }
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let max = values.last().copied().unwrap_or(0.0);
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let quantile = |q: f64| -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values[((values.len() - 1) as f64 * q) as usize]
+        }
+    };
+    // Per-site heterogeneity: variance of the per-column mismatch counts.
+    // Gamma rate variation concentrates substitutions on hot columns.
+    let len = sequences.first().map(Vec::len).unwrap_or(0);
+    let mut site_var = 0.0;
+    if len > 0 && sequences.len() > 1 {
+        let mut counts = vec![0.0f64; len];
+        for i in 0..sequences.len() {
+            for j in (i + 1)..sequences.len() {
+                for (site, count) in counts.iter_mut().enumerate() {
+                    if sequences[i][site] != sequences[j][site] {
+                        *count += 1.0;
+                    }
+                }
+            }
+        }
+        let m = counts.iter().sum::<f64>() / len as f64;
+        site_var = counts.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / len as f64;
+        // Normalize by the mean so the feature reflects *relative*
+        // concentration (index of dispersion).
+        if m > 1e-12 {
+            site_var /= m;
+        }
+    }
+    vec![
+        mean,
+        max,
+        var,
+        quantile(0.25),
+        quantile(0.75),
+        site_var,
+        sequences.len() as f64,
+    ]
+}
+
+/// Records this program's dynamic dependence shape (the Valgrind view):
+/// `sequences → distances → summary/tree`, parameters feeding the result.
+pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
+    db.mark_input("sequences");
+    db.record_assign("pDist", &["sequences"], None, "estimateDistances");
+    db.record_assign("distMatrix", &["pDist", "alpha", "cutoff", "pseudo"], None, "estimateDistances");
+    db.record_assign("summary", &["pDist"], None, "summarize");
+    db.record_assign("tree", &["distMatrix"], None, "neighborJoining");
+    db.record_assign("result", &["tree", "summary"], None, "main");
+    db.mark_target("alpha");
+    db.mark_target("cutoff");
+    db.mark_target("pseudo");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let a = generate_dataset(6, 100, 9);
+        let b = generate_dataset(6, 100, 9);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.true_tree, b.true_tree);
+    }
+
+    #[test]
+    fn sequences_have_requested_shape() {
+        let data = generate_dataset(5, 80, 1);
+        assert_eq!(data.sequences.len(), 5);
+        assert!(data.sequences.iter().all(|s| s.len() == 80));
+        assert!(data
+            .sequences
+            .iter()
+            .all(|s| s.iter().all(|&b| b < 4)));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn distances_are_symmetric_nonnegative() {
+        let data = generate_dataset(6, 120, 3);
+        let d = estimate_distances(&data.sequences, DistParams::default());
+        for i in 0..6 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..6 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+                assert!(d[i][j] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let seqs = vec![vec![0u8, 1, 2, 3]; 4];
+        let d = estimate_distances(&seqs, DistParams::default());
+        assert_eq!(d[0][1], 0.0);
+    }
+
+    #[test]
+    fn nj_recovers_clean_quartet() {
+        // Perfect additive matrix for ((0,1),(2,3)).
+        let m = vec![
+            vec![0.0, 0.2, 1.0, 1.0],
+            vec![0.2, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.2],
+            vec![1.0, 1.0, 0.2, 0.0],
+        ];
+        let tree = neighbor_joining(&m);
+        let parts = tree.bipartitions();
+        assert!(
+            parts.contains(&vec![0, 1]) || parts.contains(&vec![2, 3]),
+            "quartet split missing: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn rf_zero_for_identical_trees() {
+        let data = generate_dataset(8, 100, 5);
+        assert_eq!(robinson_foulds(&data.true_tree, &data.true_tree), 0.0);
+    }
+
+    #[test]
+    fn inference_on_long_sequences_is_accurate() {
+        let data = generate_dataset(8, 2000, 17);
+        let tree = infer_tree(&data.sequences, DistParams { alpha: 1.0, cutoff: 3.0, pseudo: 0.0 });
+        let rf = robinson_foulds(&tree, &data.true_tree);
+        // With 2000 sites the topology should be mostly recoverable.
+        assert!(rf <= 4.0, "rf = {rf}");
+    }
+
+    #[test]
+    fn ideal_params_at_least_match_defaults() {
+        let data = generate_dataset(8, 150, 21);
+        let default_tree = infer_tree(&data.sequences, DistParams::default());
+        let default_rf = robinson_foulds(&default_tree, &data.true_tree);
+        let (_, best_rf) = ideal_params(&data);
+        assert!(best_rf <= default_rf);
+    }
+
+    #[test]
+    fn summary_has_seven_features() {
+        let data = generate_dataset(5, 60, 2);
+        let s = distance_summary(&data.sequences);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[6], 5.0);
+        assert!(s[1] >= s[0], "max >= mean");
+        assert!(s[4] >= s[3], "p75 >= p25");
+        assert!(s[5] >= 0.0, "dispersion index non-negative");
+    }
+
+    #[test]
+    fn site_heterogeneity_tracks_gamma_shape() {
+        // Lower gamma shape = more rate concentration = higher dispersion.
+        // Check the correlation sign over a batch of datasets.
+        let datasets: Vec<Dataset> = (0..30).map(|s| generate_dataset(6, 300, s)).collect();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let shapes: Vec<f64> = datasets.iter().map(|d| d.gamma_shape).collect();
+        let dispersion: Vec<f64> = datasets
+            .iter()
+            .map(|d| distance_summary(&d.sequences)[5])
+            .collect();
+        let (ms, md) = (mean(&shapes), mean(&dispersion));
+        let cov: f64 = shapes
+            .iter()
+            .zip(&dispersion)
+            .map(|(s, d)| (s - ms) * (d - md))
+            .sum();
+        assert!(
+            cov < 0.0,
+            "dispersion should fall as gamma shape rises, cov={cov}"
+        );
+    }
+
+    #[test]
+    fn dependence_shape_supports_algorithm1() {
+        let mut db = au_trace::AnalysisDb::new();
+        record_dependences(&mut db);
+        let features = au_trace::extract_sl(&db);
+        let alpha = db.id("alpha").unwrap();
+        assert!(!features[&alpha].is_empty());
+        let min = au_trace::select_band(&features[&alpha], au_trace::DistanceBand::Min);
+        assert!(!min.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn nj_rejects_tiny_matrices() {
+        let _ = neighbor_joining(&[vec![0.0]]);
+    }
+
+    #[test]
+    fn nj_recovers_additive_six_taxa() {
+        // Additive matrix for the tree ((0,1),(2,3),(4,5)).
+        let d = vec![
+            vec![0.0, 2.0, 4.0, 4.0, 5.0, 5.0],
+            vec![2.0, 0.0, 4.0, 4.0, 5.0, 5.0],
+            vec![4.0, 4.0, 0.0, 2.0, 5.0, 5.0],
+            vec![4.0, 4.0, 2.0, 0.0, 5.0, 5.0],
+            vec![5.0, 5.0, 5.0, 5.0, 0.0, 2.0],
+            vec![5.0, 5.0, 5.0, 5.0, 2.0, 0.0],
+        ];
+        let parts = neighbor_joining(&d).bipartitions();
+        // {0,1} canonicalizes to its taxon-0-free complement {2,3,4,5}.
+        assert!(parts.contains(&vec![2, 3, 4, 5]), "{parts:?}");
+        assert!(parts.contains(&vec![2, 3]), "{parts:?}");
+        assert!(parts.contains(&vec![4, 5]), "{parts:?}");
+    }
+
+    #[test]
+    fn upgma_recovers_ultrametric_quartet() {
+        // Ultrametric matrix for ((0,1),(2,3)): UPGMA's ideal case.
+        let m = vec![
+            vec![0.0, 0.2, 1.0, 1.0],
+            vec![0.2, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.2],
+            vec![1.0, 1.0, 0.2, 0.0],
+        ];
+        let tree = upgma(&m);
+        let parts = tree.bipartitions();
+        assert!(
+            parts.contains(&vec![0, 1]) || parts.contains(&vec![2, 3]),
+            "quartet split missing: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn upgma_and_nj_agree_on_clean_data() {
+        // Use the dataset's true rate-heterogeneity shape so the estimated
+        // distances are as additive as the model allows.
+        let data = generate_dataset(6, 3000, 8);
+        let d = estimate_distances(
+            &data.sequences,
+            DistParams {
+                alpha: data.gamma_shape,
+                cutoff: 5.0,
+                pseudo: 0.0,
+            },
+        );
+        let nj_rf = robinson_foulds(&neighbor_joining(&d), &data.true_tree);
+        let up_rf = robinson_foulds(&upgma(&d), &data.true_tree);
+        let bound = 2.0 * (6.0 - 3.0);
+        assert!(nj_rf <= bound && up_rf <= bound);
+        assert!(
+            nj_rf <= 2.0,
+            "nj with ideal alpha should be near-perfect: {nj_rf} (upgma {up_rf})"
+        );
+    }
+
+    #[test]
+    fn upgma_produces_full_tree() {
+        let data = generate_dataset(7, 100, 12);
+        let d = estimate_distances(&data.sequences, DistParams::default());
+        let tree = upgma(&d);
+        assert_eq!(tree.taxa, 7);
+        assert_eq!(tree.merges.len(), 6, "n-1 merges for n taxa");
+    }
+}

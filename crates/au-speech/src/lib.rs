@@ -1,0 +1,422 @@
+//! Keyword-recognition benchmark program (the paper's Sphinx substitute).
+//!
+//! CMU Sphinx carries decoding parameters (beam widths, variance floors)
+//! whose ideal values depend on the utterance — speaking rate and noise
+//! level. This crate reproduces that setting with a deterministic synthetic
+//! pipeline:
+//!
+//! - [`Vocabulary`]: formant-track templates for a small keyword set;
+//! - [`synthesize`]: renders an utterance of a word with a random speaking
+//!   rate, loudness, noise level, and surrounding silence;
+//! - [`Recognizer`]: template matching by dynamic time warping with two
+//!   tunable **target parameters**: the DTW band width `beam` and the
+//!   energy gate `floor` used to strip silence/noise frames;
+//! - [`accuracy`]: the built-in quality score (fraction recognized).
+//!
+//! A too-narrow `beam` cannot align fast/slow speech; a mis-set `floor`
+//! either admits noise frames or eats quiet speech — so the ideal values
+//! vary per utterance, the property the Autonomizer exploits.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frames are 2-dimensional "formant" feature vectors.
+pub type Frame = [f64; 2];
+
+/// The keyword templates.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    templates: Vec<Vec<Frame>>,
+}
+
+impl Vocabulary {
+    /// Builds `words` distinct keyword templates of `len` frames each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `len` is zero.
+    pub fn new(words: usize, len: usize) -> Self {
+        assert!(words > 0 && len > 0, "vocabulary must be non-empty");
+        let templates = (0..words)
+            .map(|w| {
+                (0..len)
+                    .map(|t| {
+                        let phase = t as f64 / len as f64;
+                        // Word-specific formant trajectories, well separated
+                        // in frequency and shape.
+                        let f1 = 1.0
+                            + 0.5 * ((w + 1) as f64 * std::f64::consts::PI * phase).sin()
+                            + 0.2 * w as f64;
+                        let f2 = 2.0
+                            + 0.5 * ((w + 2) as f64 * std::f64::consts::PI * phase).cos()
+                            - 0.15 * w as f64;
+                        [f1, f2]
+                    })
+                    .collect()
+            })
+            .collect();
+        Vocabulary { templates }
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the vocabulary is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Template for word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn template(&self, w: usize) -> &[Frame] {
+        &self.templates[w]
+    }
+}
+
+/// One synthesized utterance with its latent generation parameters.
+#[derive(Debug, Clone)]
+pub struct Utterance {
+    /// The spoken word's index.
+    pub word: usize,
+    /// Feature frames: silence + warped noisy template + silence.
+    pub frames: Vec<Frame>,
+    /// Speaking-rate factor used (1.0 = template speed).
+    pub speed: f64,
+    /// Noise standard deviation added to every frame.
+    pub noise: f64,
+}
+
+impl Utterance {
+    /// Internal summary features — the compact (`Min`) band: frame count,
+    /// mean energy, energy variance, fraction of high-energy frames.
+    pub fn summary(&self) -> Vec<f64> {
+        let energies: Vec<f64> = self
+            .frames
+            .iter()
+            .map(|f| (f[0] * f[0] + f[1] * f[1]).sqrt())
+            .collect();
+        let n = energies.len().max(1) as f64;
+        let mean = energies.iter().sum::<f64>() / n;
+        let var = energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let high = energies.iter().filter(|&&e| e > 1.0).count() as f64 / n;
+        vec![n, mean, var, high]
+    }
+
+    /// Raw flattened frames — the `Raw` band.
+    pub fn raw(&self) -> Vec<f64> {
+        self.frames.iter().flat_map(|f| f.iter().copied()).collect()
+    }
+}
+
+/// Synthesizes one utterance of `word` deterministically in `seed`.
+///
+/// # Panics
+///
+/// Panics if `word` is out of range for the vocabulary.
+pub fn synthesize(vocab: &Vocabulary, word: usize, seed: u64) -> Utterance {
+    assert!(word < vocab.len(), "word index out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let speed = rng.gen_range(0.6..1.6f64);
+    let noise = rng.gen_range(0.0..0.45f64);
+    let gain = rng.gen_range(0.8..1.2f64);
+    let template = vocab.template(word);
+    let out_len = ((template.len() as f64) / speed).round().max(4.0) as usize;
+
+    let mut frames = Vec::new();
+    let lead = rng.gen_range(2..8usize);
+    let tail = rng.gen_range(2..8usize);
+    let noisy = |base: Frame, rng: &mut StdRng| -> Frame {
+        [
+            base[0] + noise * gauss(rng),
+            base[1] + noise * gauss(rng),
+        ]
+    };
+    for _ in 0..lead {
+        frames.push(noisy([0.05, 0.05], &mut rng));
+    }
+    for t in 0..out_len {
+        // Linear time-warp resampling of the template.
+        let src = t as f64 * (template.len() - 1) as f64 / (out_len - 1).max(1) as f64;
+        let i = src.floor() as usize;
+        let frac = src - i as f64;
+        let a = template[i.min(template.len() - 1)];
+        let b = template[(i + 1).min(template.len() - 1)];
+        let base = [
+            gain * (a[0] * (1.0 - frac) + b[0] * frac),
+            gain * (a[1] * (1.0 - frac) + b[1] * frac),
+        ];
+        frames.push(noisy(base, &mut rng));
+    }
+    for _ in 0..tail {
+        frames.push(noisy([0.05, 0.05], &mut rng));
+    }
+    Utterance {
+        word,
+        frames,
+        speed,
+        noise,
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Decoder parameters — the target variables of this benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeParams {
+    /// Sakoe–Chiba DTW band half-width, in frames.
+    pub beam: f64,
+    /// Energy gate: frames with magnitude below this are dropped as
+    /// silence/noise before matching.
+    pub floor: f64,
+}
+
+impl Default for DecodeParams {
+    /// Shipped defaults — the `baseline` setting.
+    fn default() -> Self {
+        DecodeParams {
+            beam: 3.0,
+            floor: 0.3,
+        }
+    }
+}
+
+/// DTW template recognizer.
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    vocab: Vocabulary,
+}
+
+impl Recognizer {
+    /// Creates a recognizer for the vocabulary.
+    pub fn new(vocab: Vocabulary) -> Self {
+        Recognizer { vocab }
+    }
+
+    /// The vocabulary being matched against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Recognizes an utterance, returning `(best_word, best_cost,
+    /// second_cost)`. A larger `second_cost − best_cost` margin means a
+    /// more confident decision.
+    pub fn recognize(&self, utterance: &Utterance, params: DecodeParams) -> (usize, f64, f64) {
+        let gated: Vec<Frame> = utterance
+            .frames
+            .iter()
+            .copied()
+            .filter(|f| (f[0] * f[0] + f[1] * f[1]).sqrt() >= params.floor)
+            .collect();
+        let mut best = (0usize, f64::INFINITY);
+        let mut second = f64::INFINITY;
+        for w in 0..self.vocab.len() {
+            let cost = banded_dtw(&gated, self.vocab.template(w), params.beam.max(1.0));
+            if cost < best.1 {
+                second = best.1;
+                best = (w, cost);
+            } else if cost < second {
+                second = cost;
+            }
+        }
+        (best.0, best.1, second)
+    }
+}
+
+/// Sakoe–Chiba banded DTW between two frame sequences; normalized by the
+/// path-length bound. Empty inputs cost infinity (nothing matched).
+fn banded_dtw(a: &[Frame], b: &[Frame], beam: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let (la, lb) = (a.len(), b.len());
+    let band = beam as isize;
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; lb + 1];
+    let mut curr = vec![inf; lb + 1];
+    prev[0] = 0.0;
+    for i in 1..=la {
+        curr.fill(inf);
+        // Band is applied around the warped diagonal.
+        let center = (i as f64 * lb as f64 / la as f64) as isize;
+        let lo = (center - band).max(1) as usize;
+        let hi = ((center + band) as usize).min(lb);
+        for j in lo..=hi {
+            let d = dist(a[i - 1], b[j - 1]);
+            let m = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            if m < inf {
+                curr[j] = d + m;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[lb] / (la + lb) as f64
+}
+
+fn dist(a: Frame, b: Frame) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Fraction of utterances recognized correctly — the built-in score
+/// (higher is better).
+pub fn accuracy(recognizer: &Recognizer, utterances: &[Utterance], params: DecodeParams) -> f64 {
+    if utterances.is_empty() {
+        return 0.0;
+    }
+    let correct = utterances
+        .iter()
+        .filter(|u| recognizer.recognize(u, params).0 == u.word)
+        .count();
+    correct as f64 / utterances.len() as f64
+}
+
+/// Per-utterance oracle: the parameters maximizing the decision margin
+/// while recognizing correctly (our stand-in for the ground truth the paper
+/// requires of its SL datasets).
+pub fn ideal_params(recognizer: &Recognizer, utterance: &Utterance) -> (DecodeParams, bool) {
+    let mut best: Option<(DecodeParams, f64)> = None;
+    for &beam in &[2.0f64, 4.0, 8.0, 16.0, 32.0] {
+        for &floor in &[0.1f64, 0.3, 0.5, 0.8, 1.1] {
+            let params = DecodeParams { beam, floor };
+            let (word, cost, second) = recognizer.recognize(utterance, params);
+            if word != utterance.word {
+                continue;
+            }
+            let margin = second - cost;
+            if best.is_none_or(|(_, m)| margin > m) {
+                best = Some((params, margin));
+            }
+        }
+    }
+    match best {
+        Some((params, _)) => (params, true),
+        None => (DecodeParams::default(), false),
+    }
+}
+
+/// Records this program's dynamic dependence shape (the Valgrind view).
+pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
+    db.mark_input("frames");
+    db.record_assign("energies", &["frames"], None, "recognize");
+    db.record_assign("summary", &["energies"], None, "recognize");
+    db.record_assign("gated", &["energies", "floor"], None, "recognize");
+    db.record_assign("costs", &["gated", "beam"], None, "dtw");
+    db.record_assign("result", &["costs", "summary"], None, "recognize");
+    db.mark_target("beam");
+    db.mark_target("floor");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Recognizer, Vocabulary) {
+        let vocab = Vocabulary::new(4, 20);
+        (Recognizer::new(vocab.clone()), vocab)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let vocab = Vocabulary::new(3, 16);
+        let a = synthesize(&vocab, 1, 5);
+        let b = synthesize(&vocab, 1, 5);
+        assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn clean_slow_speech_is_recognized_with_defaults() {
+        let (rec, vocab) = setup();
+        // Seed hunting: find a low-noise, near-1.0-speed utterance.
+        let utterance = (0..200u64)
+            .map(|s| synthesize(&vocab, 2, s))
+            .find(|u| u.noise < 0.05 && (u.speed - 1.0).abs() < 0.15)
+            .expect("some clean utterance exists");
+        let (word, _, _) = rec.recognize(&utterance, DecodeParams::default());
+        assert_eq!(word, 2);
+    }
+
+    #[test]
+    fn accuracy_improves_with_wider_beam_on_fast_speech() {
+        let (rec, vocab) = setup();
+        let fast: Vec<Utterance> = (0..300u64)
+            .map(|s| synthesize(&vocab, (s % 4) as usize, s))
+            .filter(|u| u.speed > 1.35 && u.noise < 0.2)
+            .take(12)
+            .collect();
+        assert!(!fast.is_empty());
+        let narrow = accuracy(&rec, &fast, DecodeParams { beam: 2.0, floor: 0.3 });
+        let wide = accuracy(&rec, &fast, DecodeParams { beam: 24.0, floor: 0.3 });
+        assert!(
+            wide >= narrow,
+            "wider beam should help fast speech: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn ideal_params_vary_with_utterance() {
+        let (rec, vocab) = setup();
+        let params: Vec<DecodeParams> = (0..10u64)
+            .map(|s| ideal_params(&rec, &synthesize(&vocab, (s % 4) as usize, s)).0)
+            .collect();
+        let first = params[0];
+        assert!(
+            params
+                .iter()
+                .any(|p| (p.beam - first.beam).abs() > 1e-9 || (p.floor - first.floor).abs() > 1e-9),
+            "ideal decode params should be input-dependent: {params:?}"
+        );
+    }
+
+    #[test]
+    fn summary_features_track_utterance_statistics() {
+        let vocab = Vocabulary::new(2, 16);
+        let utts: Vec<Utterance> = (0..100u64).map(|s| synthesize(&vocab, 0, s)).collect();
+        for u in &utts {
+            let s = u.summary();
+            assert_eq!(s[0] as usize, u.frames.len(), "frame count feature");
+            assert!(s[1] > 0.0, "mean energy positive");
+            assert!((0.0..=1.0).contains(&s[3]), "high-energy fraction bounded");
+        }
+        // Different utterances produce different summaries (the model has
+        // signal to work with).
+        assert_ne!(utts[0].summary(), utts[1].summary());
+    }
+
+    #[test]
+    fn empty_after_gating_is_not_a_crash() {
+        let (rec, vocab) = setup();
+        let utterance = synthesize(&vocab, 0, 3);
+        // An absurd floor gates away every frame; recognition degrades but
+        // returns.
+        let (_, cost, _) = rec.recognize(&utterance, DecodeParams { beam: 4.0, floor: 99.0 });
+        assert!(cost.is_infinite());
+    }
+
+    #[test]
+    fn raw_band_is_flattened_frames() {
+        let vocab = Vocabulary::new(2, 8);
+        let u = synthesize(&vocab, 1, 1);
+        assert_eq!(u.raw().len(), u.frames.len() * 2);
+    }
+
+    #[test]
+    fn dependence_shape_supports_algorithm1() {
+        let mut db = au_trace::AnalysisDb::new();
+        record_dependences(&mut db);
+        let features = au_trace::extract_sl(&db);
+        let beam = db.id("beam").unwrap();
+        assert!(!features[&beam].is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Property-based tests for the recognizer.
+
+use au_speech::{accuracy, synthesize, DecodeParams, Recognizer, Vocabulary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recognition always returns a word in range with ordered costs.
+    #[test]
+    fn recognize_is_total_and_ordered(word in 0usize..4,
+                                      seed in 0u64..1000,
+                                      beam in 1.0f64..32.0,
+                                      floor in 0.0f64..1.2) {
+        let vocab = Vocabulary::new(4, 20);
+        let recognizer = Recognizer::new(vocab.clone());
+        let utterance = synthesize(&vocab, word, seed);
+        let (best, cost, second) = recognizer.recognize(&utterance, DecodeParams { beam, floor });
+        prop_assert!(best < 4);
+        prop_assert!(cost <= second);
+    }
+
+    /// Accuracy is a fraction.
+    #[test]
+    fn accuracy_is_bounded(seeds in prop::collection::vec(0u64..1000, 1..6)) {
+        let vocab = Vocabulary::new(3, 16);
+        let recognizer = Recognizer::new(vocab.clone());
+        let utterances: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| synthesize(&vocab, i % 3, s))
+            .collect();
+        let a = accuracy(&recognizer, &utterances, DecodeParams::default());
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// Synthesis is deterministic and summary features are finite.
+    #[test]
+    fn synthesis_is_deterministic(word in 0usize..3, seed in 0u64..1000) {
+        let vocab = Vocabulary::new(3, 16);
+        let a = synthesize(&vocab, word, seed);
+        let b = synthesize(&vocab, word, seed);
+        prop_assert_eq!(&a.frames, &b.frames);
+        for v in a.summary() {
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Trace statistics used by Algorithm 2: min–max scaling, Euclidean
+//! distance with zero-padding, and variance.
+
+/// Min–max scales a trace into `[0, 1]` (the paper cites sklearn's
+/// `minmax_scale`). A constant trace scales to all zeros.
+pub fn min_max_scale(trace: &[f64]) -> Vec<f64> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if range == 0.0 {
+        return vec![0.0; trace.len()];
+    }
+    trace.iter().map(|v| (v - min) / range).collect()
+}
+
+/// Euclidean distance between two traces; the shorter one is zero-padded,
+/// exactly as in the paper's footnote ("If the sequences' lengths are
+/// different, we append zeros to the shorter one").
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut sum = 0.0;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        sum += (x - y) * (x - y);
+    }
+    sum.sqrt()
+}
+
+/// Population variance of a trace. Empty traces have zero variance.
+pub fn variance(trace: &[f64]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+    trace.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_extremes() {
+        let s = min_max_scale(&[2.0, 4.0, 6.0]);
+        assert_eq!(s, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn scale_constant_trace_is_zero() {
+        assert_eq!(min_max_scale(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert!(min_max_scale(&[]).is_empty());
+    }
+
+    #[test]
+    fn paper_example_distance() {
+        // From Section 4: [0.1,0.3,0.4] vs [0.1,0.2] => sqrt(0.17)
+        let d = euclidean_distance(&[0.1, 0.3, 0.4], &[0.1, 0.2]);
+        assert!((d - 0.17f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_equal() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        assert_eq!(euclidean_distance(&a, &b), euclidean_distance(&b, &a));
+        assert_eq!(euclidean_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // var([0,2]) = 1
+        assert!((variance(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+}

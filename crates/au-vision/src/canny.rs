@@ -1,0 +1,311 @@
+//! The Canny edge detector (Canny 1986), exposing the paper's internals.
+
+use au_image::{ssim, GrayImage};
+
+/// Number of histogram bins exposed as the `hist` feature variable. The
+/// paper extracts a 32767-bin histogram; we use a compact 32-bin version
+/// with the same role (the magnitude distribution that determines good
+/// hysteresis thresholds).
+pub const HIST_BINS: usize = 32;
+
+/// Canny's three tunable parameters — the target variables of the paper's
+/// first case study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CannyParams {
+    /// Gaussian smoothing standard deviation.
+    pub sigma: f32,
+    /// Low hysteresis threshold, as a fraction of the maximum magnitude.
+    pub lo: f32,
+    /// High hysteresis threshold, as a fraction of the maximum magnitude.
+    pub hi: f32,
+}
+
+impl Default for CannyParams {
+    /// The program's shipped defaults — the paper's `baseline` setting.
+    fn default() -> Self {
+        CannyParams {
+            sigma: 1.0,
+            lo: 0.25,
+            hi: 0.6,
+        }
+    }
+}
+
+/// Full output of a Canny run, intermediates included.
+///
+/// The intermediates are exactly the candidate feature variables of Fig. 9:
+/// `s_img` (smoothed image), `mag` (gradient magnitude), and `hist`
+/// (magnitude histogram), ordered by decreasing dependence-graph distance to
+/// the result.
+#[derive(Debug, Clone)]
+pub struct CannyResult {
+    /// Final binary edge map.
+    pub edges: GrayImage,
+    /// Smoothed input (`sImg` in the paper — the `Med` feature band).
+    pub s_img: GrayImage,
+    /// Gradient magnitude (`mag`).
+    pub mag: GrayImage,
+    /// Histogram of gradient magnitudes (`hist` — the `Min` feature band).
+    pub hist: Vec<f64>,
+}
+
+/// Runs Canny edge detection: Gaussian smooth → Sobel gradients →
+/// non-maximum suppression → hysteresis thresholding.
+///
+/// # Panics
+///
+/// Panics if the thresholds are not in `[0, 1]` or `sigma` is negative.
+pub fn canny(image: &GrayImage, params: CannyParams) -> CannyResult {
+    assert!(params.sigma >= 0.0, "sigma must be non-negative");
+    assert!((0.0..=1.0).contains(&params.lo), "lo must be in [0,1]");
+    assert!((0.0..=1.0).contains(&params.hi), "hi must be in [0,1]");
+    let s_img = image.gaussian_smooth(params.sigma);
+    let (mag, dir) = s_img.sobel();
+    let hist = mag.histogram(HIST_BINS);
+    let suppressed = non_max_suppression(&mag, &dir);
+    let edges = hysteresis(&suppressed, params.lo, params.hi);
+    CannyResult {
+        edges,
+        s_img,
+        mag,
+        hist,
+    }
+}
+
+/// Thins the magnitude image: a pixel survives only if it is a local
+/// maximum along its gradient direction.
+fn non_max_suppression(mag: &GrayImage, dir: &GrayImage) -> GrayImage {
+    let (w, h) = (mag.width(), mag.height());
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let m = mag.get_clamped(x, y);
+            let angle = dir.get_clamped(x, y);
+            // Quantize the gradient direction into 4 sectors.
+            let deg = angle.to_degrees().rem_euclid(180.0);
+            let (dx, dy) = if !(22.5..157.5).contains(&deg) {
+                (1isize, 0isize)
+            } else if deg < 67.5 {
+                (1, 1)
+            } else if deg < 112.5 {
+                (0, 1)
+            } else {
+                (-1, 1)
+            };
+            let a = mag.get_clamped(x + dx, y + dy);
+            let b = mag.get_clamped(x - dx, y - dy);
+            if m >= a && m >= b {
+                out.set(x as usize, y as usize, m);
+            }
+        }
+    }
+    out
+}
+
+/// Double-threshold hysteresis: strong pixels (≥ `hi`·max) seed edges,
+/// which grow through weak pixels (≥ `lo`·max) by 8-connectivity.
+fn hysteresis(mag: &GrayImage, lo: f32, hi: f32) -> GrayImage {
+    let (w, h) = (mag.width(), mag.height());
+    let max = mag.pixels().iter().cloned().fold(0.0f32, f32::max);
+    let lo_t = lo * max;
+    let hi_t = hi * max;
+    let mut edges = GrayImage::new(w, h);
+    let mut stack = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if mag.get(x, y) >= hi_t && hi_t > 0.0 && edges.get(x, y) == 0.0 {
+                edges.set(x, y, 1.0);
+                stack.push((x, y));
+                while let Some((cx, cy)) = stack.pop() {
+                    for dy in -1..=1isize {
+                        for dx in -1..=1isize {
+                            let nx = cx as isize + dx;
+                            let ny = cy as isize + dy;
+                            if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                                continue;
+                            }
+                            let (nx, ny) = (nx as usize, ny as usize);
+                            if edges.get(nx, ny) == 0.0 && mag.get(nx, ny) >= lo_t {
+                                edges.set(nx, ny, 1.0);
+                                stack.push((nx, ny));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Scores a detection against ground truth (the paper's SSIM metric —
+/// higher is better).
+pub fn score(edges: &GrayImage, truth: &GrayImage) -> f64 {
+    ssim(edges, truth)
+}
+
+/// Finds near-ideal parameters for one image by direct grid search against
+/// the ground truth — our stand-in for the paper's expert-provided ideal
+/// values (and for per-input auto-tuning). Returns the best parameters and
+/// their score.
+pub fn ideal_params(image: &GrayImage, truth: &GrayImage) -> (CannyParams, f64) {
+    let mut best = (CannyParams::default(), f64::NEG_INFINITY);
+    for &sigma in &[0.5f32, 1.0, 1.5, 2.0, 2.5] {
+        // Smoothing and gradients are reused across threshold candidates.
+        let s_img = image.gaussian_smooth(sigma);
+        let (mag, dir) = s_img.sobel();
+        let suppressed = non_max_suppression(&mag, &dir);
+        for &hi in &[0.2f32, 0.35, 0.5, 0.65, 0.8] {
+            for &lo_frac in &[0.3f32, 0.5, 0.7] {
+                let lo = lo_frac * hi;
+                let edges = hysteresis(&suppressed, lo, hi);
+                let s = ssim(&edges, truth);
+                if s > best.1 {
+                    best = (CannyParams { sigma, lo, hi }, s);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Records the dynamic dependence shape of the Canny pipeline into an
+/// analysis database — what the paper's Valgrind instrumentation observes
+/// when the program runs (Fig. 9). Used by Table 1 and by automatic feature
+/// extraction for this Rust-hosted benchmark.
+pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
+    db.mark_input("image");
+    // canny(): image -> sImg -> mag -> hist; all flow into result.
+    db.record_assign("sImg", &["image", "sigma"], None, "canny");
+    db.record_assign("mag", &["sImg"], None, "canny");
+    db.record_assign("dir", &["sImg"], None, "canny");
+    db.record_assign("hist", &["mag"], None, "hysteresis");
+    db.record_assign("suppressed", &["mag", "dir"], None, "canny");
+    db.record_assign("result", &["suppressed", "hist", "lo", "hi"], None, "hysteresis");
+    db.mark_target("sigma");
+    db.mark_target("lo");
+    db.mark_target("hi");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_image::scene::SceneGenerator;
+
+    #[test]
+    fn detects_edges_of_clean_square() {
+        let mut img = GrayImage::new(32, 32);
+        for y in 8..24 {
+            for x in 8..24 {
+                img.set(x, y, 1.0);
+            }
+        }
+        let result = canny(&img, CannyParams::default());
+        let edge_pixels = result.edges.pixels().iter().filter(|&&p| p > 0.5).count();
+        assert!(edge_pixels >= 40, "square boundary should appear, got {edge_pixels}");
+        // The interior must stay empty.
+        assert_eq!(result.edges.get(16, 16), 0.0);
+    }
+
+    #[test]
+    fn blank_image_has_no_edges() {
+        let img = GrayImage::new(16, 16);
+        let result = canny(&img, CannyParams::default());
+        assert!(result.edges.pixels().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn intermediates_have_matching_sizes() {
+        let img = GrayImage::new(16, 16);
+        let result = canny(&img, CannyParams::default());
+        assert_eq!(result.s_img.width(), 16);
+        assert_eq!(result.mag.width(), 16);
+        assert_eq!(result.hist.len(), HIST_BINS);
+    }
+
+    #[test]
+    fn higher_thresholds_yield_fewer_edges() {
+        let scene = SceneGenerator::new(4).generate(32, 32);
+        let loose = canny(
+            &scene.image,
+            CannyParams {
+                sigma: 1.0,
+                lo: 0.05,
+                hi: 0.1,
+            },
+        );
+        let strict = canny(
+            &scene.image,
+            CannyParams {
+                sigma: 1.0,
+                lo: 0.5,
+                hi: 0.9,
+            },
+        );
+        let count = |img: &GrayImage| img.pixels().iter().filter(|&&p| p > 0.5).count();
+        assert!(count(&loose.edges) > count(&strict.edges));
+    }
+
+    #[test]
+    fn ideal_params_beat_defaults_on_average() {
+        let mut gen = SceneGenerator::new(77);
+        let mut default_total = 0.0;
+        let mut ideal_total = 0.0;
+        for _ in 0..4 {
+            let scene = gen.generate(32, 32);
+            let d = canny(&scene.image, CannyParams::default());
+            default_total += score(&d.edges, &scene.truth);
+            let (_, s) = ideal_params(&scene.image, &scene.truth);
+            ideal_total += s;
+        }
+        assert!(
+            ideal_total > default_total,
+            "ideal {ideal_total} should beat default {default_total}"
+        );
+    }
+
+    #[test]
+    fn ideal_params_vary_across_inputs() {
+        // The core premise of the paper: no universal best configuration.
+        let mut gen = SceneGenerator::new(123);
+        let params: Vec<CannyParams> = (0..6)
+            .map(|_| {
+                let scene = gen.generate(32, 32);
+                ideal_params(&scene.image, &scene.truth).0
+            })
+            .collect();
+        let first = params[0];
+        assert!(
+            params.iter().any(|p| (p.hi - first.hi).abs() > 1e-6
+                || (p.sigma - first.sigma).abs() > 1e-6),
+            "expected input-dependent ideal parameters, got {params:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be in")]
+    fn rejects_bad_threshold() {
+        let img = GrayImage::new(8, 8);
+        let _ = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                lo: 2.0,
+                hi: 0.5,
+            },
+        );
+    }
+
+    #[test]
+    fn recorded_dependences_rank_hist_first_for_lo() {
+        let mut db = au_trace::AnalysisDb::new();
+        record_dependences(&mut db);
+        let features = au_trace::extract_sl(&db);
+        let lo = db.id("lo").unwrap();
+        let ranked = &features[&lo];
+        assert_eq!(db.name(ranked[0].var), "hist");
+        // `image` is the farthest candidate — the Raw band.
+        let raw = au_trace::select_band(ranked, au_trace::DistanceBand::Raw);
+        assert!(raw.iter().any(|&v| db.name(v) == "image"));
+    }
+}

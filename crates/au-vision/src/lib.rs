@@ -1,0 +1,20 @@
+//! Edge-detection benchmark programs (the paper's SL case studies).
+//!
+//! - [`mod@canny`]: the classic Canny detector with the exact internal-variable
+//!   pipeline the paper instruments (Fig. 11): `image → sImg → mag → hist →
+//!   result`, with the three tunable target parameters `sigma`, `lo`, `hi`.
+//! - [`mod@rothwell`]: a Rothwell-style topological edge detector with dynamic
+//!   thresholding (parameters `sigma`, `low`, `alpha`).
+//!
+//! Both expose their intermediate variables so the Autonomizer can extract
+//! the `Min`/`Med`/`Raw` feature bands, provide built-in quality scoring
+//! against ground truth (SSIM), and ship an `ideal_params` oracle (direct
+//! search) standing in for the paper's expert labels.
+
+#![warn(missing_docs)]
+
+pub mod canny;
+pub mod rothwell;
+
+pub use canny::{canny, CannyParams, CannyResult};
+pub use rothwell::{rothwell, RothwellParams, RothwellResult};

@@ -1,0 +1,231 @@
+//! A Rothwell-style topological edge detector ("Driving Vision by
+//! Topology", Rothwell et al. 1995).
+//!
+//! Unlike Canny's global hysteresis, Rothwell thins edges with a *dynamic*
+//! local threshold: a pixel is an edge if it is a directional local maximum
+//! and its magnitude exceeds `low + alpha · local_mean`. The three tunable
+//! parameters mirror the paper's three target variables for this benchmark.
+
+use au_image::{ssim, GrayImage};
+
+/// Rothwell's tunable parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RothwellParams {
+    /// Gaussian smoothing standard deviation.
+    pub sigma: f32,
+    /// Absolute magnitude floor, as a fraction of the maximum magnitude.
+    pub low: f32,
+    /// Dynamic-threshold weight on the local mean magnitude.
+    pub alpha: f32,
+}
+
+impl Default for RothwellParams {
+    /// Shipped defaults — the `baseline` setting.
+    fn default() -> Self {
+        RothwellParams {
+            sigma: 1.0,
+            low: 0.15,
+            alpha: 0.9,
+        }
+    }
+}
+
+/// Output of a Rothwell run with the internals the analysis extracts.
+#[derive(Debug, Clone)]
+pub struct RothwellResult {
+    /// Final binary edge map.
+    pub edges: GrayImage,
+    /// Smoothed input.
+    pub s_img: GrayImage,
+    /// Gradient magnitude.
+    pub mag: GrayImage,
+    /// Per-image magnitude summary `[mean, max, p50, p90]` — the compact
+    /// internal feature (this detector's `Min` band).
+    pub summary: Vec<f64>,
+}
+
+/// Runs the detector.
+///
+/// # Panics
+///
+/// Panics if `low` is not in `[0, 1]`, `alpha` is negative, or `sigma` is
+/// negative.
+pub fn rothwell(image: &GrayImage, params: RothwellParams) -> RothwellResult {
+    assert!(params.sigma >= 0.0, "sigma must be non-negative");
+    assert!((0.0..=1.0).contains(&params.low), "low must be in [0,1]");
+    assert!(params.alpha >= 0.0, "alpha must be non-negative");
+    let s_img = image.gaussian_smooth(params.sigma);
+    let (mag, dir) = s_img.sobel();
+    let max = mag.pixels().iter().cloned().fold(0.0f32, f32::max).max(1e-12);
+    let (w, h) = (mag.width(), mag.height());
+
+    // Local mean magnitude over a 5x5 window (the topology-driven dynamic
+    // threshold's context).
+    let mut local_mean = GrayImage::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut acc = 0.0;
+            for dy in -2..=2isize {
+                for dx in -2..=2isize {
+                    acc += mag.get_clamped(x + dx, y + dy);
+                }
+            }
+            local_mean.set(x as usize, y as usize, acc / 25.0);
+        }
+    }
+
+    let mut edges = GrayImage::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let m = mag.get_clamped(x, y);
+            let threshold = params.low * max + params.alpha * local_mean.get_clamped(x, y);
+            if m < threshold {
+                continue;
+            }
+            // Directional local-maximum test.
+            let angle = dir.get_clamped(x, y).to_degrees().rem_euclid(180.0);
+            let (dx, dy) = if !(22.5..157.5).contains(&angle) {
+                (1isize, 0isize)
+            } else if angle < 67.5 {
+                (1, 1)
+            } else if angle < 112.5 {
+                (0, 1)
+            } else {
+                (-1, 1)
+            };
+            if m >= mag.get_clamped(x + dx, y + dy) && m >= mag.get_clamped(x - dx, y - dy) {
+                edges.set(x as usize, y as usize, 1.0);
+            }
+        }
+    }
+
+    let mut sorted: Vec<f32> = mag.pixels().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("magnitudes are finite"));
+    let pct = |p: f64| f64::from(sorted[((sorted.len() - 1) as f64 * p) as usize]);
+    let summary = vec![
+        f64::from(mag.mean()),
+        f64::from(max),
+        pct(0.5),
+        pct(0.9),
+    ];
+    RothwellResult {
+        edges,
+        s_img,
+        mag,
+        summary,
+    }
+}
+
+/// Scores a detection against ground truth (SSIM, higher is better).
+pub fn score(edges: &GrayImage, truth: &GrayImage) -> f64 {
+    ssim(edges, truth)
+}
+
+/// Direct-search oracle for per-image ideal parameters.
+pub fn ideal_params(image: &GrayImage, truth: &GrayImage) -> (RothwellParams, f64) {
+    let mut best = (RothwellParams::default(), f64::NEG_INFINITY);
+    for &sigma in &[0.5f32, 1.0, 1.5, 2.0] {
+        for &low in &[0.05f32, 0.1, 0.2, 0.3] {
+            for &alpha in &[0.5f32, 1.0, 1.5, 2.0] {
+                let params = RothwellParams { sigma, low, alpha };
+                let result = rothwell(image, params);
+                let s = ssim(&result.edges, truth);
+                if s > best.1 {
+                    best = (params, s);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Records this program's dynamic dependence shape (the Valgrind view).
+pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
+    db.mark_input("image");
+    db.record_assign("sImg", &["image", "sigma"], None, "rothwell");
+    db.record_assign("mag", &["sImg"], None, "rothwell");
+    db.record_assign("localMean", &["mag"], None, "rothwell");
+    db.record_assign("summary", &["mag"], None, "rothwell");
+    db.record_assign("result", &["summary", "localMean", "low", "alpha"], None, "rothwell");
+    db.mark_target("sigma");
+    db.mark_target("low");
+    db.mark_target("alpha");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_image::scene::SceneGenerator;
+
+    #[test]
+    fn detects_square_boundary() {
+        let mut img = GrayImage::new(32, 32);
+        for y in 10..22 {
+            for x in 10..22 {
+                img.set(x, y, 1.0);
+            }
+        }
+        let result = rothwell(&img, RothwellParams::default());
+        let edge_pixels = result.edges.pixels().iter().filter(|&&p| p > 0.5).count();
+        assert!(edge_pixels >= 30, "got {edge_pixels}");
+        assert_eq!(result.edges.get(16, 16), 0.0, "interior must stay empty");
+    }
+
+    #[test]
+    fn summary_is_four_stats() {
+        let img = SceneGenerator::new(1).generate(16, 16).image;
+        let result = rothwell(&img, RothwellParams::default());
+        assert_eq!(result.summary.len(), 4);
+        // max >= p90 >= p50 >= 0
+        assert!(result.summary[1] >= result.summary[3]);
+        assert!(result.summary[3] >= result.summary[2]);
+    }
+
+    #[test]
+    fn higher_alpha_prunes_edges() {
+        let scene = SceneGenerator::new(8).generate(32, 32);
+        let loose = rothwell(
+            &scene.image,
+            RothwellParams {
+                sigma: 1.0,
+                low: 0.05,
+                alpha: 0.2,
+            },
+        );
+        let strict = rothwell(
+            &scene.image,
+            RothwellParams {
+                sigma: 1.0,
+                low: 0.05,
+                alpha: 3.0,
+            },
+        );
+        let count = |img: &GrayImage| img.pixels().iter().filter(|&&p| p > 0.5).count();
+        assert!(count(&loose.edges) > count(&strict.edges));
+    }
+
+    #[test]
+    fn ideal_beats_default() {
+        let mut gen = SceneGenerator::new(55);
+        let mut default_total = 0.0;
+        let mut ideal_total = 0.0;
+        for _ in 0..3 {
+            let scene = gen.generate(32, 32);
+            let d = rothwell(&scene.image, RothwellParams::default());
+            default_total += score(&d.edges, &scene.truth);
+            ideal_total += ideal_params(&scene.image, &scene.truth).1;
+        }
+        assert!(ideal_total >= default_total);
+    }
+
+    #[test]
+    fn dependences_offer_summary_as_min_band() {
+        let mut db = au_trace::AnalysisDb::new();
+        record_dependences(&mut db);
+        let features = au_trace::extract_sl(&db);
+        let low = db.id("low").unwrap();
+        let min = au_trace::select_band(&features[&low], au_trace::DistanceBand::Min);
+        let names: Vec<&str> = min.iter().map(|&v| db.name(v)).collect();
+        assert!(names.contains(&"summary") || names.contains(&"localMean"), "{names:?}");
+    }
+}

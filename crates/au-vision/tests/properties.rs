@@ -1,0 +1,70 @@
+//! Property-based tests for the edge detectors.
+
+use au_image::scene::SceneGenerator;
+use au_vision::canny::{self, CannyParams};
+use au_vision::rothwell::{self, RothwellParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Canny output is always a binary map of the input's size, regardless
+    /// of parameters.
+    #[test]
+    fn canny_output_is_binary_and_sized(seed in 0u64..500,
+                                        sigma in 0.0f32..3.0,
+                                        hi in 0.05f32..0.95,
+                                        lo_frac in 0.1f32..1.0) {
+        let scene = SceneGenerator::new(seed).generate(16, 16);
+        let params = CannyParams { sigma, lo: lo_frac * hi, hi };
+        let result = canny::canny(&scene.image, params);
+        prop_assert_eq!(result.edges.width(), 16);
+        prop_assert_eq!(result.edges.height(), 16);
+        for &p in result.edges.pixels() {
+            prop_assert!(p == 0.0 || p == 1.0);
+        }
+        prop_assert_eq!(result.hist.len(), canny::HIST_BINS);
+        prop_assert_eq!(result.hist.iter().sum::<f64>() as usize, 256);
+    }
+
+    /// Detection is deterministic: same input, same parameters, same edges.
+    #[test]
+    fn canny_is_deterministic(seed in 0u64..200) {
+        let scene = SceneGenerator::new(seed).generate(16, 16);
+        let a = canny::canny(&scene.image, CannyParams::default());
+        let b = canny::canny(&scene.image, CannyParams::default());
+        prop_assert_eq!(a.edges, b.edges);
+    }
+
+    /// Raising the high threshold never yields more edges (hysteresis
+    /// monotonicity).
+    #[test]
+    fn canny_hi_threshold_is_monotone(seed in 0u64..200, hi in 0.2f32..0.8) {
+        let scene = SceneGenerator::new(seed).generate(16, 16);
+        let count = |hi: f32| {
+            let result = canny::canny(
+                &scene.image,
+                CannyParams { sigma: 1.0, lo: 0.5 * hi, hi },
+            );
+            result.edges.pixels().iter().filter(|&&p| p > 0.5).count()
+        };
+        prop_assert!(count(hi) >= count((hi + 0.15).min(0.95)));
+    }
+
+    /// Rothwell output is binary and sized; its summary is ordered.
+    #[test]
+    fn rothwell_output_is_well_formed(seed in 0u64..500,
+                                      sigma in 0.0f32..3.0,
+                                      low in 0.0f32..0.9,
+                                      alpha in 0.0f32..3.0) {
+        let scene = SceneGenerator::new(seed).generate(16, 16);
+        let result = rothwell::rothwell(&scene.image, RothwellParams { sigma, low, alpha });
+        for &p in result.edges.pixels() {
+            prop_assert!(p == 0.0 || p == 1.0);
+        }
+        // summary = [mean, max, p50, p90]
+        prop_assert!(result.summary[1] >= result.summary[3]);
+        prop_assert!(result.summary[3] >= result.summary[2]);
+        prop_assert!(result.summary[2] >= 0.0);
+    }
+}

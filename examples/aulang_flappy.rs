@@ -1,0 +1,100 @@
+//! An entire autonomized game written in **AuLang** — the crate's
+//! instrumented language — demonstrating that the primitives work from
+//! source-level annotations with *automatic* dependence tracing, exactly
+//! like the paper's C programs under Valgrind.
+//!
+//! The program is a miniature one-dimensional "flappy" game: a bird must
+//! keep its height inside a moving corridor. The AuLang source annotates
+//! the action with `au_write_back` (making it the target variable) and the
+//! interpreter records every assignment into the dependence graph, so
+//! Algorithm 2 can select features afterwards with no manual work.
+//!
+//! Run with: `cargo run --release --example aulang_flappy`
+
+use autonomizer::lang::Interpreter;
+use autonomizer::trace::{extract_rl, RlParams};
+
+const SRC: &str = r#"
+    fn reward_of(y, center) {
+        let miss = abs(y - center);
+        if (miss < 0.2) { return 1; }
+        return 0 - 1;
+    }
+
+    fn main() {
+        au_config("Bird", "DNN", "QLearn", 2, 32, 16);
+        mark_target("action");
+        let y = 0.5;
+        let vy = 0;
+        let center = 0.5;
+        let t = 0;
+        let score = 0;
+        let reward = 0;
+        let action = 0;
+        while (t < 4000) {
+            // corridor drifts sinusoidally
+            center = 0.5 + 0.25 * sin(t / 30.0);
+            // physics: the chosen action data-flows into the velocity,
+            // exactly like Fig. 10's right -> speed -> player.x chain.
+            vy = vy + 0.004 - 0.026 * action;
+            y = y + vy;
+            if (y < 0) { y = 0; vy = 0; }
+            if (y > 1) { y = 1; vy = 0; }
+
+            au_extract("Y", y);
+            au_extract("VY", vy * 20);
+            au_extract("C", center);
+            au_extract("REL", y - center);
+            let ser = au_serialize("Y", "VY", "C", "REL");
+            action = au_nn_rl("Bird", ser, reward, false, "output", 2);
+
+            reward = reward_of(y, center);
+            score = score + reward;
+            t = t + 1;
+        }
+        return score;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut interp = Interpreter::compile(SRC)?;
+    autonomizer::nn::set_init_seed(9);
+    let score = interp.run()?;
+    println!(
+        "autonomized AuLang bird: cumulative reward {} over 4000 frames",
+        score
+    );
+    println!(
+        "interpreter stats: {} statements, {} traced assignments",
+        interp.stats().steps,
+        interp.stats().assignments
+    );
+
+    // The dependence graph was recorded automatically while the program
+    // ran; Algorithm 2 can now justify the feature choice.
+    let db = interp.analysis();
+    let features = extract_rl(db, RlParams { epsilon1: 0.0, epsilon2: 0.0001 });
+    for (&target, selected) in &features {
+        println!(
+            "Algorithm 2: features for `{}`: {:?}",
+            db.name(target),
+            selected.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+        );
+    }
+
+    // A pure-physics baseline for comparison: never flap.
+    let mut y = 0.5f64;
+    let mut vy = 0.0f64;
+    let mut baseline = 0.0;
+    for t in 0..4000 {
+        let center = 0.5 + 0.25 * f64::sin(f64::from(t) / 30.0);
+        vy += 0.004;
+        y = (y + vy).clamp(0.0, 1.0);
+        if y == 0.0 || y == 1.0 {
+            vy = 0.0;
+        }
+        baseline += if (y - center).abs() < 0.2 { 1.0 } else { -1.0 };
+    }
+    println!("never-flap baseline: cumulative reward {baseline}");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Autonomizing Canny edge detection — the paper's Fig. 11 workflow.
+//!
+//! Two models are installed exactly as in the paper: `SigmaNN` predicts the
+//! Gaussian `sigma` from the raw image, and `MinNN` predicts the hysteresis
+//! thresholds `lo`/`hi` from the gradient-magnitude histogram (the feature
+//! Algorithm 1 ranks first). Deployment then runs the real two-phase
+//! pipeline: predict sigma → smooth → histogram → predict lo/hi →
+//! hysteresis.
+//!
+//! Run with: `cargo run --release --example canny_tuning`
+
+use autonomizer::core::{Engine, Mode, ModelConfig};
+use autonomizer::image::scene::SceneGenerator;
+use autonomizer::trace::{extract_sl, AnalysisDb};
+use autonomizer::vision::canny::{self, CannyParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Algorithm 1 justifies the feature choice (Fig. 9).
+    let mut db = AnalysisDb::new();
+    canny::record_dependences(&mut db);
+    let features = extract_sl(&db);
+    let lo = db.id("lo").expect("lo is a target");
+    println!(
+        "Algorithm 1 ranking for `lo`: {:?}",
+        features[&lo]
+            .iter()
+            .map(|f| (db.name(f.var), f.distance))
+            .collect::<Vec<_>>()
+    );
+
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("SigmaNN", ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3))?;
+    engine.au_config("MinNN", ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3))?;
+
+    // Training: run the program on each input, extract features and the
+    // per-input ideal parameters (the paper's expert/auto-tuned labels).
+    println!("training on 150 synthetic scenes...");
+    let mut gen = SceneGenerator::new(7);
+    let training: Vec<_> = (0..150)
+        .map(|_| {
+            let scene = gen.generate(32, 32);
+            let (ideal, _) = canny::ideal_params(&scene.image, &scene.truth);
+            (scene, ideal)
+        })
+        .collect();
+    for _epoch in 0..40 {
+        for (scene, ideal) in &training {
+            // SigmaNN: IMG -> SIGMA (Fig. 11 lines 16-18).
+            engine.au_extract("IMG", &scene.image.to_f64());
+            engine.au_extract("SIGMA", &[f64::from(ideal.sigma)]);
+            engine.au_nn("SigmaNN", "IMG", &["SIGMA"])?;
+            // MinNN: HIST -> LO, HI (Fig. 11 lines 3-7), with the histogram
+            // computed at the ideal smoothing as the runtime would observe.
+            let result = canny::canny(&scene.image, *ideal);
+            engine.au_extract("HIST", &normalized(&result.hist));
+            engine.au_extract("LO", &[f64::from(ideal.lo)]);
+            engine.au_extract("HI", &[f64::from(ideal.hi)]);
+            engine.au_nn("MinNN", "HIST", &["LO", "HI"])?;
+        }
+    }
+
+    // Deployment on 10 held-out scenes.
+    engine.set_mode(Mode::Test);
+    let mut test_gen = SceneGenerator::new(7 + 0x9e37);
+    let mut base_total = 0.0;
+    let mut auto_total = 0.0;
+    println!("\n{:<7} {:>10} {:>12}", "Scene", "Baseline", "Autonomized");
+    for i in 0..10 {
+        let scene = test_gen.generate(32, 32);
+
+        // Phase 1: predict sigma from the raw image.
+        engine.au_extract("IMG", &scene.image.to_f64());
+        engine.au_nn("SigmaNN", "IMG", &["SIGMA"])?;
+        let sigma = engine.au_write_back_scalar("SIGMA")?.clamp(0.3, 3.0) as f32;
+
+        // Phase 2: smooth with the predicted sigma, histogram the
+        // magnitudes, predict lo/hi.
+        let probe = canny::canny(
+            &scene.image,
+            CannyParams {
+                sigma,
+                ..CannyParams::default()
+            },
+        );
+        engine.au_extract("HIST", &normalized(&probe.hist));
+        engine.au_nn("MinNN", "HIST", &["LO", "HI"])?;
+        let hi = engine.au_write_back_scalar("HI")?.clamp(0.05, 0.95) as f32;
+        let lo = engine.au_write_back_scalar("LO")?.clamp(0.01, f64::from(hi)) as f32;
+
+        let auto = canny::canny(&scene.image, CannyParams { sigma, lo, hi });
+        let auto_score = canny::score(&auto.edges, &scene.truth);
+        let base = canny::canny(&scene.image, CannyParams::default());
+        let base_score = canny::score(&base.edges, &scene.truth);
+        base_total += base_score;
+        auto_total += auto_score;
+        println!("{:<7} {:>10.3} {:>12.3}", i + 1, base_score, auto_score);
+    }
+    println!(
+        "{:<7} {:>10.3} {:>12.3}  ({:+.0}% over baseline; paper: ~70%)",
+        "mean",
+        base_total / 10.0,
+        auto_total / 10.0,
+        (auto_total - base_total) / base_total.abs() * 100.0
+    );
+    Ok(())
+}
+
+fn normalized(hist: &[f64]) -> Vec<f64> {
+    let total: f64 = hist.iter().sum::<f64>().max(1.0);
+    hist.iter().map(|h| h / total).collect()
+}

@@ -1,0 +1,156 @@
+//! Autonomizing Mario to play by itself — the paper's Fig. 2 running
+//! example, written against the primitives directly.
+//!
+//! The game loop extracts the positions of Mario and the minions
+//! (`au_extract`), serializes them (`au_serialize`), asks the Q-learning
+//! model for the next action (`au_NN` with reward/terminal), writes it back
+//! into `actionKey` (`au_write_back`), and rolls the program state back to
+//! the checkpoint whenever Mario dies (`au_checkpoint`/`au_restore`) — the
+//! model state survives the rollback and keeps learning.
+//!
+//! Run with: `cargo run --release --example mario_selfplay`
+
+use autonomizer::core::{Engine, Mode, ModelConfig};
+use autonomizer::games::{Game, Mario};
+use autonomizer::nn::rl::DqnConfig;
+use autonomizer::trace::{extract_rl, AnalysisDb, RlParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Algorithm 2 picks the feature variables (Fig. 10): profile a little
+    // oracle play, then extract.
+    let mut probe = Mario::new(1);
+    let mut db = AnalysisDb::new();
+    probe.record_dependences(&mut db);
+    for _ in 0..300 {
+        probe.record_frame(&mut db);
+        let a = probe.oracle_action();
+        if probe.step(a).terminal {
+            probe.reset();
+        }
+    }
+    let features = extract_rl(&db, RlParams::default());
+    let action_key = db.id("actionKey").expect("target annotated");
+    let names: Vec<String> = features[&action_key]
+        .iter()
+        .map(|&v| db.name(v).to_owned())
+        .collect();
+    println!("Algorithm 2 selected features: {names:?}");
+
+    // initGame(): au_config("Mario", DNN, QLearn, 2, 256, 64) — we scale the
+    // hidden layers down to keep the example fast on a laptop.
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config(
+        "Mario",
+        ModelConfig::q_dnn(&[64, 32]).with_dqn(DqnConfig {
+            hidden: vec![64, 32],
+            batch_size: 32,
+            replay_capacity: 50_000,
+            target_sync_every: 500,
+            epsilon_decay: 0.9995,
+            epsilon_end: 0.02,
+            learning_rate: 1e-3,
+            gamma: 0.99,
+            learn_every: 2,
+            seed: 7,
+            ..DqnConfig::default()
+        }),
+    )?;
+
+    let mut game = Mario::new(1);
+    let episodes = 2000usize; // budget; training stops at the 80% bar below
+    let max_frames = 450usize;
+    let mut best_progress: f64 = 0.0;
+    for episode in 0..episodes {
+        game.reset();
+        // au_checkpoint(): snapshot ⟨σ, π⟩ once per episode (Fig. 2 line 27).
+        let checkpoint = engine.checkpoint_with(&game);
+        let mut reward = 0.0;
+        let mut terminated = false;
+        for _frame in 0..max_frames {
+            // Feature extraction (Fig. 2 lines 9-22), using the variables
+            // Algorithm 2 selected.
+            let all = game.features();
+            let feature_names = game.feature_names();
+            for name in &names {
+                let idx = feature_names
+                    .iter()
+                    .position(|n| n == name)
+                    .expect("selected features exist");
+                engine.au_extract(name, &[all[idx]]);
+            }
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let ser = engine.au_serialize(&name_refs);
+
+            // au_NN + au_write_back + act (lines 40-46).
+            let action = engine.au_nn_rl("Mario", &ser, reward, terminated, "output", 5)?;
+            if terminated {
+                // Line 48: au_restore() — program state rolls back, the
+                // model keeps what it learned.
+                game = engine.restore_with(&checkpoint);
+                break;
+            }
+            let mut action_key = [0.0f64; 5];
+            engine.au_write_back("output", &mut action_key)?;
+            let result = game.step(action);
+            reward = result.reward;
+            terminated = result.terminal;
+            if terminated {
+                best_progress = best_progress.max(game.progress());
+            }
+        }
+        if (episode + 1) % 50 == 0 {
+            // Greedy probe (the paper's stopping rule: quit when the score
+            // is within 20% of the players').
+            engine.set_mode(Mode::Test);
+            let probe = greedy_run(&mut engine, &names, max_frames)?;
+            engine.set_mode(Mode::Train);
+            println!(
+                "episode {:>4}: greedy progress {:.0}% (best episode {:.0}%)",
+                episode + 1,
+                probe * 100.0,
+                best_progress * 100.0
+            );
+            if probe >= 0.8 {
+                println!("reached the 80% bar; stopping training");
+                break;
+            }
+        }
+    }
+
+    // Deployment: play greedily.
+    engine.set_mode(Mode::Test);
+    let progress = greedy_run(&mut engine, &names, max_frames)?;
+    println!(
+        "deployed run: progress {:.0}%{}",
+        progress * 100.0,
+        if progress >= 1.0 { " — flag reached!" } else { "" }
+    );
+    Ok(())
+}
+
+/// One greedy episode on a fresh game; returns the progress reached.
+fn greedy_run(
+    engine: &mut Engine,
+    names: &[String],
+    max_frames: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut game = Mario::new(1);
+    let mut reward = 0.0;
+    for _ in 0..max_frames {
+        let all = game.features();
+        let feature_names = game.feature_names();
+        for name in names {
+            let idx = feature_names.iter().position(|n| n == name).expect("exists");
+            engine.au_extract(name, &[all[idx]]);
+        }
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ser = engine.au_serialize(&name_refs);
+        let action = engine.au_nn_rl("Mario", &ser, reward, false, "output", 5)?;
+        let result = game.step(action);
+        reward = result.reward;
+        if result.terminal {
+            break;
+        }
+    }
+    Ok(game.progress())
+}

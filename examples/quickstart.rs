@@ -1,0 +1,146 @@
+//! Quickstart: autonomize two tiny parameterized programs end to end.
+//!
+//! Part 1 autonomizes the Phylip-style phylogeny program: the model learns
+//! to predict the ideal distance-correction parameters per input alignment.
+//! Part 2 does the same for the Sphinx-style recognizer. Both follow the
+//! paper's workflow: annotate targets, let Algorithm 1 pick features, train
+//! through the primitives, then deploy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autonomizer::core::{Engine, Mode, ModelConfig};
+use autonomizer::phylo::{self, DistParams};
+use autonomizer::speech::{self, DecodeParams, Recognizer, Vocabulary};
+use autonomizer::trace::{extract_sl, select_band, AnalysisDb, DistanceBand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    phylip_part()?;
+    sphinx_part()?;
+    Ok(())
+}
+
+fn phylip_part() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Autonomizing Phylip (distance-based phylogeny) ==");
+
+    // 1. Feature extraction: record the program's dynamic dependences and
+    //    let Algorithm 1 recommend feature variables for the targets.
+    let mut db = AnalysisDb::new();
+    phylo::record_dependences(&mut db);
+    let features = extract_sl(&db);
+    let alpha = db.id("alpha").expect("alpha is a target");
+    let min_band = select_band(&features[&alpha], DistanceBand::Min);
+    println!(
+        "Algorithm 1 recommends for `alpha`: {:?}",
+        min_band.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+    );
+
+    // 2. Training: for each input, extract the recommended features
+    //    (the distance summary) and the ideal parameters, then au_NN.
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("PhylipNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))?;
+    for seed in 0..40u64 {
+        let data = phylo::generate_dataset(8, 150, seed);
+        engine.au_extract("SUMMARY", &phylo::distance_summary(&data.sequences));
+        let (ideal, _) = phylo::ideal_params(&data);
+        engine.au_extract("ALPHA", &[ideal.alpha]);
+        engine.au_extract("CUTOFF", &[ideal.cutoff]);
+        engine.au_extract("PSEUDO", &[ideal.pseudo]);
+        engine.au_nn("PhylipNN", "SUMMARY", &["ALPHA", "CUTOFF", "PSEUDO"])?;
+    }
+    // A few more passes over fresh data to converge.
+    for round in 0..4 {
+        for seed in 0..40u64 {
+            let data = phylo::generate_dataset(8, 150, seed + round * 1000);
+            engine.au_extract("SUMMARY", &phylo::distance_summary(&data.sequences));
+            let (ideal, _) = phylo::ideal_params(&data);
+            engine.au_extract("ALPHA", &[ideal.alpha]);
+            engine.au_extract("CUTOFF", &[ideal.cutoff]);
+            engine.au_extract("PSEUDO", &[ideal.pseudo]);
+            engine.au_nn("PhylipNN", "SUMMARY", &["ALPHA", "CUTOFF", "PSEUDO"])?;
+        }
+    }
+
+    // 3. Deployment: predict parameters for unseen inputs; compare the
+    //    resulting tree quality (Robinson-Foulds; lower is better) against
+    //    the shipped defaults.
+    engine.set_mode(Mode::Test);
+    let mut default_total = 0.0;
+    let mut predicted_total = 0.0;
+    for seed in 900..910u64 {
+        let data = phylo::generate_dataset(8, 150, seed);
+        engine.au_extract("SUMMARY", &phylo::distance_summary(&data.sequences));
+        engine.au_nn("PhylipNN", "SUMMARY", &["ALPHA", "CUTOFF", "PSEUDO"])?;
+        let alpha = engine.au_write_back_scalar("ALPHA")?.clamp(0.1, 100.0);
+        let cutoff = engine.au_write_back_scalar("CUTOFF")?.clamp(0.5, 10.0);
+        let pseudo = engine.au_write_back_scalar("PSEUDO")?.clamp(0.0, 5.0);
+        let predicted = phylo::infer_tree(
+            &data.sequences,
+            DistParams {
+                alpha,
+                cutoff,
+                pseudo,
+            },
+        );
+        let default = phylo::infer_tree(&data.sequences, DistParams::default());
+        default_total += phylo::robinson_foulds(&default, &data.true_tree);
+        predicted_total += phylo::robinson_foulds(&predicted, &data.true_tree);
+    }
+    println!("mean RF distance over 10 held-out inputs (lower is better):");
+    println!("  defaults:  {:.2}", default_total / 10.0);
+    println!("  predicted: {:.2}", predicted_total / 10.0);
+    println!();
+    Ok(())
+}
+
+fn sphinx_part() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Autonomizing Sphinx (keyword recognition) ==");
+    let recognizer = Recognizer::new(Vocabulary::new(4, 20));
+
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("SphinxNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))?;
+    for round in 0..5u64 {
+        for i in 0..40u64 {
+            let utterance =
+                speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, i * 31 + round);
+            let (ideal, ok) = speech::ideal_params(&recognizer, &utterance);
+            if !ok {
+                continue; // unrecognizable even with ideal params
+            }
+            engine.au_extract("SUMMARY", &utterance.summary());
+            engine.au_extract("BEAM", &[ideal.beam]);
+            engine.au_extract("FLOOR", &[ideal.floor]);
+            engine.au_nn("SphinxNN", "SUMMARY", &["BEAM", "FLOOR"])?;
+        }
+    }
+
+    engine.set_mode(Mode::Test);
+    let mut default_correct = 0;
+    let mut predicted_correct = 0;
+    let trials = 20u64;
+    for i in 0..trials {
+        let utterance =
+            speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, 5000 + i * 17);
+        engine.au_extract("SUMMARY", &utterance.summary());
+        engine.au_nn("SphinxNN", "SUMMARY", &["BEAM", "FLOOR"])?;
+        let beam = engine.au_write_back_scalar("BEAM")?.clamp(1.0, 40.0);
+        let floor = engine.au_write_back_scalar("FLOOR")?.clamp(0.0, 1.5);
+        let (word, _, _) = recognizer.recognize(&utterance, DecodeParams { beam, floor });
+        if word == utterance.word {
+            predicted_correct += 1;
+        }
+        let (word, _, _) = recognizer.recognize(&utterance, DecodeParams::default());
+        if word == utterance.word {
+            default_correct += 1;
+        }
+    }
+    println!("recognition accuracy over {trials} held-out utterances:");
+    println!(
+        "  defaults:  {:.0}%",
+        default_correct as f64 / trials as f64 * 100.0
+    );
+    println!(
+        "  predicted: {:.0}%",
+        predicted_correct as f64 / trials as f64 * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Autonomizing TORCS-style driving — the paper's Section 6.3 case study.
+//!
+//! Algorithm 2 extracts the steering features from profiled traces (pruning
+//! the duplicated `roll` and the near-constant `accX`), then a Q-learning
+//! model is trained through the primitives until the car drives the whole
+//! track.
+//!
+//! Run with: `cargo run --release --example torcs_driving`
+
+use autonomizer::core::{Engine, Mode, ModelConfig};
+use autonomizer::games::harness::{self, FeatureSource};
+use autonomizer::games::{Game, Torcs};
+use autonomizer::nn::rl::DqnConfig;
+use autonomizer::trace::{extract_rl_detailed, AnalysisDb, RlParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Feature extraction with the paper's thresholds (ε₁ = 0, ε₂ = 0.01).
+    let mut probe = Torcs::new(4);
+    let mut db = AnalysisDb::new();
+    probe.record_dependences(&mut db);
+    for _ in 0..150 {
+        probe.record_frame(&mut db);
+        let a = probe.oracle_action();
+        if probe.step(a).terminal {
+            break;
+        }
+    }
+    let detailed = extract_rl_detailed(&db, RlParams::default());
+    let steer = db.id("steer").expect("steer is the target");
+    let extraction = &detailed[&steer];
+    println!(
+        "candidates: {:?}",
+        extraction.candidates.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+    );
+    println!(
+        "pruned duplicates (eps1): {:?}",
+        extraction.pruned_redundant.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+    );
+    println!(
+        "pruned unchanging (eps2): {:?}",
+        extraction.pruned_unchanging.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+    );
+    println!(
+        "selected: {:?}",
+        extraction.selected.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+    );
+
+    // Train the steering model through the primitives.
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config(
+        "Torcs",
+        ModelConfig::q_dnn(&[64, 32]).with_dqn(DqnConfig {
+            hidden: vec![64, 32],
+            learn_every: 4,
+            epsilon_decay: 0.998,
+            seed: 4,
+            ..DqnConfig::default()
+        }),
+    )?;
+    let mut game = Torcs::new(4);
+    println!("\ntraining...");
+    for block in 0..8 {
+        harness::train(&mut engine, "Torcs", &mut game, 25, 450, FeatureSource::Internal)?;
+        let eval = harness::evaluate(&mut engine, "Torcs", &mut game, 5, 450, FeatureSource::Internal)?;
+        println!(
+            "after {:>3} episodes: progress {:.0}%  finished {:.0}%",
+            (block + 1) * 25,
+            eval.recent_progress(5) * 100.0,
+            eval.recent_success(5) * 100.0
+        );
+    }
+
+    // Reference: the scripted "human player".
+    let oracle = harness::run_oracle(&mut game, 450);
+    println!(
+        "\nplayers reference: progress {:.0}% ({}); the trained model aims to match it",
+        oracle.progress * 100.0,
+        if oracle.succeeded { "finished" } else { "crashed" }
+    );
+    Ok(())
+}

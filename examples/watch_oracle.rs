@@ -1,0 +1,45 @@
+//! Prints ASCII snapshots of the scripted oracle ("human player") working
+//! through each of the five RL benchmark games — a quick visual check that
+//! the simulators behave sensibly.
+//!
+//! Run with: `cargo run --release --example watch_oracle`
+
+use autonomizer::games::{Arkanoid, Breakout, Flappybird, Game, Mario, Torcs};
+
+fn watch(game: &mut dyn Game, snapshots: usize, stride: usize) {
+    println!("=== {} ===", game.name());
+    game.reset();
+    let mut frame = 0usize;
+    for shot in 0..snapshots {
+        for _ in 0..stride {
+            let action = game.oracle_action();
+            frame += 1;
+            if game.step(action).terminal {
+                println!(
+                    "[episode ended at frame {frame}: progress {:.0}%{}]",
+                    game.progress() * 100.0,
+                    if game.succeeded() { ", success" } else { "" }
+                );
+                return;
+            }
+        }
+        println!(
+            "frame {frame} (snapshot {}/{snapshots}), progress {:.0}%:",
+            shot + 1,
+            game.progress() * 100.0
+        );
+        print!("{}", game.render_ascii(48, 12));
+    }
+    println!(
+        "[stopped watching at frame {frame}: progress {:.0}%]",
+        game.progress() * 100.0
+    );
+}
+
+fn main() {
+    watch(&mut Flappybird::new(7), 3, 60);
+    watch(&mut Mario::new(1), 3, 80);
+    watch(&mut Arkanoid::new(2), 3, 80);
+    watch(&mut Torcs::new(4), 3, 100);
+    watch(&mut Breakout::new(3), 3, 80);
+}

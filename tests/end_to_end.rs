@@ -1,0 +1,252 @@
+//! End-to-end autonomization tests spanning the whole workspace: SL
+//! (Canny/Sphinx) and RL (Torcs/Flappy) pipelines, run at reduced budgets.
+
+use autonomizer::core::{Engine, Mode, ModelConfig};
+use autonomizer::games::harness::{self, FeatureSource};
+use autonomizer::games::{Flappybird, Torcs};
+use autonomizer::image::scene::SceneGenerator;
+use autonomizer::nn::rl::DqnConfig;
+use autonomizer::speech::{self, DecodeParams, Recognizer, Vocabulary};
+use autonomizer::vision::canny::{self, CannyParams};
+
+#[test]
+fn canny_autonomization_beats_or_matches_baseline() {
+    autonomizer::nn::set_init_seed(101);
+    let mut engine = Engine::new(Mode::Train);
+    engine
+        .au_config("MinNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))
+        .unwrap();
+
+    // Train on 12 scenes for a few epochs (hist -> lo/hi/sigma).
+    let mut gen = SceneGenerator::new(5);
+    let training: Vec<_> = (0..12)
+        .map(|_| {
+            let scene = gen.generate(24, 24);
+            let (ideal, _) = canny::ideal_params(&scene.image, &scene.truth);
+            let result = canny::canny(&scene.image, ideal);
+            (scene, ideal, result.hist)
+        })
+        .collect();
+    let norm = |h: &[f64]| {
+        let t: f64 = h.iter().sum::<f64>().max(1.0);
+        h.iter().map(|v| v / t).collect::<Vec<f64>>()
+    };
+    for _ in 0..25 {
+        for (_, ideal, hist) in &training {
+            engine.au_extract("HIST", &norm(hist));
+            engine.au_extract("SIGMA", &[f64::from(ideal.sigma)]);
+            engine.au_extract("LO", &[f64::from(ideal.lo)]);
+            engine.au_extract("HI", &[f64::from(ideal.hi)]);
+            engine.au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"]).unwrap();
+        }
+    }
+
+    // Deploy on 6 held-out scenes.
+    engine.set_mode(Mode::Test);
+    let mut test_gen = SceneGenerator::new(999);
+    let mut baseline_total = 0.0;
+    let mut auto_total = 0.0;
+    for _ in 0..6 {
+        let scene = test_gen.generate(24, 24);
+        let probe = canny::canny(&scene.image, CannyParams::default());
+        engine.au_extract("HIST", &norm(&probe.hist));
+        engine.au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"]).unwrap();
+        let sigma = engine.au_write_back_scalar("SIGMA").unwrap().clamp(0.3, 3.0) as f32;
+        let hi = engine.au_write_back_scalar("HI").unwrap().clamp(0.05, 0.95) as f32;
+        let lo = engine
+            .au_write_back_scalar("LO")
+            .unwrap()
+            .clamp(0.01, f64::from(hi)) as f32;
+        let auto = canny::canny(&scene.image, CannyParams { sigma, lo, hi });
+        auto_total += canny::score(&auto.edges, &scene.truth);
+        baseline_total += canny::score(&probe.edges, &scene.truth);
+    }
+    assert!(
+        auto_total > baseline_total - 0.05,
+        "autonomized {auto_total:.3} should at least match baseline {baseline_total:.3}"
+    );
+}
+
+#[test]
+fn sphinx_autonomization_improves_noisy_recognition() {
+    autonomizer::nn::set_init_seed(102);
+    let recognizer = Recognizer::new(Vocabulary::new(4, 20));
+    let mut engine = Engine::new(Mode::Train);
+    engine
+        .au_config("SphinxNN", ModelConfig::dnn(&[24, 12]).with_learning_rate(3e-3))
+        .unwrap();
+    // Offline training, as the paper does for SL.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..60u64 {
+        let utterance = speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, i);
+        let (ideal, ok) = speech::ideal_params(&recognizer, &utterance);
+        if ok {
+            xs.push(utterance.summary());
+            ys.push(vec![ideal.beam, ideal.floor]);
+        }
+    }
+    engine.train_supervised("SphinxNN", &xs, &ys, 60).unwrap();
+
+    engine.set_mode(Mode::Test);
+    let mut default_ok = 0;
+    let mut auto_ok = 0;
+    let trials = 30u64;
+    for i in 0..trials {
+        let utterance =
+            speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, 7000 + i);
+        let prediction = engine.predict("SphinxNN", &utterance.summary()).unwrap();
+        let params = DecodeParams {
+            beam: prediction[0].clamp(1.0, 40.0),
+            floor: prediction[1].clamp(0.0, 1.5),
+        };
+        if recognizer.recognize(&utterance, params).0 == utterance.word {
+            auto_ok += 1;
+        }
+        if recognizer.recognize(&utterance, DecodeParams::default()).0 == utterance.word {
+            default_ok += 1;
+        }
+    }
+    assert!(
+        auto_ok >= default_ok,
+        "predicted params ({auto_ok}/{trials}) should not lose to defaults ({default_ok}/{trials})"
+    );
+}
+
+#[test]
+fn torcs_training_improves_driving_through_primitives() {
+    autonomizer::nn::set_init_seed(103);
+    let mut engine = Engine::new(Mode::Train);
+    engine
+        .au_config(
+            "T",
+            ModelConfig::q_dnn(&[32]).with_dqn(DqnConfig {
+                hidden: vec![32],
+                batch_size: 16,
+                learn_every: 2,
+                epsilon_decay: 0.995,
+                learning_rate: 2e-3,
+                seed: 2,
+                ..DqnConfig::default()
+            }),
+        )
+        .unwrap();
+    let mut game = Torcs::new(4);
+    let report = harness::train(&mut engine, "T", &mut game, 50, 450, FeatureSource::Internal)
+        .unwrap();
+    let early: f64 = report.episodes[..10].iter().map(|e| e.progress).sum::<f64>() / 10.0;
+    let late = report.recent_progress(10);
+    assert!(
+        late > early,
+        "driving should improve with training: early {early:.3} late {late:.3}"
+    );
+}
+
+#[test]
+fn trained_rl_model_survives_process_restart() {
+    autonomizer::nn::set_init_seed(104);
+    let dir = std::env::temp_dir().join("autonomizer_e2e_model");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // TR process.
+    {
+        let mut engine = Engine::new(Mode::Train);
+        engine.set_model_dir(&dir);
+        engine
+            .au_config(
+                "F",
+                ModelConfig::q_dnn(&[16]).with_dqn(DqnConfig {
+                    hidden: vec![16],
+                    batch_size: 8,
+                    seed: 3,
+                    ..DqnConfig::default()
+                }),
+            )
+            .unwrap();
+        let mut game = Flappybird::new(3);
+        harness::train(&mut engine, "F", &mut game, 5, 100, FeatureSource::Internal).unwrap();
+        engine.save_model("F").unwrap();
+    }
+
+    // TS process: au_config loads the trained model (rule CONFIG-TEST).
+    {
+        let mut engine = Engine::new(Mode::Test);
+        engine.set_model_dir(&dir);
+        engine
+            .au_config(
+                "F",
+                ModelConfig::q_dnn(&[16]).with_dqn(DqnConfig {
+                    hidden: vec![16],
+                    batch_size: 8,
+                    seed: 3,
+                    ..DqnConfig::default()
+                }),
+            )
+            .unwrap();
+        let mut game = Flappybird::new(3);
+        let out =
+            harness::play_episode(&mut engine, "F", &mut game, 100, FeatureSource::Internal, None)
+                .unwrap();
+        assert!(out.steps > 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn feature_extraction_agrees_across_all_nine_benchmarks() {
+    // Every benchmark's recorded dependence shape must yield non-empty
+    // features for every annotated target.
+    use autonomizer::games::Game;
+    use autonomizer::trace::{extract_rl, extract_sl, AnalysisDb, RlParams};
+
+    // SL programs (Algorithm 1).
+    let mut sl_dbs: Vec<(&str, AnalysisDb)> = Vec::new();
+    let mut db = AnalysisDb::new();
+    autonomizer::vision::canny::record_dependences(&mut db);
+    sl_dbs.push(("Canny", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::vision::rothwell::record_dependences(&mut db);
+    sl_dbs.push(("Rothwell", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::phylo::record_dependences(&mut db);
+    sl_dbs.push(("Phylip", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::speech::record_dependences(&mut db);
+    sl_dbs.push(("Sphinx", db));
+    for (name, db) in &sl_dbs {
+        let features = extract_sl(db);
+        for (&target, ranked) in &features {
+            assert!(
+                !ranked.is_empty(),
+                "{name}: target {} has no features",
+                db.name(target)
+            );
+        }
+    }
+
+    // RL programs (Algorithm 2 over live traces).
+    fn rl_check(game: &mut (impl Game + ?Sized), name: &str) {
+        let mut db = AnalysisDb::new();
+        game.record_dependences(&mut db);
+        for _ in 0..200 {
+            game.record_frame(&mut db);
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                game.reset();
+            }
+        }
+        let features = extract_rl(&db, RlParams::default());
+        for (&target, selected) in &features {
+            assert!(
+                !selected.is_empty(),
+                "{name}: target {} has no features",
+                db.name(target)
+            );
+        }
+    }
+    rl_check(&mut autonomizer::games::Flappybird::new(1), "Flappybird");
+    rl_check(&mut autonomizer::games::Mario::new(1), "Mario");
+    rl_check(&mut autonomizer::games::Arkanoid::new(1), "Arkanoid");
+    rl_check(&mut autonomizer::games::Torcs::new(1), "Torcs");
+    rl_check(&mut autonomizer::games::Breakout::new(1), "Breakout");
+}

@@ -1,0 +1,164 @@
+//! Conformance tests for the Fig. 8 operational semantics, exercised
+//! through the public engine API.
+
+use autonomizer::core::{AuError, Engine, Mode, ModelConfig};
+
+/// Rule EXTRACT: `π′ = π[extName ↦ concat(π(extName), x[0..size])]`.
+#[test]
+fn extract_appends_in_order() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_extract("MnX", &[1.0]);
+    engine.au_extract("MnX", &[2.0, 3.0]);
+    assert_eq!(engine.db().get("MnX"), &[1.0, 2.0, 3.0]);
+}
+
+/// Rule WRITE-BACK: `∀i ∈ [0, σ(size)): σ[x[i] ↦ π(wbName)[i]]`.
+#[test]
+fn write_back_copies_prefix() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_extract("OUT", &[10.0, 20.0, 30.0]);
+    let mut x = [0.0; 2];
+    engine.au_write_back("OUT", &mut x).unwrap();
+    assert_eq!(x, [10.0, 20.0]);
+}
+
+/// Rule SERIALIZE: value lists concatenate; names concatenate via strcat.
+#[test]
+fn serialize_concatenates_names_and_values() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_extract("PX", &[1.0]);
+    engine.au_extract("PY", &[2.0]);
+    let name = engine.au_serialize(&["PX", "PY"]);
+    assert_eq!(name, "PXPY");
+    assert_eq!(engine.db().get("PXPY"), &[1.0, 2.0]);
+}
+
+/// Rules TRAIN/TEST: after au_NN, the input list is reset to ⊥ and the
+/// output list holds the model's prediction.
+#[test]
+fn au_nn_resets_input_and_writes_output() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+    engine.au_extract("F", &[0.5, 0.5]);
+    engine.au_extract("P", &[1.0]);
+    engine.au_nn("M", "F", &["P"]).unwrap();
+    assert!(engine.db().get("F").is_empty(), "extName ↦ ⊥");
+    assert_eq!(engine.db().get("P").len(), 1, "π(wbName) = runModel(...)");
+}
+
+/// Rule TEST does not update the model; rule TRAIN does.
+#[test]
+fn test_mode_never_trains() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+    engine.au_extract("F", &[0.1]);
+    engine.au_extract("L", &[0.9]);
+    engine.au_nn("M", "F", &["L"]).unwrap();
+    let steps_after_train = engine.model_stats("M").unwrap().train_steps;
+    assert_eq!(steps_after_train, 1);
+
+    engine.set_mode(Mode::Test);
+    engine.au_extract("F", &[0.1]);
+    engine.au_extract("L", &[0.9]); // labels present but TS ignores them
+    engine.au_nn("M", "F", &["L"]).unwrap();
+    assert_eq!(engine.model_stats("M").unwrap().train_steps, steps_after_train);
+}
+
+/// Rule CONFIG-TRAIN: re-configuring an existing model with the same
+/// parameters leaves θ unchanged.
+#[test]
+fn config_is_idempotent_for_same_model() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("M", ModelConfig::dnn(&[8])).unwrap();
+    engine.au_extract("F", &[1.0]);
+    engine.au_extract("L", &[2.0]);
+    engine.au_nn("M", "F", &["L"]).unwrap();
+    engine.au_config("M", ModelConfig::dnn(&[8])).unwrap();
+    assert_eq!(engine.model_stats("M").unwrap().train_steps, 1, "θ preserved");
+}
+
+/// Rules CHECKPOINT/RESTORE: ⟨σ, π⟩ roll back together; θ does not.
+#[test]
+fn checkpoint_restores_stores_not_models() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("M", ModelConfig::dnn(&[4])).unwrap();
+
+    // σ is the host program's own state here.
+    let mut sigma = vec![1.0f64, 2.0];
+    engine.au_extract("STATE", &[7.0]);
+    let ckpt = engine.checkpoint_with(&sigma);
+
+    sigma[0] = 99.0;
+    engine.au_extract("STATE", &[8.0]);
+    engine.au_extract("F", &[1.0]);
+    engine.au_extract("L", &[1.0]);
+    engine.au_nn("M", "F", &["L"]).unwrap();
+    let theta_steps = engine.model_stats("M").unwrap().train_steps;
+
+    sigma = engine.restore_with(&ckpt);
+    assert_eq!(sigma, vec![1.0, 2.0], "σ restored");
+    assert_eq!(engine.db().get("STATE"), &[7.0], "π restored");
+    assert_eq!(
+        engine.model_stats("M").unwrap().train_steps,
+        theta_steps,
+        "θ exempt from restore so learning accumulates"
+    );
+}
+
+/// The two stores are isolated: nothing reaches π except through extract,
+/// and nothing leaves except through write-back.
+#[test]
+fn stores_are_isolated() {
+    let mut engine = Engine::new(Mode::Train);
+    assert!(engine.db().is_empty());
+    engine.au_extract("A", &[1.0]);
+    assert_eq!(engine.db().len(), 1);
+    let mut out = [0.0];
+    // Reading a name never written is an error, not silent garbage.
+    assert!(matches!(
+        engine.au_write_back("B", &mut out),
+        Err(AuError::MissingData { .. })
+    ));
+}
+
+/// RL rule: the paper's Fig. 2 loop shape — reward completes the previous
+/// transition; the action arrives as a one-hot π entry sized by
+/// `au_write_back`'s size argument.
+#[test]
+fn rl_loop_matches_fig2_shape() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("Mario", ModelConfig::q_dnn(&[8])).unwrap();
+    let mut reward = 0.0;
+    for step in 0..5 {
+        engine.au_extract("PX", &[step as f64]);
+        engine.au_extract("PY", &[0.0]);
+        let ser = engine.au_serialize(&["PX", "PY"]);
+        let action = engine
+            .au_nn_rl("Mario", &ser, reward, false, "output", 5)
+            .unwrap();
+        let mut action_key = [0.0; 5];
+        engine.au_write_back("output", &mut action_key).unwrap();
+        assert_eq!(action_key[action], 1.0);
+        assert_eq!(action_key.iter().filter(|&&v| v == 1.0).count(), 1);
+        reward = if action == 2 { 2.0 } else { -1.0 };
+    }
+}
+
+/// Multiple model instances coexist in one execution.
+#[test]
+fn multiple_models_in_one_execution() {
+    let mut engine = Engine::new(Mode::Train);
+    engine.au_config("SigmaNN", ModelConfig::dnn(&[8])).unwrap();
+    engine.au_config("MinNN", ModelConfig::dnn(&[8])).unwrap();
+    engine.au_config("Q", ModelConfig::q_dnn(&[8])).unwrap();
+    engine.au_extract("IMG", &[0.1, 0.2]);
+    engine.au_extract("SIGMA", &[1.5]);
+    engine.au_nn("SigmaNN", "IMG", &["SIGMA"]).unwrap();
+    engine.au_extract("HIST", &[0.3]);
+    engine.au_extract("LO", &[0.2]);
+    engine.au_extract("HI", &[0.6]);
+    engine.au_nn("MinNN", "HIST", &["LO", "HI"]).unwrap();
+    engine.au_extract("S", &[0.0]);
+    engine.au_nn_rl("Q", "S", 0.0, false, "out", 3).unwrap();
+    assert_eq!(engine.model_names(), vec!["MinNN", "Q", "SigmaNN"]);
+}
