@@ -1,0 +1,83 @@
+//! Measures the cost of the telemetry layer on the engine's hot paths.
+//!
+//! Three configurations matter:
+//!
+//! 1. feature off — the macros expand to nothing (compile-time zero; build
+//!    with `--no-default-features` to measure, not representable here
+//!    because feature unification compiles this harness with the feature);
+//! 2. feature on, recorder disabled — the shipped default: each site pays
+//!    one relaxed atomic load and branch. Budget: < 2% over (1) on
+//!    `au_extract`, the hottest primitive;
+//! 3. feature on, recorder enabled — full span/counter/histogram capture.
+//!
+//! This bench reports (2) vs (3) for `au_extract` and `au_nn`. The
+//! disabled-path numbers here stand in for (1) within measurement noise —
+//! see docs/telemetry.md for the comparison method against a
+//! `--no-default-features` build.
+
+use au_core::{Engine, Mode, ModelConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn trained_engine() -> Engine {
+    let mut engine = Engine::new(Mode::Train);
+    engine
+        .au_config("BenchNN", ModelConfig::dnn(&[16, 8]))
+        .expect("config");
+    for i in 0..16u64 {
+        let x = i as f64 / 16.0;
+        engine.au_extract("SUMMARY", &[x, 1.0 - x, x * x, 0.5]);
+        engine.au_extract("OUT", &[2.0 * x]);
+        engine
+            .au_nn("BenchNN", "SUMMARY", &["OUT"])
+            .expect("train step");
+    }
+    engine.set_mode(Mode::Test);
+    engine
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead/au_extract");
+    let row = [0.25f64, 0.5, 0.75, 1.0];
+
+    au_telemetry::disable();
+    let mut engine = Engine::new(Mode::Train);
+    group.bench_function("recorder_off", |b| {
+        b.iter(|| engine.au_extract("X", black_box(&row)))
+    });
+
+    au_telemetry::enable();
+    let mut engine = Engine::new(Mode::Train);
+    group.bench_function("recorder_on", |b| {
+        b.iter(|| engine.au_extract("X", black_box(&row)))
+    });
+    au_telemetry::disable();
+    group.finish();
+}
+
+fn bench_au_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead/au_nn");
+    let row = [0.25f64, 0.5, 0.75, 1.0];
+
+    au_telemetry::disable();
+    let mut engine = trained_engine();
+    group.bench_function("recorder_off", |b| {
+        b.iter(|| {
+            engine.au_extract("SUMMARY", black_box(&row));
+            engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")
+        })
+    });
+
+    au_telemetry::enable();
+    let mut engine = trained_engine();
+    group.bench_function("recorder_on", |b| {
+        b.iter(|| {
+            engine.au_extract("SUMMARY", black_box(&row));
+            engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")
+        })
+    });
+    au_telemetry::disable();
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract, bench_au_nn);
+criterion_main!(benches);

@@ -19,12 +19,17 @@ use au_lang::{parse, static_analysis, Interpreter, Value};
 use au_trace::{extract_rl_detailed, AnalysisDb, RlParams};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = au_bench::telemetry::init_from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     ranking_ablation(quick);
     println!();
     threshold_sweep();
     println!();
     static_vs_dynamic();
+    if let Some(sink) = telemetry {
+        sink.finish();
+    }
 }
 
 /// Part 1: the Min/Med/Raw comparison plus an unranked all-candidates

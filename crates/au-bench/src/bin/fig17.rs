@@ -30,7 +30,9 @@ struct Curve {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = au_bench::telemetry::init_from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let blocks = if quick { 4 } else { 10 };
     let episodes_per_block = if quick { 5 } else { 25 };
     let max_steps = 450;
@@ -98,6 +100,9 @@ fn main() {
     println!();
     println!("Expected shape (paper): Manual learns fastest, All reaches players-level");
     println!("slightly later, Raw stays far below both within the budget.");
+    if let Some(sink) = telemetry {
+        sink.finish();
+    }
 }
 
 enum Setting {

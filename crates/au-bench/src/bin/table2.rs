@@ -9,7 +9,9 @@ use au_bench::sl::{compare, Band, CannySl, PhylipSl, RothwellSl, SlConfig, Sphin
 use au_bench::stats::measure_checkpoint;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = au_bench::telemetry::init_from_args(&args);
+    let quick = args.iter().any(|a| a == "--quick");
     let sl_cfg = if quick {
         SlConfig {
             train_inputs: 8,
@@ -102,4 +104,8 @@ fn main() {
         timing.checkpoint_secs * 1e6,
         timing.restore_secs * 1e6
     );
+
+    if let Some(sink) = telemetry {
+        sink.finish();
+    }
 }

@@ -24,6 +24,7 @@
 pub mod rl;
 pub mod sl;
 pub mod stats;
+pub mod telemetry;
 
 /// Formats a floating value for table output.
 pub fn fmt(v: f64) -> String {

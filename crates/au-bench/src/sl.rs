@@ -613,9 +613,14 @@ mod tests {
         let program = PhylipSl { taxa: 6, len: 60 };
         let cmp = compare(&program, tiny());
         assert!(!cmp.higher_better);
-        // improvement_pct orientation: lower score = positive improvement.
+        // improvement_pct orientation: lower score = positive improvement
+        // (0.0 when the baseline is degenerate, matching improvement_pct).
         let band = cmp.band(Band::Min);
-        let expected = (cmp.baseline_score - band.score) / cmp.baseline_score.abs() * 100.0;
+        let expected = if cmp.baseline_score.abs() < 1e-12 {
+            0.0
+        } else {
+            (cmp.baseline_score - band.score) / cmp.baseline_score.abs() * 100.0
+        };
         assert!((cmp.improvement_pct(Band::Min) - expected).abs() < 1e-9);
     }
 

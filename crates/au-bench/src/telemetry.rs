@@ -1,0 +1,65 @@
+//! `--telemetry <out.json>` support shared by the bench binaries.
+//!
+//! A binary calls [`init_from_args`] before its workload; if the flag is
+//! present the global recorder starts capturing and the returned handle's
+//! [`TelemetrySink::finish`] writes a Chrome `trace_event` JSON file (open
+//! it in Perfetto or `chrome://tracing`) plus a sibling `.jsonl` event log,
+//! and prints the human-readable summary to stderr.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Active telemetry capture for one bench run.
+pub struct TelemetrySink {
+    out: PathBuf,
+}
+
+/// Parses `--telemetry <out.json>` from `args` and, when present, enables
+/// the global recorder. Returns `None` (recording stays off) otherwise.
+pub fn init_from_args(args: &[String]) -> Option<TelemetrySink> {
+    let idx = args.iter().position(|a| a == "--telemetry")?;
+    let out = args.get(idx + 1).map(PathBuf::from).unwrap_or_else(|| {
+        eprintln!("--telemetry needs an output path; defaulting to out/trace.json");
+        PathBuf::from("out/trace.json")
+    });
+    au_telemetry::enable();
+    Some(TelemetrySink { out })
+}
+
+impl TelemetrySink {
+    /// Writes the Chrome trace (and `.jsonl` sibling) and prints the
+    /// summary. Call once, after the workload.
+    pub fn finish(self) {
+        let rec = au_telemetry::global();
+        if let Some(parent) = self.out.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("telemetry: cannot create {}: {e}", parent.display());
+                    return;
+                }
+            }
+        }
+        match std::fs::File::create(&self.out) {
+            Ok(mut f) => {
+                if let Err(e) = rec.write_chrome_trace(&mut f).and_then(|()| f.flush()) {
+                    eprintln!("telemetry: write {} failed: {e}", self.out.display());
+                } else {
+                    eprintln!("telemetry: chrome trace written to {}", self.out.display());
+                }
+            }
+            Err(e) => eprintln!("telemetry: cannot create {}: {e}", self.out.display()),
+        }
+        let jsonl = self.out.with_extension("jsonl");
+        match std::fs::File::create(&jsonl) {
+            Ok(mut f) => {
+                if let Err(e) = rec.write_jsonl(&mut f).and_then(|()| f.flush()) {
+                    eprintln!("telemetry: write {} failed: {e}", jsonl.display());
+                } else {
+                    eprintln!("telemetry: event log written to {}", jsonl.display());
+                }
+            }
+            Err(e) => eprintln!("telemetry: cannot create {}: {e}", jsonl.display()),
+        }
+        eprint!("{}", rec.summary());
+    }
+}

@@ -38,6 +38,10 @@ struct ModelMeta {
     n_actions: usize,
 }
 
+/// Per (model, wb-name) append-counter marks distinguishing fresh labels
+/// from stale predictions in `au_nn`.
+type LabelMarks = BTreeMap<(String, String), u64>;
+
 /// The Autonomizer runtime: database store π, model store θ, and the
 /// primitive operations of the paper's execution model.
 ///
@@ -57,10 +61,10 @@ pub struct Engine {
     model_dir: Option<PathBuf>,
     /// Internal π-only checkpoint stack for `au_checkpoint`/`au_restore`
     /// (each entry pairs π with the label marks derived from it).
-    db_checkpoints: Vec<(DbStore, BTreeMap<(String, String), u64>)>,
+    db_checkpoints: Vec<(DbStore, LabelMarks)>,
     /// Per (model, wb-name) append-counter marks distinguishing fresh
     /// labels from stale predictions in `au_nn`.
-    label_marks: BTreeMap<(String, String), u64>,
+    label_marks: LabelMarks,
     /// Lifetime count of scalars extracted, *not* rolled back by
     /// checkpoint restores — the paper's trace-size metric (Table 2).
     extracted_total: u64,
@@ -119,6 +123,8 @@ impl Engine {
     /// configuration; [`AuError::ModelNotTrained`] in TS mode when no saved
     /// model exists; [`AuError::Backend`] if a saved model fails to parse.
     pub fn au_config(&mut self, name: &str, config: ModelConfig) -> Result<(), AuError> {
+        let _s = t_span!("au_config", model = name);
+        t_count!("au_core.au_config_calls");
         if let Some(existing) = self.models.get(name) {
             if existing.config == config {
                 return Ok(()); // θ(mdName) ≢ ⊥ ⇒ θ′ = θ
@@ -171,6 +177,8 @@ impl Engine {
         algorithm: crate::model::Algorithm,
         network: Network,
     ) -> Result<(), AuError> {
+        let _s = t_span!("au_config_custom", model = name);
+        t_count!("au_core.au_config_calls");
         if self.models.contains_key(name) {
             return Err(AuError::ModelExists(name.to_owned()));
         }
@@ -213,6 +221,8 @@ impl Engine {
     ///
     /// [`AuError::Backend`] on I/O failure.
     pub fn save_db(&self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
+        let _t = t_time!("au_core.db_save");
+        t_count!("au_core.db_saves");
         let map: BTreeMap<&str, &[f64]> = self.db.iter().collect();
         let json = serde_json::to_string(&map).expect("db serializes");
         std::fs::write(path, json).map_err(|e| AuError::Backend(e.into()))?;
@@ -225,6 +235,8 @@ impl Engine {
     ///
     /// [`AuError::Backend`] on I/O failure or malformed content.
     pub fn load_db(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
+        let _t = t_time!("au_core.db_load");
+        t_count!("au_core.db_loads");
         let raw = std::fs::read_to_string(path).map_err(|e| AuError::Backend(e.into()))?;
         let map: BTreeMap<String, Vec<f64>> = serde_json::from_str(&raw)
             .map_err(|e| AuError::Backend(au_nn::NnError::Format(e.to_string())))?;
@@ -241,6 +253,8 @@ impl Engine {
     /// Appends the current values of a feature variable to the π list named
     /// `name`. The slice length plays the role of the paper's `size`.
     pub fn au_extract(&mut self, name: &str, values: &[f64]) {
+        let _t = t_time!("au_core.au_extract");
+        t_count!("au_core.extract_rows", values.len() as u64);
         self.extracted_total += values.len() as u64;
         self.db.append(name, values);
     }
@@ -265,6 +279,7 @@ impl Engine {
     /// each `au_NN` call sees exactly the values extracted since the last
     /// one.
     pub fn au_serialize(&mut self, names: &[&str]) -> String {
+        let _t = t_time!("au_core.au_serialize");
         let combined = self.db.serialize(names);
         for name in names {
             if **name != *combined {
@@ -290,6 +305,8 @@ impl Engine {
     /// call) no labels exist to fix the output width;
     /// [`AuError::WrongAlgorithm`] for QLearn models.
     pub fn au_nn(&mut self, model: &str, ext: &str, wbs: &[&str]) -> Result<Vec<f64>, AuError> {
+        let _s = t_span!("au_nn", model = model);
+        let _t = t_time!("au_core.au_nn");
         let input = self.db.get(ext).to_vec();
         if input.is_empty() {
             return Err(AuError::MissingData {
@@ -367,9 +384,12 @@ impl Engine {
             } => {
                 if have_labels {
                     let label_flat: Vec<f64> = labels.iter().flatten().copied().collect();
-                    let _ = supervised_step(net, opt, &input, &label_flat);
+                    let loss = supervised_step(net, opt, &input, &label_flat);
+                    t_count!("au_core.rows_trained");
+                    t_gauge!("au_core.last_loss", f64::from(loss));
                     *train_steps += 1;
                 }
+                t_count!("au_core.predictions_served");
                 run_model(net, &input)
             }
             Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
@@ -413,6 +433,8 @@ impl Engine {
         wb: &str,
         n_actions: usize,
     ) -> Result<usize, AuError> {
+        let _s = t_span!("au_nn_rl", model = model);
+        let _t = t_time!("au_core.au_nn_rl");
         let state = self.db.get(ext).to_vec();
         if state.is_empty() {
             return Err(AuError::MissingData {
@@ -435,8 +457,10 @@ impl Engine {
             } => {
                 let a = rl_step(agent, pending, &state, reward, terminal, train);
                 if train {
+                    t_count!("au_core.rows_trained");
                     *train_steps += 1;
                 }
+                t_count!("au_core.predictions_served");
                 a
             }
             Backend::Supervised { .. } => unreachable!("ensure_reinforcement checked"),
@@ -459,6 +483,8 @@ impl Engine {
     /// [`AuError::MissingData`] if π(`name`) holds fewer values than
     /// requested.
     pub fn au_write_back(&mut self, name: &str, dst: &mut [f64]) -> Result<(), AuError> {
+        let _t = t_time!("au_core.au_write_back");
+        t_count!("au_core.write_backs");
         let src = self.db.get(name);
         if src.len() < dst.len() {
             return Err(AuError::MissingData {
@@ -488,6 +514,8 @@ impl Engine {
     /// the most recent checkpoint without consuming it (the paper creates a
     /// checkpoint once and restores it at every episode end).
     pub fn au_checkpoint(&mut self) {
+        let _t = t_time!("au_core.au_checkpoint");
+        t_count!("au_core.checkpoints");
         self.db_checkpoints
             .push((self.db.clone(), self.label_marks.clone()));
     }
@@ -499,6 +527,8 @@ impl Engine {
     ///
     /// [`AuError::NoCheckpoint`] if no checkpoint exists.
     pub fn au_restore(&mut self) -> Result<(), AuError> {
+        let _t = t_time!("au_core.au_restore");
+        t_count!("au_core.restores");
         let (db, marks) = self.db_checkpoints.last().ok_or(AuError::NoCheckpoint)?;
         self.db = db.clone();
         self.label_marks = marks.clone();
@@ -611,6 +641,8 @@ impl Engine {
     ) -> Result<f64, AuError> {
         assert_eq!(xs.len(), ys.len(), "dataset inputs and labels must pair up");
         assert!(!xs.is_empty(), "dataset must be non-empty");
+        let _s = t_span!("train_supervised", model = model, pairs = xs.len(), epochs = epochs);
+        let _t = t_time!("au_core.train_supervised");
         let instance = self
             .models
             .get_mut(model)
@@ -627,12 +659,15 @@ impl Engine {
             } => {
                 let mut last_epoch_loss = 0.0f64;
                 for _ in 0..epochs {
+                    let _e = t_time!("au_core.train_epoch");
                     let mut total = 0.0f64;
                     for (x, y) in xs.iter().zip(ys) {
                         total += f64::from(supervised_step(net, opt, x, y));
                         *train_steps += 1;
                     }
+                    t_count!("au_core.rows_trained", xs.len() as u64);
                     last_epoch_loss = total / xs.len() as f64;
+                    t_gauge!("au_core.last_loss", last_epoch_loss);
                 }
                 Ok(last_epoch_loss)
             }
@@ -647,6 +682,8 @@ impl Engine {
     ///
     /// [`AuError::UnknownModel`] or [`AuError::ModelNotTrained`].
     pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<Vec<f64>, AuError> {
+        let _t = t_time!("au_core.predict");
+        t_count!("au_core.predictions_served");
         let instance = self
             .models
             .get_mut(model)
@@ -669,6 +706,15 @@ impl Engine {
     /// Names of configured models.
     pub fn model_names(&self) -> Vec<&str> {
         self.models.keys().map(String::as_str).collect()
+    }
+
+    /// Human-readable report of the global telemetry recorder: every
+    /// counter, gauge, and latency histogram the runtime has touched.
+    /// Returns an empty-ish header until `au_telemetry::enable()` has been
+    /// called and instrumented paths have run.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_report(&self) -> String {
+        au_telemetry::global().summary()
     }
 }
 

@@ -41,6 +41,9 @@
 
 #![warn(missing_docs)]
 
+#[macro_use]
+mod telem;
+
 mod engine;
 mod error;
 mod model;

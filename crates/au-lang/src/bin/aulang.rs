@@ -12,28 +12,86 @@
 //! `au_*` primitives train/serve models in-process, and (unless
 //! `--no-trace`) every assignment is recorded into the dynamic dependence
 //! graph used by `dot` and `features`.
+//!
+//! Diagnostics go through leveled events: `-q`/`--quiet` shows errors only,
+//! the default also shows run statistics, and `-v`/`--verbose` adds debug
+//! detail. With the `telemetry` feature the events are routed through the
+//! `au-telemetry` recorder (so they appear in exported traces as well).
 
 use au_lang::{parse, pretty, static_analysis, Interpreter, Value};
 use au_trace::{extract_rl, extract_sl, RlParams};
 use std::process::ExitCode;
 
+/// Diagnostic severity: 1 = error, 2 = info, 3 = debug.
+const ERROR: u8 = 1;
+const INFO: u8 = 2;
+const DEBUG: u8 = 3;
+
+/// Splits the verbosity flags out of the raw argument list so they can
+/// appear anywhere (before or after the subcommand) without disturbing
+/// the positional `<command> <file>` parse.
+fn take_verbosity(args: &mut Vec<String>) -> u8 {
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    args.retain(|a| a != "-q" && a != "--quiet" && a != "-v" && a != "--verbose");
+    if quiet {
+        ERROR
+    } else if verbose {
+        DEBUG
+    } else {
+        INFO
+    }
+}
+
+/// Emits one leveled diagnostic line. Routed through the au-telemetry
+/// recorder when the feature is on (echo controlled by its verbosity
+/// threshold, set once in `main`); otherwise a plain gated `eprintln!`.
+fn diag(level: u8, verbosity: u8, message: &str) {
+    #[cfg(feature = "telemetry")]
+    {
+        let _ = verbosity;
+        let lvl = match level {
+            ERROR => au_telemetry::Level::Error,
+            INFO => au_telemetry::Level::Info,
+            _ => au_telemetry::Level::Debug,
+        };
+        au_telemetry::event(lvl, "aulang", message);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if level <= verbosity {
+        let tag = match level {
+            ERROR => "error",
+            INFO => "info",
+            _ => "debug",
+        };
+        eprintln!("[{tag}] aulang: {message}");
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let verbosity = take_verbosity(&mut args);
+    #[cfg(feature = "telemetry")]
+    au_telemetry::set_verbosity(match verbosity {
+        ERROR => au_telemetry::Level::Error,
+        INFO => au_telemetry::Level::Info,
+        _ => au_telemetry::Level::Debug,
+    });
+    match run(&args, verbosity) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("error: {message}");
+            diag(ERROR, verbosity, &message);
             ExitCode::FAILURE
         }
     }
 }
 
 fn usage() -> String {
-    "usage: aulang <run|dot|static|fmt|features> <file.au> [--input name=value]... [--seed N] [--no-trace]"
+    "usage: aulang <run|dot|static|fmt|features> <file.au> [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
         .to_owned()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], verbosity: u8) -> Result<(), String> {
     let (command, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return Err(usage()),
@@ -76,6 +134,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if args.iter().any(|a| a == "--no-trace") {
                 interp.set_tracing(false);
             }
+            diag(DEBUG, verbosity, &format!("running {file} ({command})"));
             let result = interp.run().map_err(|e| e.to_string())?;
             for line in interp.output() {
                 println!("{line}");
@@ -84,17 +143,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 "run" => {
                     println!("=> {result}");
                     let stats = interp.stats();
-                    eprintln!(
-                        "[{} statements, {} traced assignments, call depth {}]",
-                        stats.steps, stats.assignments, stats.max_depth
+                    diag(
+                        INFO,
+                        verbosity,
+                        &format!(
+                            "{} statements, {} traced assignments, call depth {}",
+                            stats.steps, stats.assignments, stats.max_depth
+                        ),
                     );
                 }
                 "dot" => print!("{}", interp.analysis().to_dot()),
                 "features" => {
                     let db = interp.analysis();
                     if db.targets().is_empty() {
-                        eprintln!(
-                            "no target variables (assign from au_write_back or call mark_target)"
+                        diag(
+                            INFO,
+                            verbosity,
+                            "no target variables (assign from au_write_back or call mark_target)",
                         );
                     }
                     let sl = extract_sl(db);

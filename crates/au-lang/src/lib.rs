@@ -43,6 +43,9 @@
 
 #![warn(missing_docs)]
 
+#[macro_use]
+mod telem;
+
 mod ast;
 mod interp;
 mod lexer;

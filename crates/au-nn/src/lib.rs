@@ -39,6 +39,9 @@
 
 #![warn(missing_docs)]
 
+#[macro_use]
+mod telem;
+
 mod activation;
 mod conv;
 mod dense;

@@ -103,6 +103,7 @@ impl Network {
 
     /// Runs inference (TS mode) on a `[batch, in]` tensor.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let _t = t_time!("au_nn.forward");
         self.forward_mode(input, false)
     }
 
@@ -123,6 +124,7 @@ impl Network {
         loss: Loss,
         opt: &mut dyn Optimizer,
     ) -> f32 {
+        let _t = t_time!("au_nn.train_batch");
         let output = self.forward_mode(input, true);
         let loss_value = loss.value(&output, target);
         let mut grad = loss.gradient(&output, target);
@@ -136,6 +138,8 @@ impl Network {
             }
         }
         opt.end_batch();
+        t_count!("au_nn.batches_trained");
+        t_gauge!("au_nn.last_batch_loss", f64::from(loss_value));
         loss_value
     }
 
@@ -143,6 +147,8 @@ impl Network {
     /// gradient instead of a loss — needed by Q-learning, which only
     /// penalizes the taken action's output.
     pub fn train_with_output_grad(&mut self, input: &Tensor, grad_out: &Tensor, opt: &mut dyn Optimizer) {
+        let _t = t_time!("au_nn.train_batch");
+        t_count!("au_nn.batches_trained");
         let _ = self.forward_mode(input, true);
         let mut grad = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {

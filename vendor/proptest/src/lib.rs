@@ -1,0 +1,152 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace's property tests use a moderate slice of proptest's API:
+//! range and regex-literal strategies, tuples, `prop::collection::vec`,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, `Just`, `any::<bool>()`,
+//! the `proptest!` macro with `ProptestConfig`, and the `prop_assert*` /
+//! `prop_assume!` macros. This crate reimplements exactly that slice on a
+//! deterministic RNG (seeded per test name, so failures reproduce across
+//! runs). There is **no shrinking**: a failing case reports its case index
+//! and message and panics immediately — acceptable for an offline CI gate.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` module tree mirroring proptest's layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::Config;
+
+/// The glob import every test file starts with.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0f64..1.0, 0..5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    config,
+                    strategy,
+                    |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{})",
+                ::std::format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Unlike real proptest this does not re-draw a replacement case; the case
+/// simply counts as passed, which keeps the runner allocation-free.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

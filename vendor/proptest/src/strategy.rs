@@ -1,0 +1,684 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of an associated type.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy is
+/// just a cloneable generator driven by the runner's deterministic RNG.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// shallower levels and returns the next level. `depth` bounds the
+    /// nesting; `_desired_size`/`_expected_branch_size` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut level = self.clone().boxed();
+        for _ in 0..depth {
+            let base = self.clone().boxed();
+            let deeper = recurse(level).boxed();
+            // 1-in-3 chance of bottoming out early at every level keeps
+            // generated trees a mix of shallow and deep.
+            level = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.below(3) == 0 {
+                    base.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let this = self;
+        BoxedStrategy::new(move |rng: &mut TestRng| this.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S: Strategy, O> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S: Strategy, O> Clone for Map<S, O> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, O> Strategy for Map<S, O> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Length bounds for [`vec`]; converted from usize ranges.
+#[derive(Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+pub struct VecStrategy<S: Strategy> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            element: self.element.clone(),
+            size: self.size,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary
+// ---------------------------------------------------------------------
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T` (`any::<bool>()` and friends).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for uniformly random `bool`s.
+#[derive(Clone)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! arbitrary_full_range_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FullIntStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullIntStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+/// Strategy covering an integer type's whole domain.
+pub struct FullIntStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for FullIntStrategy<T> {
+    fn clone(&self) -> Self {
+        FullIntStrategy(std::marker::PhantomData)
+    }
+}
+
+macro_rules! full_int_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullIntStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next() as $t
+            }
+        }
+    )*};
+}
+
+full_int_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+arbitrary_full_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` strategies interpret the string as a simplified regex pattern:
+/// a sequence of atoms (literal characters or `[...]` classes, with `\x`
+/// escapes and `a-z` ranges; `&&[^...]` subtracts a set, as in the regex
+/// crate's class intersection), each optionally followed by `{m}`, `{m,n}`,
+/// `?`, `*`, or `+` (the unbounded quantifiers cap at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let count = atom.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone)]
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Clone)]
+struct CharClass {
+    /// Inclusive character ranges to include.
+    include: Vec<(char, char)>,
+    /// Characters removed from the set.
+    exclude: Vec<char>,
+}
+
+impl CharClass {
+    fn single(c: char) -> Self {
+        CharClass {
+            include: vec![(c, c)],
+            exclude: Vec::new(),
+        }
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self
+            .include
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
+        assert!(total > 0, "empty character class");
+        // Rejection-sample around the excluded characters.
+        for _ in 0..64 {
+            let mut idx = rng.below(total);
+            for &(lo, hi) in &self.include {
+                let span = hi as u64 - lo as u64 + 1;
+                if idx < span {
+                    let c = char::from_u32(lo as u32 + idx as u32).expect("valid scalar");
+                    if !self.exclude.contains(&c) {
+                        return c;
+                    }
+                    break;
+                }
+                idx -= span;
+            }
+        }
+        // Give up on rejection; linear-scan the first admissible char.
+        for &(lo, hi) in &self.include {
+            for u in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(u) {
+                    if !self.exclude.contains(&c) {
+                        return c;
+                    }
+                }
+            }
+        }
+        panic!("character class excludes every included character");
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 2;
+                CharClass::single(unescape(chars[i - 1]))
+            }
+            '.' => {
+                i += 1;
+                CharClass {
+                    include: vec![(' ', '~')],
+                    exclude: Vec::new(),
+                }
+            }
+            c => {
+                i += 1;
+                CharClass::single(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i);
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+/// Parses a class body starting just after `[`; returns the class and the
+/// index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (CharClass, usize) {
+    let mut class = CharClass {
+        include: Vec::new(),
+        exclude: Vec::new(),
+    };
+    while i < chars.len() && chars[i] != ']' {
+        // `&&[^...]` — subtract the bracketed set.
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+            i += 2;
+            assert!(
+                chars.get(i) == Some(&'[') && chars.get(i + 1) == Some(&'^'),
+                "only `&&[^...]` intersections are supported"
+            );
+            i += 2;
+            while i < chars.len() && chars[i] != ']' {
+                if chars[i] == '\\' {
+                    class.exclude.push(unescape(chars[i + 1]));
+                    i += 2;
+                } else {
+                    class.exclude.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // inner ']'
+            continue;
+        }
+        let lo = if chars[i] == '\\' {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // Range `a-z` (a trailing '-' is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            let hi = if chars[i + 1] == '\\' {
+                i += 3;
+                unescape(chars[i - 1])
+            } else {
+                i += 2;
+                chars[i - 1]
+            };
+            class.include.push((lo, hi));
+        } else {
+            class.include.push((lo, lo));
+        }
+    }
+    (class, i + 1) // skip the closing ']'
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed `{` quantifier")
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                )
+            } else {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xA11CE)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..10).generate(&mut r);
+            assert!((3..10).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (16usize..=16).generate(&mut r);
+            assert_eq!(i, 16);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = vec(0u64..5, 2..6).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            (0u64..10).prop_map(|n| n as i64),
+            Just(-1i64),
+        ];
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((-1..10).contains(&v));
+            saw_negative |= v == -1;
+        }
+        assert!(saw_negative, "union must reach every arm");
+    }
+
+    #[test]
+    fn regex_identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_class_subtraction() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[ -~&&[^\"\\\\]]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c), "{c:?}");
+                assert!(c != '"' && c != '\\', "excluded {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u64..100).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 32, 3, |inner| {
+            vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 6, "depth bound violated: {t:?}");
+        }
+    }
+}

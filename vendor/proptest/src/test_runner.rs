@@ -1,0 +1,143 @@
+//! Deterministic case runner backing the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// Builds a config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// xoshiro256** seeded via SplitMix64 — deterministic, no external deps.
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Expands a 64-bit seed into the full generator state.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next() % bound
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: stable seeds without `std::hash` randomness.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives `config.cases` generated inputs through `body`, panicking with
+/// the case index and message on the first `Err`.
+pub fn run_cases<S, F>(name: &str, config: Config, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut rng = TestRng::from_seed(seed_from_name(name));
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = body(value) {
+            panic!("property `{name}` failed at case {case}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = TestRng::from_seed(8);
+        assert_ne!(TestRng::from_seed(7).next(), c.next());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::from_seed(99);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn run_cases_executes_all_cases() {
+        let mut seen = std::cell::Cell::new(0u32);
+        let seen_ref = &mut seen;
+        run_cases("count", Config::with_cases(17), (0u64..10,), |(_,)| {
+            seen_ref.set(seen_ref.get() + 1);
+            Ok(())
+        });
+        assert_eq!(seen.get(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn run_cases_panics_on_err() {
+        run_cases("boom", Config::with_cases(4), (0u64..10,), |(_,)| {
+            Err("nope".to_string())
+        });
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s [`Value`] data model, without `syn`/`quote`: the
+//! item is parsed directly from the raw token stream. Supported shapes are
+//! exactly what this workspace uses — non-generic named-field structs and
+//! non-generic enums whose variants are unit or named-field (externally
+//! tagged, `{"Variant": {...}}` / `"Variant"`). Anything else panics at
+//! compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    Struct(Vec<String>),
+    /// Variant name paired with its named fields (empty = unit variant).
+    Enum(Vec<(String, Vec<String>)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| field_pair(f, &format!("&self.{f}")))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(variant, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{variant} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{variant}\")),",
+                            name = item.name
+                        )
+                    } else {
+                        let bindings = fields.join(", ");
+                        let pairs = fields
+                            .iter()
+                            .map(|f| field_pair(f, f))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{variant} {{ {bindings} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            name = item.name
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| field_init(f, "v"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "::std::result::Result::Ok({name} {{ {inits} }})",
+                name = item.name
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(variant, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),",
+                            name = item.name
+                        )
+                    } else {
+                        let inits = fields
+                            .iter()
+                            .map(|f| field_init(f, "payload"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "\"{variant}\" => ::std::result::Result::Ok(\
+                             {name}::{variant} {{ {inits} }}),",
+                            name = item.name
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let (tag, payload) = v.enum_variant()?;\n\
+                 let _ = &payload;\n\
+                 match tag {{\n{arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn field_pair(field: &str, value_expr: &str) -> String {
+    format!(
+        "(::std::string::String::from(\"{field}\"), \
+         ::serde::Serialize::serialize({value_expr}))"
+    )
+}
+
+fn field_init(field: &str, source: &str) -> String {
+    format!("{field}: ::serde::Deserialize::deserialize({source}.field(\"{field}\")?)?")
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility; find `struct` or `enum`.
+    let is_enum = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(other) => panic!("serde derive: unexpected token `{other}` before item keyword"),
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive stand-in does not support generic type `{name}`")
+        }
+        other => panic!(
+            "serde derive stand-in supports only brace-bodied items; `{name}` has {other:?}"
+        ),
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body))
+    } else {
+        Kind::Struct(parse_named_fields(body))
+    };
+    Item { name, kind }
+}
+
+/// Parses `name1: Type1, name2: Type2, ...` (attributes and `pub` allowed),
+/// returning the field names. Types are skipped with angle-bracket depth
+/// tracking so commas inside generics don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Field start: skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("serde derive: expected field name, got `{tok}`")
+        };
+        fields.push(id.to_string());
+        // Skip `: Type` until a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parses enum variants: `Name { fields }` or `Name` (unit), comma-separated.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Vec<String>)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("serde derive: expected variant name, got `{tok}`")
+        };
+        let variant = id.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                parse_named_fields(inner)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive stand-in does not support tuple variant `{variant}`")
+            }
+            _ => Vec::new(),
+        };
+        variants.push((variant, fields));
+        // Consume the trailing comma (and any discriminant would be an error).
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("serde derive: unexpected token `{other}` after variant"),
+        }
+    }
+    variants
+}
