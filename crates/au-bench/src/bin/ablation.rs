@@ -21,6 +21,7 @@ use au_trace::{extract_rl_detailed, AnalysisDb, RlParams};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = au_bench::telemetry::init_from_args(&args);
+    au_bench::monitor::init_from_args(&args);
     let quick = args.iter().any(|a| a == "--quick");
     ranking_ablation(quick);
     println!();

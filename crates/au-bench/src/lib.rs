@@ -13,6 +13,7 @@
 //! | `fig15_16` | Figs. 15–16 — TORCS trace pruning (ε₁ duplicates, ε₂ variance) |
 //! | `fig17` | Fig. 17 — TORCS driving score vs epochs |
 //! | `mario_study` | Section 2 — Mario self-play & self-testing studies |
+//! | `drift_demo` | Monitoring walkthrough — clean vs drifted streams, flight dump, fallback |
 //!
 //! The [`sl`] module trains the paper's `Raw`/`Med`/`Min` supervised
 //! variants for the four data-processing programs; [`rl`] trains the
@@ -21,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod monitor;
 pub mod rl;
 pub mod sl;
 pub mod stats;

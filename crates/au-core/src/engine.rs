@@ -2,6 +2,7 @@
 
 use crate::error::AuError;
 use crate::model::{rl_step, run_model, supervised_step, Backend, ModelConfig, ModelInstance, ModelStats};
+use crate::monitoring::BaselineMeta;
 use crate::store::DbStore;
 use au_nn::rl::DqnAgent;
 use au_nn::{Adam, Network};
@@ -36,6 +37,12 @@ pub struct Checkpoint<S> {
 struct ModelMeta {
     output_split: Vec<usize>,
     n_actions: usize,
+    /// Mean absolute training error, when monitoring collected one; the
+    /// deployed monitor compares live rolling MAE against it.
+    baseline_mae: Option<f64>,
+    /// Per-feature training input distribution, when monitoring collected
+    /// one; the deployed monitor detects drift against it.
+    feature_baseline: Option<BaselineMeta>,
 }
 
 /// Per (model, wb-name) append-counter marks distinguishing fresh labels
@@ -68,6 +75,10 @@ pub struct Engine {
     /// Lifetime count of scalars extracted, *not* rolled back by
     /// checkpoint restores — the paper's trace-size metric (Table 2).
     extracted_total: u64,
+    /// Per-model monitors, baseline accumulators, and the active monitor
+    /// configuration (inert until monitoring is switched on).
+    #[cfg(feature = "monitor")]
+    monitor_state: crate::monitoring::MonitorState,
 }
 
 impl Engine {
@@ -83,6 +94,8 @@ impl Engine {
             db_checkpoints: Vec::new(),
             label_marks: BTreeMap::new(),
             extracted_total: 0,
+            #[cfg(feature = "monitor")]
+            monitor_state: crate::monitoring::MonitorState::new(),
         }
     }
 
@@ -135,9 +148,13 @@ impl Engine {
         if self.mode == Mode::Test {
             let (net, meta) = self.load_model_files(name)?;
             if !meta.output_split.is_empty() {
-                self.output_splits.insert(name.to_owned(), meta.output_split);
+                self.output_splits
+                    .insert(name.to_owned(), meta.output_split.clone());
             }
             self.action_counts.insert(name.to_owned(), meta.n_actions);
+            #[cfg(feature = "monitor")]
+            self.monitor_state
+                .install_loaded(name, meta.feature_baseline.as_ref(), meta.baseline_mae);
             instance.backend = Some(match instance.config.algorithm {
                 crate::model::Algorithm::AdamOpt => Backend::Supervised {
                     net,
@@ -315,6 +332,14 @@ impl Engine {
                 available: 0,
             });
         }
+        // Graceful degradation: once the monitor's fallback policy trips,
+        // refuse to serve. The input is still consumed (π(ext) → ⊥) so the
+        // caller's fallback path starts from a clean store.
+        #[cfg(feature = "monitor")]
+        if self.mode == Mode::Test && self.monitor_degraded(model) {
+            self.db.clear(ext);
+            return Err(AuError::ModelDegraded(model.to_owned()));
+        }
         // Labels recorded under the wb names (training mode only). After a
         // previous au_NN call, each wb list starts with that call's
         // prediction; a freshly extracted label is *appended* behind it. A
@@ -395,6 +420,34 @@ impl Engine {
             Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
         };
 
+        #[cfg(feature = "monitor")]
+        {
+            if self.mode == Mode::Train {
+                // TR mode: grow the training baseline — input distribution
+                // plus (when labels flowed) the post-step absolute error.
+                let abs_err = if have_labels {
+                    mean_abs_err(&output, &labels.iter().flatten().copied().collect::<Vec<f64>>())
+                } else {
+                    None
+                };
+                self.monitor_state.observe_training(model, &input, abs_err);
+            } else if self.monitor_state.enabled() {
+                // TS mode: shadow accuracy — when ground-truth labels still
+                // flow through au_extract, score the served prediction
+                // against them.
+                let outcome: Option<Vec<f64>> =
+                    if !labels.is_empty() && labels.iter().all(|l| !l.is_empty()) {
+                        Some(labels.iter().flatten().copied().collect())
+                    } else {
+                        None
+                    };
+                if self.monitor_observe(model, &input, &output, outcome.as_deref()) {
+                    self.db.clear(ext);
+                    return Err(AuError::ModelDegraded(model.to_owned()));
+                }
+            }
+        }
+
         // π[wb_i → slice of output], extName → ⊥.
         let mut offset = 0;
         for (wb, width) in wbs.iter().zip(&split) {
@@ -443,6 +496,11 @@ impl Engine {
                 available: 0,
             });
         }
+        #[cfg(feature = "monitor")]
+        if self.mode == Mode::Test && self.monitor_degraded(model) {
+            self.db.clear(ext);
+            return Err(AuError::ModelDegraded(model.to_owned()));
+        }
         let train = self.mode == Mode::Train;
         let instance = self
             .models
@@ -468,6 +526,17 @@ impl Engine {
         self.action_counts.insert(model.to_owned(), n_actions);
         let mut one_hot = vec![0.0; n_actions];
         one_hot[action] = 1.0;
+        #[cfg(feature = "monitor")]
+        {
+            if train {
+                self.monitor_state.observe_training(model, &state, None);
+            } else if self.monitor_state.enabled()
+                && self.monitor_observe(model, &state, &one_hot, None)
+            {
+                self.db.clear(ext);
+                return Err(AuError::ModelDegraded(model.to_owned()));
+            }
+        }
         self.db.put(wb, one_hot);
         self.db.clear(ext);
         Ok(action)
@@ -589,6 +658,18 @@ impl Engine {
         let meta = ModelMeta {
             output_split: self.output_splits.get(name).cloned().unwrap_or_default(),
             n_actions: self.action_counts.get(name).copied().unwrap_or(0),
+            #[cfg(feature = "monitor")]
+            baseline_mae: self.monitor_state.training_mae(name),
+            #[cfg(not(feature = "monitor"))]
+            baseline_mae: None,
+            #[cfg(feature = "monitor")]
+            feature_baseline: self
+                .monitor_state
+                .training_baseline(name)
+                .as_ref()
+                .map(BaselineMeta::from_baseline),
+            #[cfg(not(feature = "monitor"))]
+            feature_baseline: None,
         };
         let meta_json = serde_json::to_string(&meta).expect("meta serializes");
         std::fs::write(dir.join(format!("{name}.meta.json")), meta_json)
@@ -615,6 +696,8 @@ impl Engine {
             ModelMeta {
                 output_split: Vec::new(),
                 n_actions: 0,
+                baseline_mae: None,
+                feature_baseline: None,
             }
         };
         Ok((net, meta))
@@ -651,7 +734,7 @@ impl Engine {
         self.output_splits
             .entry(model.to_owned())
             .or_insert_with(|| vec![ys[0].len()]);
-        match backend {
+        let last_epoch_loss = match backend {
             Backend::Supervised {
                 net,
                 opt,
@@ -669,10 +752,22 @@ impl Engine {
                     last_epoch_loss = total / xs.len() as f64;
                     t_gauge!("au_core.last_loss", last_epoch_loss);
                 }
-                Ok(last_epoch_loss)
+                last_epoch_loss
             }
             Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
+        };
+        // With monitoring on, one extra pass over the dataset records the
+        // trained model's input distribution and per-sample absolute error —
+        // the baselines the deployed monitor will compare against.
+        #[cfg(feature = "monitor")]
+        if self.monitor_state.enabled() {
+            for (x, y) in xs.iter().zip(ys) {
+                let pred = self.predict(model, x)?;
+                self.monitor_state
+                    .observe_training(model, x, mean_abs_err(&pred, y));
+            }
         }
+        Ok(last_epoch_loss)
     }
 
     /// Direct prediction bypassing π — used by experiment harnesses to
@@ -716,6 +811,152 @@ impl Engine {
     pub fn telemetry_report(&self) -> String {
         au_telemetry::global().summary()
     }
+
+    // ------------------------------------------------------------------
+    // Monitoring (the `monitor` feature)
+    // ------------------------------------------------------------------
+
+    /// Switches prediction-quality monitoring on for this engine.
+    ///
+    /// Call *before* `au_config` in TS mode so loaded models pick up their
+    /// persisted training baselines. In TR mode the engine accumulates
+    /// baselines from the training stream and persists them with
+    /// [`Engine::save_model`]; an in-process TR→TS switch hands them to the
+    /// monitor directly. Engines created after
+    /// [`crate::set_default_monitor_config`] start monitored automatically.
+    #[cfg(feature = "monitor")]
+    pub fn set_monitor_config(&mut self, config: au_monitor::MonitorConfig) {
+        self.monitor_state.config = Some(config);
+    }
+
+    /// Whether monitoring is active on this engine.
+    #[cfg(feature = "monitor")]
+    pub fn monitoring_enabled(&self) -> bool {
+        self.monitor_state.enabled()
+    }
+
+    /// The live monitor for a model, once it has served in TS mode.
+    #[cfg(feature = "monitor")]
+    pub fn monitor(&self, model: &str) -> Option<&au_monitor::ModelMonitor> {
+        self.monitor_state.monitors.get(model)
+    }
+
+    /// Re-arms a model degraded by the fallback policy (e.g. after
+    /// retraining, or an operator decision to trust it again).
+    #[cfg(feature = "monitor")]
+    pub fn clear_degraded(&mut self, model: &str) {
+        if let Some(m) = self.monitor_state.monitors.get_mut(model) {
+            m.clear_degraded();
+        }
+    }
+
+    /// Human-readable monitoring report across every observed model — the
+    /// monitoring sibling of [`Engine::telemetry_report`].
+    #[cfg(feature = "monitor")]
+    pub fn monitor_report(&self) -> String {
+        let mut out = String::from("== monitor report ==\n");
+        if !self.monitor_state.enabled() {
+            out.push_str("(monitoring disabled)\n");
+            return out;
+        }
+        if self.monitor_state.monitors.is_empty() {
+            out.push_str("(no models observed in TS mode yet)\n");
+            return out;
+        }
+        for (name, m) in &self.monitor_state.monitors {
+            out.push_str(&format!("  {name}: {}\n", m.report()));
+        }
+        out
+    }
+
+    /// Dumps a model's flight recorder to `<model>.flight.jsonl` in the
+    /// model directory, returning the path. Also invoked automatically when
+    /// a critical alert fires.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`] if the model has no monitor yet;
+    /// [`AuError::Backend`] on I/O failure.
+    #[cfg(feature = "monitor")]
+    pub fn dump_flight_recorder(&self, model: &str) -> Result<PathBuf, AuError> {
+        let mon = self
+            .monitor_state
+            .monitors
+            .get(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        let dir = self
+            .model_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir).map_err(|e| AuError::Backend(e.into()))?;
+        let path = dir.join(format!("{model}.flight.jsonl"));
+        let mut file = std::fs::File::create(&path).map_err(|e| AuError::Backend(e.into()))?;
+        mon.flight()
+            .write_jsonl(&mut file)
+            .map_err(|e| AuError::Backend(e.into()))?;
+        Ok(path)
+    }
+
+    /// Whether the fallback policy has already degraded `model`.
+    #[cfg(feature = "monitor")]
+    fn monitor_degraded(&self, model: &str) -> bool {
+        self.monitor_state
+            .monitors
+            .get(model)
+            .is_some_and(au_monitor::ModelMonitor::is_degraded)
+    }
+
+    /// Feeds one TS-mode observation to the model's monitor, emits any
+    /// newly raised alerts, dumps the flight recorder on a critical alert,
+    /// and returns whether the model is now degraded (fallback policy).
+    #[cfg(feature = "monitor")]
+    fn monitor_observe(
+        &mut self,
+        model: &str,
+        features: &[f64],
+        prediction: &[f64],
+        outcome: Option<&[f64]>,
+    ) -> bool {
+        // The lifetime extracted-scalar count doubles as a correlation id:
+        // it lines the flight record up with the trace position at serve
+        // time (spans have no exposed ids).
+        let corr = self.extracted_total;
+        let (critical, degraded) = match self.monitor_state.ensure_monitor(model) {
+            Some(mon) => {
+                let alerts = mon.observe(features, prediction, outcome, corr);
+                let critical = alerts
+                    .iter()
+                    .any(|a| a.level == au_monitor::AlertLevel::Critical);
+                crate::monitoring::emit_alerts(model, &alerts);
+                (critical, mon.is_degraded())
+            }
+            None => (false, false),
+        };
+        if critical {
+            // Black-box discipline: persist the moments leading up to the
+            // incident while they are still in the ring buffer.
+            if let Err(e) = self.dump_flight_recorder(model) {
+                eprintln!("au_core.monitor: flight-recorder dump for `{model}` failed: {e}");
+            }
+        }
+        degraded
+    }
+}
+
+/// Mean absolute element-wise error over the overlapping prefix; `None`
+/// when either side is empty.
+#[cfg(feature = "monitor")]
+fn mean_abs_err(prediction: &[f64], truth: &[f64]) -> Option<f64> {
+    let n = prediction.len().min(truth.len());
+    if n == 0 {
+        return None;
+    }
+    let sum: f64 = prediction
+        .iter()
+        .zip(truth.iter())
+        .map(|(p, t)| (p - t).abs())
+        .sum();
+    Some(sum / n as f64)
 }
 
 fn meta_actions(counts: &BTreeMap<String, usize>, name: &str, net: &Network) -> usize {
@@ -1034,6 +1275,173 @@ mod tests {
         e.au_nn("RawSL", "IMG", &["P"]).unwrap();
         let p = e.au_write_back_scalar("P").unwrap();
         assert!(p.is_finite());
+    }
+
+    /// Trains y = 2x on a monitored engine and returns it switched to TS
+    /// mode, ready to serve.
+    #[cfg(feature = "monitor")]
+    fn monitored_engine(config: au_monitor::MonitorConfig) -> Engine {
+        au_nn::set_init_seed(31);
+        let mut e = Engine::new(Mode::Train);
+        e.set_monitor_config(config);
+        e.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0]]).collect();
+        e.train_supervised("M", &xs, &ys, 120).unwrap();
+        e.set_mode(Mode::Test);
+        e
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn monitored_clean_stream_raises_no_alerts() {
+        let mut e = monitored_engine(au_monitor::MonitorConfig::default());
+        for i in 0..40 {
+            let x = ((i * 13) % 40) as f64 / 40.0;
+            e.au_extract("F", &[x]);
+            e.au_nn("M", "F", &["P"]).unwrap();
+        }
+        let m = e.monitor("M").expect("monitor exists after TS serving");
+        assert!(m.alerts().is_empty(), "clean run alerted: {:?}", m.alerts());
+        assert!(!m.is_degraded());
+        let report = e.monitor_report();
+        assert!(report.contains("M:"), "{report}");
+        assert!(report.contains("observations=40"), "{report}");
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn monitored_corrupted_stream_alerts_and_degrades() {
+        let dir = std::env::temp_dir().join("au_core_monitor_degrade");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut e = monitored_engine(au_monitor::MonitorConfig::default().with_fallback(true));
+        e.set_model_dir(&dir);
+        // Sensor corruption: inputs far outside the trained [0, 1) range.
+        let mut served_err = false;
+        for _ in 0..40 {
+            e.au_extract("F", &[250.0]);
+            match e.au_nn("M", "F", &["P"]) {
+                Ok(_) => {}
+                Err(AuError::ModelDegraded(name)) => {
+                    assert_eq!(name, "M");
+                    served_err = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(served_err, "fallback must kick in on a corrupted stream");
+        let m = e.monitor("M").unwrap();
+        assert!(m.is_degraded());
+        assert!(!m.alerts().is_empty());
+        // The critical alert auto-dumped the black box.
+        let flight = dir.join("M.flight.jsonl");
+        assert!(flight.exists(), "flight recorder dumped on critical alert");
+        let text = std::fs::read_to_string(&flight).unwrap();
+        assert!(text.lines().count() >= 1);
+        assert!(text.contains("\"features\":[250"), "{text}");
+        // Degraded models keep refusing until re-armed; π(ext) is consumed.
+        e.au_extract("F", &[0.5]);
+        assert!(matches!(
+            e.au_nn("M", "F", &["P"]),
+            Err(AuError::ModelDegraded(_))
+        ));
+        assert!(e.db().get("F").is_empty(), "input consumed on refusal");
+        e.clear_degraded("M");
+        e.au_extract("F", &[0.5]);
+        e.au_nn("M", "F", &["P"]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn baseline_persists_through_model_sidecar() {
+        au_nn::set_init_seed(32);
+        let dir = std::env::temp_dir().join("au_core_monitor_sidecar");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tr = Engine::new(Mode::Train);
+        tr.set_monitor_config(au_monitor::MonitorConfig::default());
+        tr.set_model_dir(&dir);
+        tr.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0, 5.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] + 1.0]).collect();
+        tr.train_supervised("M", &xs, &ys, 100).unwrap();
+        tr.save_model("M").unwrap();
+        // The sidecar carries the training distribution and baseline MAE.
+        let raw = std::fs::read_to_string(dir.join("M.meta.json")).unwrap();
+        assert!(raw.contains("feature_baseline"), "{raw}");
+        assert!(raw.contains("baseline_mae"), "{raw}");
+
+        // A fresh TS engine picks the baseline up and detects drift with it.
+        let mut ts = Engine::new(Mode::Test);
+        ts.set_monitor_config(au_monitor::MonitorConfig::default());
+        ts.set_model_dir(&dir);
+        ts.au_config("M", ModelConfig::dnn(&[16]).with_learning_rate(0.02))
+            .unwrap();
+        let m = ts.monitor("M").expect("monitor installed at load");
+        assert!(m.report().has_baseline, "loaded baseline attached");
+        assert!((m.baseline_mae().unwrap()) < 0.5, "plausible training MAE");
+        ts.au_extract("F", &[99.0, 99.0]);
+        ts.au_nn("M", "F", &["P"]).unwrap();
+        let m = ts.monitor("M").unwrap();
+        assert_eq!(
+            m.last_drift().unwrap().out_of_range,
+            2,
+            "out-of-range flagged against the persisted baseline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn sidecar_without_monitoring_still_loads() {
+        // A meta written by a non-monitored run has null baselines; a
+        // monitored TS engine must load it and run with drift inert.
+        au_nn::set_init_seed(33);
+        let dir = std::env::temp_dir().join("au_core_monitor_nullmeta");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tr = Engine::new(Mode::Train);
+        tr.set_model_dir(&dir);
+        tr.au_config("M", ModelConfig::dnn(&[8])).unwrap();
+        let xs = vec![vec![0.1], vec![0.9]];
+        let ys = vec![vec![0.2], vec![1.8]];
+        tr.train_supervised("M", &xs, &ys, 10).unwrap();
+        tr.save_model("M").unwrap();
+
+        let mut ts = Engine::new(Mode::Test);
+        ts.set_monitor_config(au_monitor::MonitorConfig::default());
+        ts.set_model_dir(&dir);
+        ts.au_config("M", ModelConfig::dnn(&[8])).unwrap();
+        ts.au_extract("F", &[0.5]);
+        ts.au_nn("M", "F", &["P"]).unwrap();
+        let m = ts.monitor("M").unwrap();
+        assert!(!m.report().has_baseline);
+        assert!(m.alerts().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn rl_monitoring_flags_out_of_range_states() {
+        au_nn::set_init_seed(34);
+        let mut e = Engine::new(Mode::Train);
+        e.set_monitor_config(au_monitor::MonitorConfig::default());
+        e.au_config("Q", ModelConfig::q_dnn(&[8])).unwrap();
+        for i in 0..30 {
+            e.au_extract("S", &[(i % 10) as f64 / 10.0, 0.5]);
+            e.au_nn_rl("Q", "S", 0.1, false, "out", 3).unwrap();
+        }
+        e.set_mode(Mode::Test);
+        e.au_extract("S", &[42.0, -3.0]);
+        e.au_nn_rl("Q", "S", 0.0, false, "out", 3).unwrap();
+        let m = e.monitor("Q").expect("RL model monitored");
+        assert_eq!(m.last_drift().unwrap().out_of_range, 2);
+        assert!(m
+            .alerts()
+            .iter()
+            .any(|a| a.kind == au_monitor::AlertKind::OutOfRange));
     }
 
     #[test]

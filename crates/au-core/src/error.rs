@@ -42,6 +42,11 @@ pub enum AuError {
     Backend(au_nn::NnError),
     /// Deployment mode requires a trained model on disk, but none was found.
     ModelNotTrained(String),
+    /// The monitor's fallback policy has marked this model degraded (drift,
+    /// quality collapse, or non-finite output): the engine refuses to serve
+    /// further predictions so the caller can fall back to the original
+    /// (pre-autonomization) code path.
+    ModelDegraded(String),
 }
 
 impl fmt::Display for AuError {
@@ -70,6 +75,12 @@ impl fmt::Display for AuError {
             AuError::Backend(e) => write!(f, "model backend error: {e}"),
             AuError::ModelNotTrained(name) => {
                 write!(f, "no trained model `{name}` available for deployment")
+            }
+            AuError::ModelDegraded(name) => {
+                write!(
+                    f,
+                    "model `{name}` is degraded (monitoring fallback active); use the original code path"
+                )
             }
         }
     }

@@ -47,10 +47,19 @@ mod telem;
 mod engine;
 mod error;
 mod model;
+mod monitoring;
 pub mod semantics;
 mod store;
 
 pub use engine::{Checkpoint, Engine, Mode};
 pub use error::AuError;
 pub use model::{Algorithm, ModelConfig, ModelKind, ModelStats};
+pub use monitoring::BaselineMeta;
+#[cfg(feature = "monitor")]
+pub use monitoring::set_default_monitor_config;
 pub use store::{DbStore, ProgramStore, Value};
+
+/// Re-export of the monitoring subsystem (alerts, drift detection, flight
+/// recording) so engine users need not depend on `au-monitor` directly.
+#[cfg(feature = "monitor")]
+pub use au_monitor as monitor;

@@ -199,6 +199,25 @@ pub fn play_episode_custom<G: Game + Clone>(
     })
 }
 
+/// Builds a feature extractor for [`play_episode_custom`] that applies an
+/// affine corruption `v * scale + offset` to every internal feature before
+/// extraction — a drifted-sensor simulation for monitoring demos.
+///
+/// Train with [`FeatureSource::Internal`], deploy in TS mode with this
+/// extractor, and the engine's drift detector sees inputs shifted off the
+/// training distribution while the game itself plays unperturbed (only the
+/// model's view of it drifts). `drift_extractor(1.0, 0.0)` is the identity
+/// and reproduces [`FeatureSource::Internal`] exactly.
+pub fn drift_extractor<G: Game>(scale: f64, offset: f64) -> impl FnMut(&G, &mut Engine) -> String {
+    move |game: &G, engine: &mut Engine| {
+        let names = game.feature_names();
+        for (name, value) in names.iter().zip(game.features()) {
+            engine.au_extract(name, &[value * scale + offset]);
+        }
+        engine.au_serialize(&names)
+    }
+}
+
 /// Trains for `episodes` episodes (TR mode) and reports the learning curve.
 ///
 /// # Errors
@@ -389,6 +408,63 @@ mod tests {
             .unwrap();
         }
         assert!(bonus_total > 0.0, "coverage bonus should fire at least once");
+    }
+
+    #[test]
+    fn drift_extractor_applies_affine_corruption() {
+        let mut engine = Engine::new(Mode::Train);
+        let game = Flappybird::new(9);
+        let expected: Vec<f64> = game.features().iter().map(|v| v * 2.0 + 10.0).collect();
+        let mut extract = drift_extractor(2.0, 10.0);
+        // au_serialize consumes the per-feature lists, so the corrupted
+        // values are inspected through the combined entry it returns.
+        let ser = extract(&game, &mut engine);
+        assert_eq!(engine.db().get(&ser), expected.as_slice());
+    }
+
+    #[cfg(feature = "monitor")]
+    #[test]
+    fn drifted_deployment_trips_monitor() {
+        use au_core::monitor::{AlertKind, MonitorConfig};
+
+        au_nn::set_init_seed(46);
+        let mut engine = Engine::new(Mode::Train);
+        // Greedy on-policy play legitimately wanders somewhat off the
+        // exploratory training distribution (and may warn about it); the
+        // high threshold reserves the *drift* alert for injected sensor
+        // faults, which shift every feature by many training ranges.
+        engine.set_monitor_config(MonitorConfig::default().with_drift_threshold(5.0));
+        engine.au_config("D", small_q_config(8)).unwrap();
+        let mut game = Flappybird::new(3);
+        for _ in 0..3 {
+            play_episode(&mut engine, "D", &mut game, 200, FeatureSource::Internal, None).unwrap();
+        }
+
+        engine.set_mode(Mode::Test);
+        let mut clean = drift_extractor(1.0, 0.0);
+        play_episode_custom(&mut engine, "D", &mut game, 100, &mut clean, None).unwrap();
+        let mon = engine.monitor("D").unwrap();
+        assert!(
+            mon.alerts().iter().all(|a| a.kind != AlertKind::Drift),
+            "on-policy play must not look like sensor drift: {}",
+            engine.monitor_report()
+        );
+
+        // Drifted sensors: every feature shifted far outside training range.
+        let mut drifted = drift_extractor(1.0, 50.0);
+        play_episode_custom(&mut engine, "D", &mut game, 100, &mut drifted, None).unwrap();
+        let mon = engine.monitor("D").unwrap();
+        assert!(
+            mon.alerts().iter().any(|a| a.kind == AlertKind::Drift),
+            "drifted extraction should raise a drift alert: {}",
+            engine.monitor_report()
+        );
+        let last = mon.last_drift().expect("baseline attached");
+        assert_eq!(
+            last.out_of_range,
+            game.feature_names().len(),
+            "every corrupted feature is outside the learned range"
+        );
     }
 
     #[test]

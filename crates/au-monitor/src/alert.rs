@@ -1,0 +1,103 @@
+//! Leveled monitoring alerts.
+
+use std::fmt;
+
+/// Alert severity. `Warn` flags suspicious inputs; `Critical` means the
+/// model's predictions should no longer be trusted (and, with the fallback
+/// policy, are no longer served).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertLevel {
+    /// Suspicious but survivable (e.g. a single out-of-range input).
+    Warn,
+    /// The model is misbehaving: sustained drift, quality collapse, or
+    /// non-finite output.
+    Critical,
+}
+
+impl AlertLevel {
+    /// Lower-case name used in exports and log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertLevel::Warn => "warn",
+            AlertLevel::Critical => "critical",
+        }
+    }
+}
+
+/// What tripped the alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// An at-inference input fell outside the learned per-feature range.
+    OutOfRange,
+    /// The windowed input distribution shifted past the stability threshold.
+    Drift,
+    /// Rolling shadow-accuracy MAE exceeded its budget over the baseline.
+    QualityDrop,
+    /// The model produced a NaN or infinite prediction.
+    NaNPrediction,
+}
+
+impl AlertKind {
+    /// Lower-case name used in exports and log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::OutOfRange => "out_of_range",
+            AlertKind::Drift => "drift",
+            AlertKind::QualityDrop => "quality_drop",
+            AlertKind::NaNPrediction => "nan_prediction",
+        }
+    }
+}
+
+/// One raised alert. `seq` is the monitor's observation count when the
+/// condition tripped — it matches the flight recorder's sequence numbers so
+/// an alert can be lined up with the offending records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Severity.
+    pub level: AlertLevel,
+    /// Condition that tripped.
+    pub kind: AlertKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// Observation sequence number at which the condition tripped.
+    pub seq: u64,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at obs {}: {}",
+            self.level.as_str(),
+            self.kind.as_str(),
+            self.seq,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_level_kind_and_seq() {
+        let a = Alert {
+            level: AlertLevel::Critical,
+            kind: AlertKind::Drift,
+            message: "score 0.9".into(),
+            seq: 42,
+        };
+        let s = a.to_string();
+        assert!(s.contains("critical"));
+        assert!(s.contains("drift"));
+        assert!(s.contains("42"));
+        assert!(s.contains("score 0.9"));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(AlertLevel::Warn < AlertLevel::Critical);
+    }
+}

@@ -1,0 +1,115 @@
+//! Monitoring thresholds and policy.
+
+/// Thresholds and policy for one model's monitor.
+///
+/// The defaults are deliberately conservative: a model must shift its
+/// windowed input distribution by a quarter of the training range, or
+/// triple its training-time error, before a critical alert fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Observations kept in the rolling quality (error) window.
+    pub quality_window: usize,
+    /// Observations kept in the per-feature drift window.
+    pub drift_window: usize,
+    /// Minimum observations in a window before windowed alerts may fire
+    /// (per-row out-of-range checks are immediate).
+    pub min_samples: usize,
+    /// Critical quality alert when rolling MAE exceeds this multiple of the
+    /// training baseline MAE.
+    pub mae_degradation_factor: f64,
+    /// Critical drift alert when the population-stability-style score
+    /// (mean + spread shift, in training-range units) exceeds this.
+    pub drift_threshold: f64,
+    /// Fraction of the training range an input may exceed the learned
+    /// `[min, max]` by before it counts as out-of-range.
+    pub range_tolerance: f64,
+    /// Flight-recorder ring buffer capacity (records per model).
+    pub flight_capacity: usize,
+    /// When `true`, a critical alert marks the model *degraded*: the engine
+    /// refuses further predictions with `AuError::ModelDegraded` so the
+    /// caller can fall back to the original (pre-autonomization) code path.
+    pub fallback: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            quality_window: 64,
+            drift_window: 64,
+            min_samples: 16,
+            mae_degradation_factor: 3.0,
+            drift_threshold: 0.25,
+            range_tolerance: 0.05,
+            flight_capacity: 256,
+            fallback: false,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Enables or disables the graceful-degradation fallback policy.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: bool) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Overrides the drift score threshold.
+    #[must_use]
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Overrides the MAE degradation factor.
+    #[must_use]
+    pub fn with_mae_factor(mut self, factor: f64) -> Self {
+        self.mae_degradation_factor = factor;
+        self
+    }
+
+    /// Overrides both window sizes.
+    #[must_use]
+    pub fn with_windows(mut self, quality: usize, drift: usize) -> Self {
+        self.quality_window = quality;
+        self.drift_window = drift;
+        self
+    }
+
+    /// Overrides the minimum samples before windowed alerts fire.
+    #[must_use]
+    pub fn with_min_samples(mut self, min: usize) -> Self {
+        self.min_samples = min;
+        self
+    }
+
+    /// Overrides the flight-recorder capacity.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = MonitorConfig::default()
+            .with_fallback(true)
+            .with_drift_threshold(0.5)
+            .with_mae_factor(10.0)
+            .with_windows(8, 4)
+            .with_min_samples(2)
+            .with_flight_capacity(16);
+        assert!(cfg.fallback);
+        assert_eq!(cfg.drift_threshold, 0.5);
+        assert_eq!(cfg.mae_degradation_factor, 10.0);
+        assert_eq!(cfg.quality_window, 8);
+        assert_eq!(cfg.drift_window, 4);
+        assert_eq!(cfg.min_samples, 2);
+        assert_eq!(cfg.flight_capacity, 16);
+    }
+}

@@ -1,0 +1,180 @@
+//! Flight recorder: a bounded ring buffer of recent prediction records.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// One recorded prediction: everything needed to replay or debug the call
+/// after an incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (1-based, never resets; matches the
+    /// `seq` on alerts raised for the same observation).
+    pub seq: u64,
+    /// Telemetry span id of the serving call, `0` when tracing is off.
+    pub span_id: u64,
+    /// Model input features as served.
+    pub features: Vec<f64>,
+    /// Model output as served.
+    pub prediction: Vec<f64>,
+    /// Ground-truth label when one flowed through the store (shadow mode).
+    pub outcome: Option<Vec<f64>>,
+    /// Drift score at the time of the call (`0.0` without a baseline).
+    pub drift_score: f64,
+}
+
+/// Bounded ring buffer of [`FlightRecord`]s for one model. Old records are
+/// evicted as new ones arrive, so a dump always shows the moments *leading
+/// up to* an alert — the aviation black-box discipline.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    records: VecDeque<FlightRecord>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            records: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            seq: 0,
+        }
+    }
+
+    /// Appends one record, evicting the oldest when at capacity.
+    pub fn record(
+        &mut self,
+        span_id: u64,
+        features: Vec<f64>,
+        prediction: Vec<f64>,
+        outcome: Option<Vec<f64>>,
+        drift_score: f64,
+    ) {
+        self.seq += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(FlightRecord {
+            seq: self.seq,
+            span_id,
+            features,
+            prediction,
+            outcome,
+            drift_score,
+        });
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted —
+    /// impossible in practice since eviction implies insertion).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever written, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// The held records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &FlightRecord> {
+        self.records.iter()
+    }
+
+    /// Dumps the held records as JSON Lines, oldest first. Non-finite
+    /// numbers are written as `null` (JSON has no NaN/Infinity), which is
+    /// itself a signal: a null in a dumped prediction *is* the incident.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for r in &self.records {
+            write!(
+                w,
+                "{{\"seq\":{},\"span_id\":{},\"features\":",
+                r.seq, r.span_id
+            )?;
+            write_num_array(w, &r.features)?;
+            write!(w, ",\"prediction\":")?;
+            write_num_array(w, &r.prediction)?;
+            write!(w, ",\"outcome\":")?;
+            match &r.outcome {
+                Some(o) => write_num_array(w, o)?,
+                None => write!(w, "null")?,
+            }
+            write!(w, ",\"drift_score\":")?;
+            write_num(w, r.drift_score)?;
+            writeln!(w, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_num<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    if v.is_finite() {
+        write!(w, "{v}")
+    } else {
+        write!(w, "null")
+    }
+}
+
+fn write_num_array<W: Write>(w: &mut W, vals: &[f64]) -> io::Result<()> {
+    write!(w, "[")?;
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write_num(w, *v)?;
+    }
+    write!(w, "]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(i, vec![i as f64], vec![0.0], None, 0.0);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.total(), 5);
+        let seqs: Vec<u64> = fr.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5], "oldest evicted, order kept");
+    }
+
+    #[test]
+    fn jsonl_dump_is_one_object_per_line() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(7, vec![0.25, 0.5], vec![1.0], Some(vec![0.9]), 0.125);
+        fr.record(8, vec![0.1, 0.2], vec![0.5], None, 0.0);
+        let mut buf = Vec::new();
+        fr.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"span_id\":7"));
+        assert!(lines[0].contains("\"features\":[0.25,0.5]"));
+        assert!(lines[0].contains("\"outcome\":[0.9]"));
+        assert!(lines[0].contains("\"drift_score\":0.125"));
+        assert!(lines[1].contains("\"outcome\":null"));
+        assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_values_dump_as_null() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record(1, vec![f64::NAN], vec![f64::INFINITY], None, f64::NAN);
+        let mut buf = Vec::new();
+        fr.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"features\":[null]"));
+        assert!(text.contains("\"prediction\":[null]"));
+        assert!(text.contains("\"drift_score\":null"));
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Rolling shadow-accuracy tracking.
+
+use std::collections::VecDeque;
+
+/// Rolling window of per-prediction absolute errors.
+///
+/// While ground-truth labels still flow through `au_extract` in TS mode the
+/// engine can score every served prediction against the label that arrives
+/// for the same extraction — *shadow accuracy*: the model is serving, the
+/// original signal is still being watched.
+#[derive(Debug)]
+pub struct RollingQuality {
+    errors: VecDeque<f64>,
+    capacity: usize,
+    total: u64,
+    nan_count: u64,
+}
+
+impl RollingQuality {
+    /// Creates an empty window holding up to `capacity` errors.
+    pub fn new(capacity: usize) -> Self {
+        RollingQuality {
+            errors: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            total: 0,
+            nan_count: 0,
+        }
+    }
+
+    /// Scores one prediction against its ground truth and returns the
+    /// recorded error. The error is the mean absolute element-wise
+    /// difference over the overlapping prefix; a non-finite prediction (or
+    /// truth) records `f64::INFINITY` — it must drag the rolling MAE up, not
+    /// silently vanish as NaN would.
+    pub fn observe(&mut self, prediction: &[f64], truth: &[f64]) -> f64 {
+        let n = prediction.len().min(truth.len());
+        let err = if n == 0 {
+            f64::INFINITY
+        } else {
+            let sum: f64 = prediction
+                .iter()
+                .zip(truth.iter())
+                .map(|(p, t)| (p - t).abs())
+                .sum();
+            sum / n as f64
+        };
+        let recorded = if err.is_finite() { err } else { f64::INFINITY };
+        if !recorded.is_finite() {
+            self.nan_count += 1;
+        }
+        if self.errors.len() == self.capacity {
+            self.errors.pop_front();
+        }
+        self.errors.push_back(recorded);
+        self.total += 1;
+        recorded
+    }
+
+    /// Mean absolute error over the current window; `None` before any
+    /// observation. Infinite if the window contains a non-finite error.
+    pub fn rolling_mae(&self) -> Option<f64> {
+        if self.errors.is_empty() {
+            return None;
+        }
+        Some(self.errors.iter().sum::<f64>() / self.errors.len() as f64)
+    }
+
+    /// Errors currently in the window (bounded by the capacity).
+    pub fn samples(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Total scored observations, including those evicted from the window.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-finite predictions/labels scored so far.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
+    }
+
+    /// Empties the rolling window; the lifetime `total`/`nan_count`
+    /// counters are kept. Used when a degraded model is re-armed.
+    pub fn reset_window(&mut self) {
+        self.errors.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_over_known_errors() {
+        let mut q = RollingQuality::new(8);
+        assert_eq!(q.rolling_mae(), None, "empty window has no MAE");
+        q.observe(&[1.0], &[0.0]);
+        q.observe(&[0.0], &[0.5]);
+        let mae = q.rolling_mae().unwrap();
+        assert!((mae - 0.75).abs() < 1e-12, "mae {mae}");
+        assert_eq!(q.samples(), 2);
+    }
+
+    #[test]
+    fn window_smaller_than_batch_keeps_latest() {
+        let mut q = RollingQuality::new(2);
+        q.observe(&[10.0], &[0.0]); // error 10, will be evicted
+        q.observe(&[1.0], &[0.0]); // error 1
+        q.observe(&[3.0], &[0.0]); // error 3
+        assert_eq!(q.samples(), 2);
+        assert_eq!(q.total(), 3);
+        let mae = q.rolling_mae().unwrap();
+        assert!((mae - 2.0).abs() < 1e-12, "only the last two survive: {mae}");
+    }
+
+    #[test]
+    fn nan_prediction_records_infinity() {
+        let mut q = RollingQuality::new(4);
+        q.observe(&[0.5], &[0.5]);
+        let e = q.observe(&[f64::NAN], &[0.5]);
+        assert!(e.is_infinite());
+        assert_eq!(q.nan_count(), 1);
+        assert!(q.rolling_mae().unwrap().is_infinite(), "NaN must not vanish");
+    }
+
+    #[test]
+    fn vector_predictions_use_mean_absolute_error() {
+        let mut q = RollingQuality::new(4);
+        let e = q.observe(&[1.0, 2.0, 3.0], &[0.0, 2.0, 5.0]);
+        assert!((e - 1.0).abs() < 1e-12, "(1 + 0 + 2) / 3 = 1: {e}");
+    }
+
+    #[test]
+    fn empty_prediction_counts_as_failure() {
+        let mut q = RollingQuality::new(4);
+        let e = q.observe(&[], &[1.0]);
+        assert!(e.is_infinite());
+        assert_eq!(q.nan_count(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = RollingQuality::new(0);
+        q.observe(&[1.0], &[0.0]);
+        q.observe(&[2.0], &[0.0]);
+        assert_eq!(q.samples(), 1);
+        assert!((q.rolling_mae().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

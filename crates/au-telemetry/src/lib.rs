@@ -303,6 +303,9 @@ pub struct EventRecord {
     pub ts_ns: u64,
     pub target: String,
     pub message: String,
+    /// Whether this event is a monitoring alert ([`Recorder::alert`]);
+    /// alerts export as `"kind":"alert"` and are counted separately.
+    pub alert: bool,
 }
 
 /// Live span; records itself into the recorder when dropped.
@@ -352,6 +355,7 @@ pub struct Recorder {
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
     dropped: AtomicU64,
+    alerts: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -371,6 +375,7 @@ impl Recorder {
             spans: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            alerts: AtomicU64::new(0),
         }
     }
 
@@ -416,6 +421,7 @@ impl Recorder {
         self.spans.lock().unwrap().clear();
         self.events.lock().unwrap().clear();
         self.dropped.store(0, Ordering::Relaxed);
+        self.alerts.store(0, Ordering::Relaxed);
     }
 
     fn nanos_since_epoch(&self) -> u64 {
@@ -516,7 +522,22 @@ impl Recorder {
     /// at or above the verbosity threshold (even with recording disabled),
     /// and is captured in the buffer when the recorder is enabled.
     pub fn event(&self, level: Level, target: &str, message: &str) {
-        if level <= self.verbosity() {
+        self.record_event(level, target, message, false);
+    }
+
+    /// Records a monitoring **alert**: a leveled event flagged for operator
+    /// attention. Alerts always echo to stderr (an operator must see a
+    /// degraded model regardless of verbosity), are counted separately
+    /// ([`Recorder::alert_count`]), and export as `"kind":"alert"` in JSONL.
+    pub fn alert(&self, level: Level, target: &str, message: &str) {
+        self.alerts.fetch_add(1, Ordering::Relaxed);
+        self.record_event(level, target, message, true);
+    }
+
+    fn record_event(&self, level: Level, target: &str, message: &str, alert: bool) {
+        if alert {
+            eprintln!("[ALERT {}] {}: {}", level.as_str(), target, message);
+        } else if level <= self.verbosity() {
             eprintln!("[{}] {}: {}", level.as_str(), target, message);
         }
         if self.is_enabled() {
@@ -528,11 +549,17 @@ impl Recorder {
                     ts_ns,
                     target: target.to_string(),
                     message: message.to_string(),
+                    alert,
                 });
             } else {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Alerts raised so far (counted even when recording is disabled).
+    pub fn alert_count(&self) -> u64 {
+        self.alerts.load(Ordering::Relaxed)
     }
 
     /// All completed spans, in completion order.
@@ -596,9 +623,10 @@ impl Recorder {
         let spans = self.spans.lock().unwrap();
         let events = self.events.lock().unwrap();
         out.push_str(&format!(
-            "spans: {}   events: {}   dropped: {}\n",
+            "spans: {}   events: {}   alerts: {}   dropped: {}\n",
             spans.len(),
             events.len(),
+            self.alert_count(),
             self.dropped()
         ));
         out
@@ -665,7 +693,8 @@ impl Recorder {
         for e in self.events.lock().unwrap().iter() {
             writeln!(
                 w,
-                "{{\"kind\":\"event\",\"level\":{},\"ts_ns\":{},\"target\":{},\"message\":{}}}",
+                "{{\"kind\":{},\"level\":{},\"ts_ns\":{},\"target\":{},\"message\":{}}}",
+                if e.alert { "\"alert\"" } else { "\"event\"" },
                 json_str(e.level.as_str()),
                 e.ts_ns,
                 json_str(&e.target),
@@ -726,11 +755,12 @@ impl Recorder {
             first = false;
             write!(
                 w,
-                "{{\"name\":{},\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":{},\"s\":\"g\",\"args\":{{\"level\":{},\"message\":{}}}}}",
+                "{{\"name\":{},\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":{},\"s\":\"g\",\"args\":{{\"level\":{},\"message\":{},\"alert\":{}}}}}",
                 json_str(&e.target),
                 json_f64(e.ts_ns as f64 / 1_000.0),
                 json_str(e.level.as_str()),
-                json_str(&e.message)
+                json_str(&e.message),
+                e.alert
             )?;
         }
         write!(w, "]}}")?;
@@ -824,6 +854,11 @@ pub fn span_with(name: &'static str, args: &[(&str, String)]) -> Option<SpanGuar
 /// Records an event on the global recorder; see [`Recorder::event`].
 pub fn event(level: Level, target: &str, message: &str) {
     global().event(level, target, message);
+}
+
+/// Records a monitoring alert on the global recorder; see [`Recorder::alert`].
+pub fn alert(level: Level, target: &str, message: &str) {
+    global().alert(level, target, message);
 }
 
 // ---------------------------------------------------------------------
@@ -1108,6 +1143,43 @@ mod tests {
     }
 
     #[test]
+    fn alerts_are_flagged_counted_and_exported() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.set_verbosity(Level::Error);
+        rec.event(Level::Info, "engine", "routine");
+        rec.alert(Level::Warn, "au_core.monitor", "model `M` drifting");
+        assert_eq!(rec.alert_count(), 1);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].alert);
+        assert!(events[1].alert);
+        let mut buf = Vec::new();
+        rec.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"kind\":\"event\""), "{text}");
+        assert!(text.contains("\"kind\":\"alert\""), "{text}");
+        assert!(text.contains("model `M` drifting"));
+        let s = rec.summary();
+        assert!(s.contains("alerts: 1"), "{s}");
+        let mut trace = Vec::new();
+        rec.write_chrome_trace(&mut trace).unwrap();
+        let trace = String::from_utf8(trace).unwrap();
+        assert!(trace.contains("\"alert\":true"), "{trace}");
+        rec.reset();
+        assert_eq!(rec.alert_count(), 0);
+    }
+
+    #[test]
+    fn alerts_count_even_when_recording_disabled() {
+        let rec = Recorder::new();
+        rec.set_verbosity(Level::Error);
+        rec.alert(Level::Error, "m", "boom");
+        assert_eq!(rec.alert_count(), 1);
+        assert!(rec.events().is_empty(), "buffer untouched while disabled");
+    }
+
+    #[test]
     fn record_cap_counts_drops() {
         let rec = Recorder::new();
         rec.enable();
@@ -1122,6 +1194,7 @@ mod tests {
                     ts_ns: 0,
                     target: String::new(),
                     message: String::new(),
+                    alert: false,
                 },
             );
         }

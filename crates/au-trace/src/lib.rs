@@ -53,4 +53,4 @@ mod stats;
 pub use db::{AnalysisDb, VarId};
 pub use rl::{extract_rl, extract_rl_detailed, RlExtraction, RlParams};
 pub use sl::{extract_sl, select_band, DistanceBand, RankedFeature};
-pub use stats::{euclidean_distance, min_max_scale, variance};
+pub use stats::{euclidean_distance, min_max_scale, summarize, variance, TraceSummary};

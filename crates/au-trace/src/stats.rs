@@ -30,6 +30,50 @@ pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     sum.sqrt()
 }
 
+/// Summary statistics of one trace: the per-feature distribution snapshot
+/// Algorithm 2's pruning reasons over, reused by the `au-monitor` drift
+/// detector as a model's persisted training-time feature baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Smallest value observed.
+    pub min: f64,
+    /// Largest value observed.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub var: f64,
+}
+
+impl TraceSummary {
+    /// The observed range (`max - min`); zero for constant or empty traces.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Summarizes a trace into min/max/mean/variance. An empty trace summarizes
+/// to all zeros.
+pub fn summarize(trace: &[f64]) -> TraceSummary {
+    if trace.is_empty() {
+        return TraceSummary {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            var: 0.0,
+        };
+    }
+    let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+    TraceSummary {
+        min,
+        max,
+        mean,
+        var: variance(trace),
+    }
+}
+
 /// Population variance of a trace. Empty traces have zero variance.
 pub fn variance(trace: &[f64]) -> f64 {
     if trace.is_empty() {
@@ -80,5 +124,25 @@ mod tests {
     fn variance_known_value() {
         // var([0,2]) = 1
         assert!((variance(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_known_trace() {
+        let s = summarize(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.range(), 4.0);
+        assert!((s.var - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty_and_constant() {
+        let empty = summarize(&[]);
+        assert_eq!(empty, TraceSummary { min: 0.0, max: 0.0, mean: 0.0, var: 0.0 });
+        let c = summarize(&[3.0, 3.0]);
+        assert_eq!(c.range(), 0.0);
+        assert_eq!(c.mean, 3.0);
+        assert_eq!(c.var, 0.0);
     }
 }

@@ -5,7 +5,11 @@
 //! This example simulates both: a training process that collects traces
 //! into the database store, trains, and persists the model; and a fresh
 //! deployment process whose `au_config` call (rule CONFIG-TEST) loads the
-//! trained model back and serves predictions with no learning.
+//! trained model back and serves predictions with no learning. With the
+//! `monitor` feature (on by default) a third process deploys behind the
+//! graceful-degradation fallback: when its sensors drift off the training
+//! distribution, `au_nn` refuses with `AuError::ModelDegraded` and the
+//! caller routes back to the original (pre-autonomization) code path.
 //!
 //! Run with: `cargo run --release --example deployment`
 
@@ -22,6 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         println!("[TR] training process starting");
         let mut engine = Engine::new(Mode::Train);
+        // Monitoring during training persists the per-feature input
+        // distribution and baseline MAE into the model's sidecar, powering
+        // drift detection in the deployment processes below.
+        #[cfg(feature = "monitor")]
+        engine.set_monitor_config(autonomizer::core::monitor::MonitorConfig::default());
         engine.set_model_dir(&dir);
         engine.au_config(
             "PhylipNN",
@@ -102,6 +111,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "deployment never trains"
         );
     }
+
+    // ---------------------------------------------------------------
+    // Process 3: deployment behind the monitoring fallback (TS mode).
+    // ---------------------------------------------------------------
+    #[cfg(feature = "monitor")]
+    {
+        use autonomizer::core::monitor::MonitorConfig;
+        use autonomizer::core::AuError;
+
+        println!("[TS+monitor] fallback deployment starting");
+        let mut engine = Engine::new(Mode::Test);
+        engine.set_monitor_config(
+            MonitorConfig::default()
+                .with_fallback(true)
+                .with_min_samples(4),
+        );
+        engine.set_model_dir(&dir);
+        engine.au_config(
+            "PhylipNN",
+            ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3),
+        )?;
+
+        let mut model_served = 0usize;
+        let mut original_path = 0usize;
+        for seed in 900..912u64 {
+            let data = phylo::generate_dataset(8, 150, seed);
+            // A miscalibrated preprocessor: every summary statistic is
+            // scaled 25x off the distribution the model trained on.
+            let drifted: Vec<f64> = phylo::distance_summary(&data.sequences)
+                .iter()
+                .map(|v| v * 25.0)
+                .collect();
+            engine.au_extract("SUMMARY", &drifted);
+            match engine.au_nn("PhylipNN", "SUMMARY", &["PARAMS"]) {
+                Ok(_) => {
+                    let mut params = [0.0; 3];
+                    engine.au_write_back("PARAMS", &mut params)?;
+                    model_served += 1;
+                }
+                Err(AuError::ModelDegraded(_)) => {
+                    // The paper's hybrid mode: the original heuristic code
+                    // path keeps the program functional.
+                    let _tree = phylo::infer_tree(&data.sequences, DistParams::default());
+                    original_path += 1;
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        println!(
+            "[TS+monitor] model served {model_served}, original code path served {original_path}"
+        );
+        print!("{}", engine.monitor_report());
+        assert!(original_path > 0, "sustained drift must trip the fallback");
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
