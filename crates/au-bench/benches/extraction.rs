@@ -72,5 +72,10 @@ fn bench_dependents(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_algorithm1, bench_algorithm2, bench_dependents);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_algorithm2,
+    bench_dependents
+);
 criterion_main!(benches);

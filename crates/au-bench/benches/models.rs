@@ -45,7 +45,11 @@ fn bench_train_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_batch32");
     group.sample_size(20);
     au_nn::set_init_seed(2);
-    let mut dense = Network::builder(10).dense(64).activation(Activation::Relu).dense(5).build();
+    let mut dense = Network::builder(10)
+        .dense(64)
+        .activation(Activation::Relu)
+        .dense(5)
+        .build();
     let xs = Tensor::zeros(&[32, 10]);
     let ys = Tensor::zeros(&[32, 5]);
     let mut opt = Adam::new(1e-3);
@@ -120,5 +124,10 @@ fn bench_dqn_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_train_batch, bench_dqn_ablations);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_train_batch,
+    bench_dqn_ablations
+);
 criterion_main!(benches);

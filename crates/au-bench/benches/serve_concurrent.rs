@@ -1,0 +1,104 @@
+//! Multi-threaded serving throughput for the layered runtime.
+//!
+//! The decomposed engine's claim: deployment-mode inference runs under a
+//! per-model *read* lock, so threads serving the same frozen model scale
+//! instead of serializing. Each benchmark serves the same total number of
+//! predictions, split evenly across N worker threads over cloned
+//! [`EngineHandle`]s — so `4_threads` beating `1_thread` on wall time is
+//! genuine parallel speedup, not extra work.
+//!
+//! Numbers from this bench are recorded in `docs/telemetry.md`.
+
+use au_core::{Engine, EngineHandle, Mode, ModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::thread;
+
+/// Total predictions served per measured iteration, regardless of threads.
+const TOTAL_PREDICTIONS: usize = 2_048;
+const FEATURES: usize = 64;
+
+/// Builds a deployment-mode engine with the issue's reference model: a
+/// dense net with two 256-wide hidden layers.
+fn deployed_dnn_256x256() -> Engine {
+    au_nn::set_init_seed(11);
+    let mut e = Engine::new(Mode::Train);
+    e.au_config("M", ModelConfig::dnn(&[256, 256])).unwrap();
+    // One cheap epoch builds the backend and fixes the 64→256→256→4 shape.
+    let xs: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            (0..FEATURES)
+                .map(|j| ((i + j) % 16) as f64 / 16.0)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0; 4]).collect();
+    e.train_supervised("M", &xs, &ys, 1).unwrap();
+    e.set_mode(Mode::Test);
+    e
+}
+
+/// Serves `TOTAL_PREDICTIONS` split across `threads` workers, one scalar
+/// `predict` per request.
+fn serve(handle: &EngineHandle, inputs: &[Vec<f64>], threads: usize) {
+    let per_thread = TOTAL_PREDICTIONS / threads;
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let h = handle.clone();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let x = &inputs[(t * per_thread + i) % inputs.len()];
+                    black_box(h.predict("M", x).unwrap());
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve_concurrent(c: &mut Criterion) {
+    let engine = deployed_dnn_256x256();
+    let handle = engine.handle();
+    let inputs: Vec<Vec<f64>> = (0..256)
+        .map(|i| {
+            (0..FEATURES)
+                .map(|j| ((i * 7 + j) % 64) as f64 / 64.0)
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("serve_concurrent/dnn_256x256");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| serve(&handle, &inputs, threads));
+        });
+    }
+    group.finish();
+
+    // The batched fast path for contrast: one lock and one forward pass
+    // per 64 requests.
+    let mut group = c.benchmark_group("serve_concurrent/dnn_256x256_batch64");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                let per_thread = TOTAL_PREDICTIONS / threads / 64;
+                thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let h = handle.clone();
+                        let batch = &inputs[..64];
+                        scope.spawn(move || {
+                            for _ in 0..per_thread {
+                                black_box(h.predict_batch("M", batch).unwrap());
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_concurrent);
+criterion_main!(benches);

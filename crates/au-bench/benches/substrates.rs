@@ -12,7 +12,12 @@ use std::hint::black_box;
 fn bench_vision(c: &mut Criterion) {
     let scene = SceneGenerator::new(1).generate(32, 32);
     c.bench_function("canny/32x32", |b| {
-        b.iter(|| black_box(canny::canny(black_box(&scene.image), CannyParams::default())));
+        b.iter(|| {
+            black_box(canny::canny(
+                black_box(&scene.image),
+                CannyParams::default(),
+            ))
+        });
     });
     c.bench_function("rothwell/32x32", |b| {
         b.iter(|| {

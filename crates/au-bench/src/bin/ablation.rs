@@ -69,8 +69,7 @@ fn ranking_ablation(quick: bool) {
     engine
         .au_config(
             "NoRank",
-            ModelConfig::dnn(&[cfg.hidden[0], cfg.hidden[1]])
-                .with_learning_rate(cfg.learning_rate),
+            ModelConfig::dnn(&[cfg.hidden[0], cfg.hidden[1]]).with_learning_rate(cfg.learning_rate),
         )
         .expect("fresh engine");
     let xs: Vec<Vec<f64>> = train.iter().map(&all_features).collect();
@@ -109,10 +108,19 @@ fn threshold_sweep() {
         }
     }
     let steer = db.id("steer").expect("target");
-    println!("{:>8} {:>8} {:>10} {:>8} {:>8}", "eps1", "eps2", "candidates", "pruned", "kept");
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>8}",
+        "eps1", "eps2", "candidates", "pruned", "kept"
+    );
     for &eps1 in &[0.0, 0.5, 2.0] {
         for &eps2 in &[0.0, 0.01, 0.05] {
-            let detailed = extract_rl_detailed(&db, RlParams { epsilon1: eps1, epsilon2: eps2 });
+            let detailed = extract_rl_detailed(
+                &db,
+                RlParams {
+                    epsilon1: eps1,
+                    epsilon2: eps2,
+                },
+            );
             let e = &detailed[&steer];
             println!(
                 "{:>8} {:>8} {:>10} {:>8} {:>8}",
@@ -160,11 +168,8 @@ fn static_vs_dynamic() {
     interp.run().expect("runs");
     let dynamic_db = interp.analysis();
 
-    let count_edges = |db: &AnalysisDb| -> usize {
-        db.all_vars()
-            .map(|v| db.direct_dependents(v).len())
-            .sum()
-    };
+    let count_edges =
+        |db: &AnalysisDb| -> usize { db.all_vars().map(|v| db.direct_dependents(v).len()).sum() };
     let sx = static_db.id("x").expect("x");
     let dx = dynamic_db.id("x").expect("x");
     println!(

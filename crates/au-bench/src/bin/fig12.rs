@@ -28,9 +28,8 @@ fn main() {
             scores[3]
         );
     }
-    let mean = |idx: usize| {
-        cmp.per_input.iter().map(|s| s[idx]).sum::<f64>() / cmp.per_input.len() as f64
-    };
+    let mean =
+        |idx: usize| cmp.per_input.iter().map(|s| s[idx]).sum::<f64>() / cmp.per_input.len() as f64;
     println!(
         "{:<9} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
         "mean",

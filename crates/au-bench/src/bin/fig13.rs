@@ -15,7 +15,10 @@ fn main() {
     };
     let cmp = compare(&CannySl, cfg);
     println!("Fig. 13: Canny prediction score vs training epochs (test-set SSIM)");
-    println!("{:<7} {:>9} {:>9} {:>9} {:>9}", "Epoch", "Baseline", "Raw", "Med", "Min");
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>9}",
+        "Epoch", "Baseline", "Raw", "Med", "Min"
+    );
     let raw = &cmp.band(Band::Raw).curve;
     let med = &cmp.band(Band::Med).curve;
     let min = &cmp.band(Band::Min).curve;

@@ -50,15 +50,20 @@ fn main() {
     let detailed = extract_rl_detailed(&db, params);
     let steer = db.id("steer").expect("target annotated");
     let extraction = &detailed[&steer];
-    let names = |ids: &[au_trace::VarId]| -> Vec<&str> {
-        ids.iter().map(|&v| db.name(v)).collect()
-    };
+    let names =
+        |ids: &[au_trace::VarId]| -> Vec<&str> { ids.iter().map(|&v| db.name(v)).collect() };
     println!(
         "Algorithm 2 on steer (eps1={}, eps2={}):",
         params.epsilon1, params.epsilon2
     );
     println!("  candidates:        {:?}", names(&extraction.candidates));
-    println!("  pruned (eps1 dup): {:?}", names(&extraction.pruned_redundant));
-    println!("  pruned (eps2 var): {:?}", names(&extraction.pruned_unchanging));
+    println!(
+        "  pruned (eps1 dup): {:?}",
+        names(&extraction.pruned_redundant)
+    );
+    println!(
+        "  pruned (eps2 var): {:?}",
+        names(&extraction.pruned_unchanging)
+    );
     println!("  selected features: {:?}", names(&extraction.selected));
 }

@@ -63,7 +63,11 @@ fn main() {
             out.progress * 100.0,
             out.success * 100.0,
             out.episodes,
-            if out.reached_bar { "reached 80% bar" } else { "t/o" },
+            if out.reached_bar {
+                "reached 80% bar"
+            } else {
+                "t/o"
+            },
             out.train_secs
         );
     }
@@ -90,12 +94,21 @@ fn main() {
         ..DqnConfig::default()
     };
     engine
-        .au_config("SelfTest", ModelConfig::q_dnn(&[64, 32]).with_dqn(dqn.clone()))
+        .au_config(
+            "SelfTest",
+            ModelConfig::q_dnn(&[64, 32]).with_dqn(dqn.clone()),
+        )
         .expect("fresh engine");
     // The paper's "previous AI model (which is not designed for testing)":
     // the same architecture trained on the plain game reward only.
     engine
-        .au_config("PlainAI", ModelConfig::q_dnn(&[64, 32]).with_dqn(DqnConfig { seed: 6, ..dqn.clone() }))
+        .au_config(
+            "PlainAI",
+            ModelConfig::q_dnn(&[64, 32]).with_dqn(DqnConfig {
+                seed: 6,
+                ..dqn.clone()
+            }),
+        )
         .expect("fresh engine");
     let mut tester = Mario::new(1);
     let train_episodes = if quick { 15 } else { 2000 };

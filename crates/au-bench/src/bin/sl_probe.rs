@@ -28,10 +28,7 @@ fn main() {
         "sphinx" => compare(&SphinxSl::default(), cfg),
         other => panic!("unknown program {other}"),
     };
-    println!(
-        "{}: baseline {:.3}",
-        cmp.program, cmp.baseline_score
-    );
+    println!("{}: baseline {:.3}", cmp.program, cmp.baseline_score);
     for band in Band::ALL {
         let b = cmp.band(band);
         println!(

@@ -109,7 +109,12 @@ fn main() {
         let all = cmp.variant(Variant::All);
         let fmt_variant = |v: &au_bench::rl::VariantOutcome| {
             let bar = if v.reached_bar { "" } else { " t/o" };
-            format!("{:.0}%/{:.0}%{}", v.progress * 100.0, v.success * 100.0, bar)
+            format!(
+                "{:.0}%/{:.0}%{}",
+                v.progress * 100.0,
+                v.success * 100.0,
+                bar
+            )
         };
         println!(
             "{:<12} {:>14} {:>16} {:>10} {:>16} {:>10} {:>11.1} {:>11.3}",

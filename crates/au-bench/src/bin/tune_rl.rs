@@ -14,10 +14,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     au_bench::monitor::init_from_args(&args);
     let game_name = args.get(1).map(String::as_str).unwrap_or("flappy");
-    let episodes: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000);
+    let episodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
 
     let settings: Vec<(&str, DqnConfig)> = vec![
         (
@@ -93,7 +90,15 @@ fn run<G: Game + Clone>(game: &mut G, dqn: DqnConfig, episodes: usize) {
     let per_block = episodes / blocks;
     let start = std::time::Instant::now();
     for _ in 0..blocks {
-        harness::train(&mut engine, "M", game, per_block, 450, FeatureSource::Internal).unwrap();
+        harness::train(
+            &mut engine,
+            "M",
+            game,
+            per_block,
+            450,
+            FeatureSource::Internal,
+        )
+        .unwrap();
         let eval =
             harness::evaluate(&mut engine, "M", game, 5, 450, FeatureSource::Internal).unwrap();
         print!(" {:.2}", eval.recent_progress(5));

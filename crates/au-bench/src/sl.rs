@@ -11,7 +11,7 @@
 
 use au_core::{Engine, Mode, ModelConfig};
 use au_image::scene::{Scene, SceneGenerator};
-use au_phylo::{DistParams, Dataset};
+use au_phylo::{Dataset, DistParams};
 use au_speech::{DecodeParams, Recognizer, Utterance, Vocabulary};
 use au_vision::canny::{self, CannyParams};
 use au_vision::rothwell::{self, RothwellParams};

@@ -155,7 +155,10 @@ pub fn table1_rows() -> Vec<AnalysisRow> {
     rows.push(sl_analysis_row(
         "Canny",
         &canny_db,
-        &["crates/au-vision/src/canny.rs", "crates/au-image/src/gray.rs"],
+        &[
+            "crates/au-vision/src/canny.rs",
+            "crates/au-image/src/gray.rs",
+        ],
         &["examples/canny_tuning.rs"],
     ));
 
@@ -198,14 +201,20 @@ pub fn table1_rows() -> Vec<AnalysisRow> {
         &mut Mario::new(1),
         400,
         params,
-        &["crates/au-games/src/mario.rs", "crates/au-games/src/coverage.rs"],
+        &[
+            "crates/au-games/src/mario.rs",
+            "crates/au-games/src/coverage.rs",
+        ],
         &["examples/mario_selfplay.rs"],
     ));
     rows.push(rl_analysis_row(
         &mut Arkanoid::new(1),
         400,
         params,
-        &["crates/au-games/src/arkanoid.rs", "crates/au-games/src/paddle.rs"],
+        &[
+            "crates/au-games/src/arkanoid.rs",
+            "crates/au-games/src/paddle.rs",
+        ],
         &["crates/au-games/src/harness.rs"],
     ));
     rows.push(rl_analysis_row(
@@ -219,7 +228,10 @@ pub fn table1_rows() -> Vec<AnalysisRow> {
         &mut Breakout::new(1),
         400,
         params,
-        &["crates/au-games/src/breakout.rs", "crates/au-games/src/paddle.rs"],
+        &[
+            "crates/au-games/src/breakout.rs",
+            "crates/au-games/src/paddle.rs",
+        ],
         &["crates/au-games/src/harness.rs"],
     ));
     rows
@@ -313,13 +325,7 @@ mod tests {
 
     #[test]
     fn torcs_row_prunes_duplicates() {
-        let row = rl_analysis_row(
-            &mut Torcs::new(2),
-            300,
-            RlParams::default(),
-            &[],
-            &[],
-        );
+        let row = rl_analysis_row(&mut Torcs::new(2), 300, RlParams::default(), &[], &[]);
         assert!(row.feature_vars[0] < row.candidate_vars);
     }
 }

@@ -41,15 +41,24 @@ fn clean_stream_is_silent_and_corrupted_stream_alerts() {
         e.au_nn("approx", "X", &["Y"]).expect("serve");
     }
     let mon = e.monitor("approx").expect("monitor active");
-    assert!(mon.alerts().is_empty(), "clean run alerted: {:?}", mon.alerts());
+    assert!(
+        mon.alerts().is_empty(),
+        "clean run alerted: {:?}",
+        mon.alerts()
+    );
+    drop(mon); // release the monitor lock before serving resumes
 
     // The sensor now reads 5.0 too high: immediately out of range, and
     // once the window refills, drifted.
     for i in 0..32 {
         let x = (i % 40) as f64 / 40.0 + 5.0;
         e.au_extract("X", &[x]);
-        e.au_nn("approx", "X", &["Y"]).expect("serve (fallback off)");
+        e.au_nn("approx", "X", &["Y"])
+            .expect("serve (fallback off)");
     }
+    // Take the report before the monitor guard: both acquire the monitor
+    // lock, so holding the guard across the report call would deadlock.
+    let report = e.monitor_report();
     let mon = e.monitor("approx").expect("monitor active");
     assert!(
         mon.alerts().iter().any(|a| a.kind == AlertKind::OutOfRange),
@@ -57,10 +66,8 @@ fn clean_stream_is_silent_and_corrupted_stream_alerts() {
     );
     assert!(
         mon.alerts().iter().any(|a| a.kind == AlertKind::Drift),
-        "corrupted stream must trip the drift detector: {}",
-        e.monitor_report()
+        "corrupted stream must trip the drift detector: {report}"
     );
-    let report = e.monitor_report();
     assert!(report.contains("approx:"), "{report}");
 }
 
@@ -93,7 +100,10 @@ fn fallback_policy_returns_model_degraded_and_dumps_flight_records() {
         text.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
         "flight dump must be one JSON object per line"
     );
-    assert!(text.contains("\"features\":[5"), "corrupted inputs recorded");
+    assert!(
+        text.contains("\"features\":[5"),
+        "corrupted inputs recorded"
+    );
 
     // Re-arming clears the poisoned windows; in-range traffic serves again.
     e.clear_degraded("approx");
@@ -114,7 +124,8 @@ fn training_baseline_survives_the_model_sidecar() {
     let mut ts = Engine::new(Mode::Test);
     ts.set_monitor_config(MonitorConfig::default());
     ts.set_model_dir(&dir);
-    ts.au_config("approx", ModelConfig::dnn(&[16])).expect("load");
+    ts.au_config("approx", ModelConfig::dnn(&[16]))
+        .expect("load");
     ts.au_extract("X", &[9.0]);
     ts.au_nn("approx", "X", &["Y"]).expect("serve");
     let mon = ts.monitor("approx").expect("monitor installed on load");

@@ -49,7 +49,9 @@ fn quickstart_style_run_records_expected_counters() {
         let x = i as f64 / train_inputs as f64;
         engine.au_extract("SUMMARY", &[x, 1.0 - x, x * x, 0.5]);
         engine.au_extract("OUT", &[2.0 * x]);
-        engine.au_nn("TelemNN", "SUMMARY", &["OUT"]).expect("train step");
+        engine
+            .au_nn("TelemNN", "SUMMARY", &["OUT"])
+            .expect("train step");
     }
     engine.au_checkpoint();
     engine.au_restore().expect("checkpoint exists");
@@ -99,8 +101,9 @@ fn quickstart_style_run_records_expected_counters() {
     // Spans captured the au_nn call tree.
     let spans = rec.spans();
     assert!(
-        spans.iter().any(|s| s.name == "au_nn"
-            && s.args.iter().any(|(k, v)| k == "model" && v == "TelemNN")),
+        spans.iter().any(
+            |s| s.name == "au_nn" && s.args.iter().any(|(k, v)| k == "model" && v == "TelemNN")
+        ),
         "au_nn span with model arg expected, got {:?}",
         spans.iter().map(|s| &s.name).collect::<Vec<_>>()
     );

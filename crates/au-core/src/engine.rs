@@ -1,134 +1,78 @@
-//! The Autonomizer runtime engine: primitives over the stores and models.
+//! The single-owner facade over the layered Autonomizer runtime.
+//!
+//! [`Engine`] keeps the original exclusive-ownership API (`&mut self`
+//! primitives) that host programs, AuLang, and the benchmark harnesses were
+//! written against, while delegating every operation to a
+//! [`crate::EngineHandle`] — the cloneable, `&self` entry point for
+//! concurrent serving. Call [`Engine::handle`] to fan the same runtime out
+//! across threads.
 
 use crate::error::AuError;
-use crate::model::{rl_step, run_model, supervised_step, Backend, ModelConfig, ModelInstance, ModelStats};
-use crate::monitoring::BaselineMeta;
-use crate::store::DbStore;
-use au_nn::rl::DqnAgent;
-use au_nn::{Adam, Network};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use crate::handle::{Checkpoint, DbRef, EngineHandle, Mode};
+use crate::model::{ModelConfig, ModelStats};
+use au_nn::Network;
 use std::path::PathBuf;
-
-/// Execution mode ω from Fig. 8: training (TR) or deployment/testing (TS).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Mode {
-    /// TR — the program's execution trains the model(s) while running.
-    Train,
-    /// TS — trained models replace human interaction; no learning happens.
-    Test,
-}
-
-/// A combined snapshot of host program state `S` and the database store π.
-///
-/// Fig. 8's CHECKPOINT rule snapshots ⟨σ, π⟩ *together* (their consistency
-/// matters) while the model store θ is exempt so learning accumulates across
-/// episode rollbacks.
-#[derive(Debug, Clone)]
-pub struct Checkpoint<S> {
-    program: S,
-    db: DbStore,
-    /// Label-freshness marks are derived from π's append counters, so they
-    /// roll back with it.
-    label_marks: BTreeMap<(String, String), u64>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct ModelMeta {
-    output_split: Vec<usize>,
-    n_actions: usize,
-    /// Mean absolute training error, when monitoring collected one; the
-    /// deployed monitor compares live rolling MAE against it.
-    baseline_mae: Option<f64>,
-    /// Per-feature training input distribution, when monitoring collected
-    /// one; the deployed monitor detects drift against it.
-    feature_baseline: Option<BaselineMeta>,
-}
-
-/// Per (model, wb-name) append-counter marks distinguishing fresh labels
-/// from stale predictions in `au_nn`.
-type LabelMarks = BTreeMap<(String, String), u64>;
 
 /// The Autonomizer runtime: database store π, model store θ, and the
 /// primitive operations of the paper's execution model.
 ///
 /// One engine serves one program; it supports multiple named model instances
 /// (the paper: "Autonomizer supports multiple model instances in one
-/// execution").
+/// execution"). Internally this is a thin facade over [`EngineHandle`];
+/// [`Engine::handle`] exposes the shared runtime for multi-threaded serving.
 #[derive(Debug)]
 pub struct Engine {
-    mode: Mode,
-    db: DbStore,
-    models: BTreeMap<String, ModelInstance>,
-    /// Split of the flat model output across the `wb` names of `au_nn`,
-    /// fixed the first time labels are seen (persisted alongside the model).
-    output_splits: BTreeMap<String, Vec<usize>>,
-    /// RL action counts per model (persisted alongside the model).
-    action_counts: BTreeMap<String, usize>,
-    model_dir: Option<PathBuf>,
-    /// Internal π-only checkpoint stack for `au_checkpoint`/`au_restore`
-    /// (each entry pairs π with the label marks derived from it).
-    db_checkpoints: Vec<(DbStore, LabelMarks)>,
-    /// Per (model, wb-name) append-counter marks distinguishing fresh
-    /// labels from stale predictions in `au_nn`.
-    label_marks: LabelMarks,
-    /// Lifetime count of scalars extracted, *not* rolled back by
-    /// checkpoint restores — the paper's trace-size metric (Table 2).
-    extracted_total: u64,
-    /// Per-model monitors, baseline accumulators, and the active monitor
-    /// configuration (inert until monitoring is switched on).
-    #[cfg(feature = "monitor")]
-    monitor_state: crate::monitoring::MonitorState,
+    handle: EngineHandle,
 }
 
 impl Engine {
     /// Creates an engine in the given mode.
     pub fn new(mode: Mode) -> Self {
         Engine {
-            mode,
-            db: DbStore::new(),
-            models: BTreeMap::new(),
-            output_splits: BTreeMap::new(),
-            action_counts: BTreeMap::new(),
-            model_dir: None,
-            db_checkpoints: Vec::new(),
-            label_marks: BTreeMap::new(),
-            extracted_total: 0,
-            #[cfg(feature = "monitor")]
-            monitor_state: crate::monitoring::MonitorState::new(),
+            handle: EngineHandle::new(mode),
         }
+    }
+
+    /// A cloneable handle to this engine's shared runtime. Clones serve
+    /// predictions concurrently from `&self`; they observe (and make)
+    /// exactly the same state changes as calls through this facade.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Consumes the facade, returning the underlying handle.
+    pub fn into_handle(self) -> EngineHandle {
+        self.handle
     }
 
     /// Current execution mode.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.handle.mode()
     }
 
     /// Switches mode (e.g. finish training, then deploy in the same
     /// process — the in-process equivalent of the paper's two executables).
     pub fn set_mode(&mut self, mode: Mode) {
-        self.mode = mode;
+        self.handle.set_mode(mode);
     }
 
     /// Directory used to persist and load trained models.
     pub fn set_model_dir(&mut self, dir: impl Into<PathBuf>) {
-        self.model_dir = Some(dir.into());
+        self.handle.set_model_dir(dir);
     }
 
-    /// Read access to the database store π.
-    pub fn db(&self) -> &DbStore {
-        &self.db
+    /// Read access to the database store π. Returns a lock guard — drop it
+    /// before the next primitive call.
+    pub fn db(&self) -> DbRef<'_> {
+        self.handle.db()
     }
 
     // ------------------------------------------------------------------
-    // Primitives
+    // Primitives (see EngineHandle for the full rule-by-rule docs)
     // ------------------------------------------------------------------
 
-    /// `@au_config(modelName, modelType, algo, layers, n1, …)`.
-    ///
-    /// Rule CONFIG-TRAIN: in TR mode, registers a fresh model (a no-op if
-    /// the same configuration is already registered). Rule CONFIG-TEST: in
-    /// TS mode, loads the trained model from the model directory.
+    /// `@au_config(modelName, modelType, algo, layers, n1, …)` — rules
+    /// CONFIG-TRAIN and CONFIG-TEST.
     ///
     /// # Errors
     ///
@@ -136,54 +80,11 @@ impl Engine {
     /// configuration; [`AuError::ModelNotTrained`] in TS mode when no saved
     /// model exists; [`AuError::Backend`] if a saved model fails to parse.
     pub fn au_config(&mut self, name: &str, config: ModelConfig) -> Result<(), AuError> {
-        let _s = t_span!("au_config", model = name);
-        t_count!("au_core.au_config_calls");
-        if let Some(existing) = self.models.get(name) {
-            if existing.config == config {
-                return Ok(()); // θ(mdName) ≢ ⊥ ⇒ θ′ = θ
-            }
-            return Err(AuError::ModelExists(name.to_owned()));
-        }
-        let mut instance = ModelInstance::new(config);
-        if self.mode == Mode::Test {
-            let (net, meta) = self.load_model_files(name)?;
-            if !meta.output_split.is_empty() {
-                self.output_splits
-                    .insert(name.to_owned(), meta.output_split.clone());
-            }
-            self.action_counts.insert(name.to_owned(), meta.n_actions);
-            #[cfg(feature = "monitor")]
-            self.monitor_state
-                .install_loaded(name, meta.feature_baseline.as_ref(), meta.baseline_mae);
-            instance.backend = Some(match instance.config.algorithm {
-                crate::model::Algorithm::AdamOpt => Backend::Supervised {
-                    net,
-                    opt: Adam::new(instance.config.learning_rate),
-                    train_steps: 0,
-                },
-                crate::model::Algorithm::QLearn => {
-                    let inputs = net.in_features();
-                    let n_actions = meta_actions(&self.action_counts, name, &net);
-                    let mut dqn = instance.config.dqn.clone();
-                    dqn.epsilon_start = 0.0;
-                    dqn.epsilon_end = 0.0;
-                    Backend::Reinforcement {
-                        agent: Box::new(DqnAgent::with_network(inputs, n_actions, dqn, net)),
-                        pending: None,
-                        train_steps: 0,
-                    }
-                }
-            });
-        }
-        self.models.insert(name.to_owned(), instance);
-        Ok(())
+        self.handle.au_config(name, config)
     }
 
-    /// `au_config` with a caller-built network — the paper's escape hatch:
-    /// "We also provide a callback function in which the users can create
-    /// arbitrary neural networks from scratch". The network's input/output
-    /// widths are fixed by the caller; `algorithm` selects supervised or
-    /// Q-learning use.
+    /// `au_config` with a caller-built network — the paper's escape hatch
+    /// for arbitrary architectures.
     ///
     /// # Errors
     ///
@@ -194,56 +95,16 @@ impl Engine {
         algorithm: crate::model::Algorithm,
         network: Network,
     ) -> Result<(), AuError> {
-        let _s = t_span!("au_config_custom", model = name);
-        t_count!("au_core.au_config_calls");
-        if self.models.contains_key(name) {
-            return Err(AuError::ModelExists(name.to_owned()));
-        }
-        let config = match algorithm {
-            crate::model::Algorithm::AdamOpt => ModelConfig::dnn(&[]),
-            crate::model::Algorithm::QLearn => ModelConfig::q_dnn(&[]),
-        };
-        let mut instance = ModelInstance::new(config);
-        instance.backend = Some(match algorithm {
-            crate::model::Algorithm::AdamOpt => Backend::Supervised {
-                net: network,
-                opt: Adam::new(1e-3),
-                train_steps: 0,
-            },
-            crate::model::Algorithm::QLearn => {
-                let inputs = network.in_features();
-                let n_actions = network.out_features();
-                self.action_counts.insert(name.to_owned(), n_actions);
-                Backend::Reinforcement {
-                    agent: Box::new(DqnAgent::with_network(
-                        inputs,
-                        n_actions,
-                        instance.config.dqn.clone(),
-                        network,
-                    )),
-                    pending: None,
-                    train_steps: 0,
-                }
-            }
-        });
-        self.models.insert(name.to_owned(), instance);
-        Ok(())
+        self.handle.au_config_custom(name, algorithm, network)
     }
 
-    /// Persists the database store π to a JSON file — the paper's runtime
-    /// "saves [feature values] to database"; a later process (offline SL
-    /// training) loads them back with [`Engine::load_db`].
+    /// Persists the database store π to a JSON file.
     ///
     /// # Errors
     ///
     /// [`AuError::Backend`] on I/O failure.
     pub fn save_db(&self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
-        let _t = t_time!("au_core.db_save");
-        t_count!("au_core.db_saves");
-        let map: BTreeMap<&str, &[f64]> = self.db.iter().collect();
-        let json = serde_json::to_string(&map).expect("db serializes");
-        std::fs::write(path, json).map_err(|e| AuError::Backend(e.into()))?;
-        Ok(())
+        self.handle.save_db(path)
     }
 
     /// Loads a database store saved by [`Engine::save_db`], replacing π.
@@ -252,231 +113,44 @@ impl Engine {
     ///
     /// [`AuError::Backend`] on I/O failure or malformed content.
     pub fn load_db(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), AuError> {
-        let _t = t_time!("au_core.db_load");
-        t_count!("au_core.db_loads");
-        let raw = std::fs::read_to_string(path).map_err(|e| AuError::Backend(e.into()))?;
-        let map: BTreeMap<String, Vec<f64>> = serde_json::from_str(&raw)
-            .map_err(|e| AuError::Backend(au_nn::NnError::Format(e.to_string())))?;
-        self.db = DbStore::new();
-        for (name, values) in map {
-            self.db.append(&name, &values);
-            self.extracted_total += values.len() as u64;
-        }
-        Ok(())
+        self.handle.load_db(path)
     }
 
     /// `@au_extract(extName, size, data)` — rule EXTRACT.
-    ///
-    /// Appends the current values of a feature variable to the π list named
-    /// `name`. The slice length plays the role of the paper's `size`.
     pub fn au_extract(&mut self, name: &str, values: &[f64]) {
-        let _t = t_time!("au_core.au_extract");
-        t_count!("au_core.extract_rows", values.len() as u64);
-        self.extracted_total += values.len() as u64;
-        self.db.append(name, values);
+        self.handle.au_extract(name, values);
     }
 
-    /// Lifetime count of scalars extracted through [`Engine::au_extract`].
-    /// Unlike [`DbStore::total_appended`], this survives checkpoint
-    /// restores — it is the paper's Table 2 trace-size metric.
+    /// Lifetime count of scalars extracted through [`Engine::au_extract`]
+    /// (the paper's Table 2 trace-size metric; survives restores).
     pub fn total_extracted(&self) -> u64 {
-        self.extracted_total
+        self.handle.total_extracted()
     }
 
-    /// `@au_serialize(t1, t2, …)` — rule SERIALIZE.
-    ///
-    /// Concatenates the named π lists into a single list (neural networks
-    /// take vector inputs) stored under the concatenated name, which is
-    /// returned for passing to [`Engine::au_nn`]/[`Engine::au_nn_rl`].
-    ///
-    /// The component lists are *consumed* (reset to ⊥): rule TRAIN/TEST
-    /// resets only the combined `extName`, and without consuming the
-    /// components a loop like Fig. 2's would feed an ever-growing input to
-    /// a fixed-width model. Consuming keeps the semantics' invariant that
-    /// each `au_NN` call sees exactly the values extracted since the last
-    /// one.
+    /// `@au_serialize(t1, t2, …)` — rule SERIALIZE. Component lists are
+    /// consumed; returns the combined name.
     pub fn au_serialize(&mut self, names: &[&str]) -> String {
-        let _t = t_time!("au_core.au_serialize");
-        let combined = self.db.serialize(names);
-        for name in names {
-            if **name != *combined {
-                self.db.clear(name);
-            }
-        }
-        combined
+        self.handle.au_serialize(names)
     }
 
     /// `@au_NN(modelName, extName, wbName1, …)` for supervised models —
     /// rules TRAIN and TEST.
     ///
-    /// In TR mode, if π holds recorded desirable outputs under the `wb`
-    /// names (the labels — e.g. the ideal parameter values for the current
-    /// input), one gradient step is taken toward them. The model is then run
-    /// on π(`ext`); its output is split across the `wb` names in π and the
-    /// input list is reset to ⊥. Returns the flat model output.
-    ///
     /// # Errors
     ///
-    /// [`AuError::UnknownModel`] if `au_config` never ran for `model`;
-    /// [`AuError::MissingData`] if π(`ext`) is empty or (on the first TR
-    /// call) no labels exist to fix the output width;
-    /// [`AuError::WrongAlgorithm`] for QLearn models.
+    /// [`AuError::UnknownModel`], [`AuError::MissingData`], or
+    /// [`AuError::WrongAlgorithm`] — see [`EngineHandle::au_nn`].
     pub fn au_nn(&mut self, model: &str, ext: &str, wbs: &[&str]) -> Result<Vec<f64>, AuError> {
-        let _s = t_span!("au_nn", model = model);
-        let _t = t_time!("au_core.au_nn");
-        let input = self.db.get(ext).to_vec();
-        if input.is_empty() {
-            return Err(AuError::MissingData {
-                name: ext.to_owned(),
-                wanted: 1,
-                available: 0,
-            });
-        }
-        // Graceful degradation: once the monitor's fallback policy trips,
-        // refuse to serve. The input is still consumed (π(ext) → ⊥) so the
-        // caller's fallback path starts from a clean store.
-        #[cfg(feature = "monitor")]
-        if self.mode == Mode::Test && self.monitor_degraded(model) {
-            self.db.clear(ext);
-            return Err(AuError::ModelDegraded(model.to_owned()));
-        }
-        // Labels recorded under the wb names (training mode only). After a
-        // previous au_NN call, each wb list starts with that call's
-        // prediction; a freshly extracted label is *appended* behind it. A
-        // wb list counts as carrying a label only if au_extract has touched
-        // it since the last au_NN call on this model, and once the output
-        // split is known only the tail of each list is the label.
-        let known_split = self.output_splits.get(model).cloned();
-        let labels: Vec<Vec<f64>> = wbs
-            .iter()
-            .enumerate()
-            .map(|(i, wb)| {
-                let mark_key = (model.to_owned(), (*wb).to_owned());
-                let fresh = self.db.append_count(wb) > self.label_marks.get(&mark_key).copied().unwrap_or(0);
-                if !fresh {
-                    return Vec::new();
-                }
-                let full = self.db.get(wb);
-                match &known_split {
-                    Some(split) if full.len() >= split[i] && split[i] > 0 => {
-                        full[full.len() - split[i]..].to_vec()
-                    }
-                    _ => full.to_vec(),
-                }
-            })
-            .collect();
-        let have_labels = self.mode == Mode::Train && labels.iter().all(|l| !l.is_empty());
-
-        let instance = self
-            .models
-            .get_mut(model)
-            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
-
-        // Determine the output split: from labels, from a previous call, or
-        // from an already built/loaded backend.
-        let split: Vec<usize> = if let Some(split) = known_split {
-            split
-        } else if have_labels {
-            labels.iter().map(Vec::len).collect()
-        } else if let Some(Backend::Supervised { net, .. }) = instance.backend.as_ref() {
-            // Loaded model without sidecar: split evenly.
-            let out = net.out_features();
-            let each = out / wbs.len().max(1);
-            vec![each; wbs.len()]
-        } else {
-            return Err(AuError::MissingData {
-                name: wbs.first().copied().unwrap_or("<wb>").to_owned(),
-                wanted: 1,
-                available: 0,
-            });
-        };
-        if split.len() != wbs.len() {
-            return Err(AuError::MissingData {
-                name: wbs.first().copied().unwrap_or("<wb>").to_owned(),
-                wanted: split.len(),
-                available: wbs.len(),
-            });
-        }
-        let out_width: usize = split.iter().sum();
-        self.output_splits.insert(model.to_owned(), split.clone());
-
-        let backend = instance.ensure_supervised(model, input.len(), out_width)?;
-        let output = match backend {
-            Backend::Supervised {
-                net,
-                opt,
-                train_steps,
-            } => {
-                if have_labels {
-                    let label_flat: Vec<f64> = labels.iter().flatten().copied().collect();
-                    let loss = supervised_step(net, opt, &input, &label_flat);
-                    t_count!("au_core.rows_trained");
-                    t_gauge!("au_core.last_loss", f64::from(loss));
-                    *train_steps += 1;
-                }
-                t_count!("au_core.predictions_served");
-                run_model(net, &input)
-            }
-            Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
-        };
-
-        #[cfg(feature = "monitor")]
-        {
-            if self.mode == Mode::Train {
-                // TR mode: grow the training baseline — input distribution
-                // plus (when labels flowed) the post-step absolute error.
-                let abs_err = if have_labels {
-                    mean_abs_err(&output, &labels.iter().flatten().copied().collect::<Vec<f64>>())
-                } else {
-                    None
-                };
-                self.monitor_state.observe_training(model, &input, abs_err);
-            } else if self.monitor_state.enabled() {
-                // TS mode: shadow accuracy — when ground-truth labels still
-                // flow through au_extract, score the served prediction
-                // against them.
-                let outcome: Option<Vec<f64>> =
-                    if !labels.is_empty() && labels.iter().all(|l| !l.is_empty()) {
-                        Some(labels.iter().flatten().copied().collect())
-                    } else {
-                        None
-                    };
-                if self.monitor_observe(model, &input, &output, outcome.as_deref()) {
-                    self.db.clear(ext);
-                    return Err(AuError::ModelDegraded(model.to_owned()));
-                }
-            }
-        }
-
-        // π[wb_i → slice of output], extName → ⊥.
-        let mut offset = 0;
-        for (wb, width) in wbs.iter().zip(&split) {
-            self.db.put(wb, output[offset..offset + width].to_vec());
-            self.label_marks.insert(
-                (model.to_owned(), (*wb).to_owned()),
-                self.db.append_count(wb),
-            );
-            offset += width;
-        }
-        self.db.clear(ext);
-        Ok(output)
+        self.handle.au_nn(model, ext, wbs)
     }
 
     /// `@au_NN(modelName, extName, reward, term, wbName)` for Q-learning
     /// models — the RL form used by the paper's game loop (Fig. 2).
     ///
-    /// `n_actions` fixes the discrete action space (the paper derives it
-    /// from the `size` argument of the matching `au_write_back`; here it is
-    /// explicit). In TR mode the call completes the previous transition with
-    /// `reward`/`terminal` and trains; in TS mode it only predicts. The
-    /// selected action is written to π(`wb`) as a one-hot vector of length
-    /// `n_actions`, the input list is reset to ⊥, and the action index is
-    /// returned.
-    ///
     /// # Errors
     ///
-    /// [`AuError::UnknownModel`], [`AuError::MissingData`] (empty π(`ext`)),
-    /// or [`AuError::WrongAlgorithm`] for AdamOpt models.
+    /// [`AuError::UnknownModel`], [`AuError::MissingData`], or
+    /// [`AuError::WrongAlgorithm`] — see [`EngineHandle::au_nn_rl`].
     pub fn au_nn_rl(
         &mut self,
         model: &str,
@@ -486,84 +160,18 @@ impl Engine {
         wb: &str,
         n_actions: usize,
     ) -> Result<usize, AuError> {
-        let _s = t_span!("au_nn_rl", model = model);
-        let _t = t_time!("au_core.au_nn_rl");
-        let state = self.db.get(ext).to_vec();
-        if state.is_empty() {
-            return Err(AuError::MissingData {
-                name: ext.to_owned(),
-                wanted: 1,
-                available: 0,
-            });
-        }
-        #[cfg(feature = "monitor")]
-        if self.mode == Mode::Test && self.monitor_degraded(model) {
-            self.db.clear(ext);
-            return Err(AuError::ModelDegraded(model.to_owned()));
-        }
-        let train = self.mode == Mode::Train;
-        let instance = self
-            .models
-            .get_mut(model)
-            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
-        let backend = instance.ensure_reinforcement(model, state.len(), n_actions)?;
-        let action = match backend {
-            Backend::Reinforcement {
-                agent,
-                pending,
-                train_steps,
-            } => {
-                let a = rl_step(agent, pending, &state, reward, terminal, train);
-                if train {
-                    t_count!("au_core.rows_trained");
-                    *train_steps += 1;
-                }
-                t_count!("au_core.predictions_served");
-                a
-            }
-            Backend::Supervised { .. } => unreachable!("ensure_reinforcement checked"),
-        };
-        self.action_counts.insert(model.to_owned(), n_actions);
-        let mut one_hot = vec![0.0; n_actions];
-        one_hot[action] = 1.0;
-        #[cfg(feature = "monitor")]
-        {
-            if train {
-                self.monitor_state.observe_training(model, &state, None);
-            } else if self.monitor_state.enabled()
-                && self.monitor_observe(model, &state, &one_hot, None)
-            {
-                self.db.clear(ext);
-                return Err(AuError::ModelDegraded(model.to_owned()));
-            }
-        }
-        self.db.put(wb, one_hot);
-        self.db.clear(ext);
-        Ok(action)
+        self.handle
+            .au_nn_rl(model, ext, reward, terminal, wb, n_actions)
     }
 
     /// `@au_write_back(wbName, size, x)` — rule WRITE-BACK.
-    ///
-    /// Copies the first `dst.len()` values of π(`name`) into the program
-    /// variable `dst` (the slice length plays the role of `size`).
     ///
     /// # Errors
     ///
     /// [`AuError::MissingData`] if π(`name`) holds fewer values than
     /// requested.
     pub fn au_write_back(&mut self, name: &str, dst: &mut [f64]) -> Result<(), AuError> {
-        let _t = t_time!("au_core.au_write_back");
-        t_count!("au_core.write_backs");
-        let src = self.db.get(name);
-        if src.len() < dst.len() {
-            return Err(AuError::MissingData {
-                name: name.to_owned(),
-                wanted: dst.len(),
-                available: src.len(),
-            });
-        }
-        dst.copy_from_slice(&src[..dst.len()]);
-        Ok(())
+        self.handle.au_write_back(name, dst)
     }
 
     /// Scalar convenience form of [`Engine::au_write_back`].
@@ -572,59 +180,39 @@ impl Engine {
     ///
     /// [`AuError::MissingData`] if π(`name`) is empty.
     pub fn au_write_back_scalar(&mut self, name: &str) -> Result<f64, AuError> {
-        let mut v = [0.0];
-        self.au_write_back(name, &mut v)?;
-        Ok(v[0])
+        self.handle.au_write_back_scalar(name)
     }
 
-    /// `@au_checkpoint()` over π only — rule CHECKPOINT, for host programs
-    /// that snapshot their own σ (see [`Engine::checkpoint_with`] for the
-    /// combined form). Pushes onto a stack; [`Engine::au_restore`] restores
-    /// the most recent checkpoint without consuming it (the paper creates a
-    /// checkpoint once and restores it at every episode end).
+    /// `@au_checkpoint()` over π only — rule CHECKPOINT.
     pub fn au_checkpoint(&mut self) {
-        let _t = t_time!("au_core.au_checkpoint");
-        t_count!("au_core.checkpoints");
-        self.db_checkpoints
-            .push((self.db.clone(), self.label_marks.clone()));
+        self.handle.au_checkpoint();
     }
 
-    /// `@au_restore()` over π only — rule RESTORE. The model store θ is
-    /// deliberately untouched so learning accumulates.
+    /// `@au_restore()` over π only — rule RESTORE. θ is untouched.
     ///
     /// # Errors
     ///
-    /// [`AuError::NoCheckpoint`] if no checkpoint exists.
+    /// [`AuError::NoCheckpoint`] if no checkpoint exists (e.g. after
+    /// `pop_checkpoint` emptied the stack).
     pub fn au_restore(&mut self) -> Result<(), AuError> {
-        let _t = t_time!("au_core.au_restore");
-        t_count!("au_core.restores");
-        let (db, marks) = self.db_checkpoints.last().ok_or(AuError::NoCheckpoint)?;
-        self.db = db.clone();
-        self.label_marks = marks.clone();
-        Ok(())
+        self.handle.au_restore()
     }
 
-    /// Discards the most recent checkpoint.
+    /// Discards the most recent checkpoint (a no-op on an empty stack).
     pub fn pop_checkpoint(&mut self) {
-        self.db_checkpoints.pop();
+        self.handle.pop_checkpoint();
     }
 
     /// Combined ⟨σ, π⟩ checkpoint: clones the host program state `S`
-    /// together with π, keeping both consistent as the semantics require.
+    /// together with π.
     pub fn checkpoint_with<S: Clone>(&self, program: &S) -> Checkpoint<S> {
-        Checkpoint {
-            program: program.clone(),
-            db: self.db.clone(),
-            label_marks: self.label_marks.clone(),
-        }
+        self.handle.checkpoint_with(program)
     }
 
     /// Restores a combined checkpoint, returning the program state to
     /// reinstall. θ is untouched.
     pub fn restore_with<S: Clone>(&mut self, ckpt: &Checkpoint<S>) -> S {
-        self.db = ckpt.db.clone();
-        self.label_marks = ckpt.label_marks.clone();
-        ckpt.program.clone()
+        self.handle.restore_with(ckpt)
     }
 
     // ------------------------------------------------------------------
@@ -636,77 +224,14 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`AuError::UnknownModel`] if unknown, [`AuError::ModelNotTrained`] if
-    /// the backend was never built, or [`AuError::Backend`] on I/O failure.
+    /// [`AuError::UnknownModel`], [`AuError::ModelNotTrained`], or
+    /// [`AuError::Backend`] on I/O failure.
     pub fn save_model(&mut self, name: &str) -> Result<(), AuError> {
-        let dir = self
-            .model_dir
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("."));
-        std::fs::create_dir_all(&dir).map_err(|e| AuError::Backend(e.into()))?;
-        let instance = self
-            .models
-            .get_mut(name)
-            .ok_or_else(|| AuError::UnknownModel(name.to_owned()))?;
-        let net_json = match instance.backend.as_mut() {
-            Some(Backend::Supervised { net, .. }) => net.to_json(),
-            Some(Backend::Reinforcement { agent, .. }) => agent.network_mut().to_json(),
-            None => return Err(AuError::ModelNotTrained(name.to_owned())),
-        };
-        std::fs::write(dir.join(format!("{name}.json")), net_json)
-            .map_err(|e| AuError::Backend(e.into()))?;
-        let meta = ModelMeta {
-            output_split: self.output_splits.get(name).cloned().unwrap_or_default(),
-            n_actions: self.action_counts.get(name).copied().unwrap_or(0),
-            #[cfg(feature = "monitor")]
-            baseline_mae: self.monitor_state.training_mae(name),
-            #[cfg(not(feature = "monitor"))]
-            baseline_mae: None,
-            #[cfg(feature = "monitor")]
-            feature_baseline: self
-                .monitor_state
-                .training_baseline(name)
-                .as_ref()
-                .map(BaselineMeta::from_baseline),
-            #[cfg(not(feature = "monitor"))]
-            feature_baseline: None,
-        };
-        let meta_json = serde_json::to_string(&meta).expect("meta serializes");
-        std::fs::write(dir.join(format!("{name}.meta.json")), meta_json)
-            .map_err(|e| AuError::Backend(e.into()))?;
-        Ok(())
+        self.handle.save_model(name)
     }
 
-    fn load_model_files(&self, name: &str) -> Result<(Network, ModelMeta), AuError> {
-        let dir = self
-            .model_dir
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("."));
-        let net_path = dir.join(format!("{name}.json"));
-        if !net_path.exists() {
-            return Err(AuError::ModelNotTrained(name.to_owned()));
-        }
-        let net = Network::load(&net_path)?;
-        let meta_path = dir.join(format!("{name}.meta.json"));
-        let meta = if meta_path.exists() {
-            let raw = std::fs::read_to_string(&meta_path).map_err(|e| AuError::Backend(e.into()))?;
-            serde_json::from_str(&raw)
-                .map_err(|e| AuError::Backend(au_nn::NnError::Format(e.to_string())))?
-        } else {
-            ModelMeta {
-                output_split: Vec::new(),
-                n_actions: 0,
-                baseline_mae: None,
-                feature_baseline: None,
-            }
-        };
-        Ok((net, meta))
-    }
-
-    /// Offline supervised training over a dataset — the paper trains SL
-    /// models "offline after execution" on the collected traces. One epoch
-    /// performs one gradient step per `(x, y)` pair. Returns the mean loss
-    /// of the final epoch.
+    /// Offline supervised training over a dataset. Returns the mean loss of
+    /// the final epoch.
     ///
     /// # Errors
     ///
@@ -722,52 +247,7 @@ impl Engine {
         ys: &[Vec<f64>],
         epochs: usize,
     ) -> Result<f64, AuError> {
-        assert_eq!(xs.len(), ys.len(), "dataset inputs and labels must pair up");
-        assert!(!xs.is_empty(), "dataset must be non-empty");
-        let _s = t_span!("train_supervised", model = model, pairs = xs.len(), epochs = epochs);
-        let _t = t_time!("au_core.train_supervised");
-        let instance = self
-            .models
-            .get_mut(model)
-            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
-        let backend = instance.ensure_supervised(model, xs[0].len(), ys[0].len())?;
-        self.output_splits
-            .entry(model.to_owned())
-            .or_insert_with(|| vec![ys[0].len()]);
-        let last_epoch_loss = match backend {
-            Backend::Supervised {
-                net,
-                opt,
-                train_steps,
-            } => {
-                let mut last_epoch_loss = 0.0f64;
-                for _ in 0..epochs {
-                    let _e = t_time!("au_core.train_epoch");
-                    let mut total = 0.0f64;
-                    for (x, y) in xs.iter().zip(ys) {
-                        total += f64::from(supervised_step(net, opt, x, y));
-                        *train_steps += 1;
-                    }
-                    t_count!("au_core.rows_trained", xs.len() as u64);
-                    last_epoch_loss = total / xs.len() as f64;
-                    t_gauge!("au_core.last_loss", last_epoch_loss);
-                }
-                last_epoch_loss
-            }
-            Backend::Reinforcement { .. } => unreachable!("ensure_supervised checked"),
-        };
-        // With monitoring on, one extra pass over the dataset records the
-        // trained model's input distribution and per-sample absolute error —
-        // the baselines the deployed monitor will compare against.
-        #[cfg(feature = "monitor")]
-        if self.monitor_state.enabled() {
-            for (x, y) in xs.iter().zip(ys) {
-                let pred = self.predict(model, x)?;
-                self.monitor_state
-                    .observe_training(model, x, mean_abs_err(&pred, y));
-            }
-        }
-        Ok(last_epoch_loss)
+        self.handle.train_supervised(model, xs, ys, epochs)
     }
 
     /// Direct prediction bypassing π — used by experiment harnesses to
@@ -777,101 +257,78 @@ impl Engine {
     ///
     /// [`AuError::UnknownModel`] or [`AuError::ModelNotTrained`].
     pub fn predict(&mut self, model: &str, x: &[f64]) -> Result<Vec<f64>, AuError> {
-        let _t = t_time!("au_core.predict");
-        t_count!("au_core.predictions_served");
-        let instance = self
-            .models
-            .get_mut(model)
-            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
-        match instance.backend.as_mut() {
-            Some(Backend::Supervised { net, .. }) => Ok(run_model(net, x)),
-            Some(Backend::Reinforcement { agent, .. }) => {
-                let q = agent.q_values(&crate::model::to_f32(x));
-                Ok(q.into_iter().map(f64::from).collect())
-            }
-            None => Err(AuError::ModelNotTrained(model.to_owned())),
-        }
+        self.handle.predict(model, x)
+    }
+
+    /// Batched [`Engine::predict`]: one lock and one `[batch, features]`
+    /// forward pass for the whole slice.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`], [`AuError::ModelNotTrained`], or
+    /// [`AuError::InputSizeChanged`] on a row-width mismatch.
+    pub fn predict_batch(
+        &mut self,
+        model: &str,
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, AuError> {
+        self.handle.predict_batch(model, xs)
     }
 
     /// Size/training statistics for a built model (Table 2's model size).
     pub fn model_stats(&mut self, name: &str) -> Option<ModelStats> {
-        self.models.get_mut(name)?.stats()
+        self.handle.model_stats(name)
     }
 
-    /// Names of configured models.
-    pub fn model_names(&self) -> Vec<&str> {
-        self.models.keys().map(String::as_str).collect()
+    /// Names of configured models, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        self.handle.model_names()
     }
 
-    /// Human-readable report of the global telemetry recorder: every
-    /// counter, gauge, and latency histogram the runtime has touched.
-    /// Returns an empty-ish header until `au_telemetry::enable()` has been
-    /// called and instrumented paths have run.
+    /// Human-readable report of the global telemetry recorder.
     #[cfg(feature = "telemetry")]
     pub fn telemetry_report(&self) -> String {
-        au_telemetry::global().summary()
+        self.handle.telemetry_report()
     }
 
     // ------------------------------------------------------------------
     // Monitoring (the `monitor` feature)
     // ------------------------------------------------------------------
 
-    /// Switches prediction-quality monitoring on for this engine.
-    ///
-    /// Call *before* `au_config` in TS mode so loaded models pick up their
-    /// persisted training baselines. In TR mode the engine accumulates
-    /// baselines from the training stream and persists them with
-    /// [`Engine::save_model`]; an in-process TR→TS switch hands them to the
-    /// monitor directly. Engines created after
-    /// [`crate::set_default_monitor_config`] start monitored automatically.
+    /// Switches prediction-quality monitoring on for this engine. See
+    /// [`EngineHandle::set_monitor_config`].
     #[cfg(feature = "monitor")]
     pub fn set_monitor_config(&mut self, config: au_monitor::MonitorConfig) {
-        self.monitor_state.config = Some(config);
+        self.handle.set_monitor_config(config);
     }
 
     /// Whether monitoring is active on this engine.
     #[cfg(feature = "monitor")]
     pub fn monitoring_enabled(&self) -> bool {
-        self.monitor_state.enabled()
+        self.handle.monitoring_enabled()
     }
 
-    /// The live monitor for a model, once it has served in TS mode.
+    /// The live monitor for a model, once it has served in TS mode. Returns
+    /// a lock guard — drop it before the next serving call.
     #[cfg(feature = "monitor")]
-    pub fn monitor(&self, model: &str) -> Option<&au_monitor::ModelMonitor> {
-        self.monitor_state.monitors.get(model)
+    pub fn monitor(&self, model: &str) -> Option<crate::handle::MonitorRef<'_>> {
+        self.handle.monitor(model)
     }
 
-    /// Re-arms a model degraded by the fallback policy (e.g. after
-    /// retraining, or an operator decision to trust it again).
+    /// Re-arms a model degraded by the fallback policy.
     #[cfg(feature = "monitor")]
     pub fn clear_degraded(&mut self, model: &str) {
-        if let Some(m) = self.monitor_state.monitors.get_mut(model) {
-            m.clear_degraded();
-        }
+        self.handle.clear_degraded(model);
     }
 
-    /// Human-readable monitoring report across every observed model — the
-    /// monitoring sibling of [`Engine::telemetry_report`].
+    /// Human-readable monitoring report across every observed model.
     #[cfg(feature = "monitor")]
     pub fn monitor_report(&self) -> String {
-        let mut out = String::from("== monitor report ==\n");
-        if !self.monitor_state.enabled() {
-            out.push_str("(monitoring disabled)\n");
-            return out;
-        }
-        if self.monitor_state.monitors.is_empty() {
-            out.push_str("(no models observed in TS mode yet)\n");
-            return out;
-        }
-        for (name, m) in &self.monitor_state.monitors {
-            out.push_str(&format!("  {name}: {}\n", m.report()));
-        }
-        out
+        self.handle.monitor_report()
     }
 
     /// Dumps a model's flight recorder to `<model>.flight.jsonl` in the
-    /// model directory, returning the path. Also invoked automatically when
-    /// a critical alert fires.
+    /// model directory, returning the path.
     ///
     /// # Errors
     ///
@@ -879,92 +336,7 @@ impl Engine {
     /// [`AuError::Backend`] on I/O failure.
     #[cfg(feature = "monitor")]
     pub fn dump_flight_recorder(&self, model: &str) -> Result<PathBuf, AuError> {
-        let mon = self
-            .monitor_state
-            .monitors
-            .get(model)
-            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
-        let dir = self
-            .model_dir
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("."));
-        std::fs::create_dir_all(&dir).map_err(|e| AuError::Backend(e.into()))?;
-        let path = dir.join(format!("{model}.flight.jsonl"));
-        let mut file = std::fs::File::create(&path).map_err(|e| AuError::Backend(e.into()))?;
-        mon.flight()
-            .write_jsonl(&mut file)
-            .map_err(|e| AuError::Backend(e.into()))?;
-        Ok(path)
-    }
-
-    /// Whether the fallback policy has already degraded `model`.
-    #[cfg(feature = "monitor")]
-    fn monitor_degraded(&self, model: &str) -> bool {
-        self.monitor_state
-            .monitors
-            .get(model)
-            .is_some_and(au_monitor::ModelMonitor::is_degraded)
-    }
-
-    /// Feeds one TS-mode observation to the model's monitor, emits any
-    /// newly raised alerts, dumps the flight recorder on a critical alert,
-    /// and returns whether the model is now degraded (fallback policy).
-    #[cfg(feature = "monitor")]
-    fn monitor_observe(
-        &mut self,
-        model: &str,
-        features: &[f64],
-        prediction: &[f64],
-        outcome: Option<&[f64]>,
-    ) -> bool {
-        // The lifetime extracted-scalar count doubles as a correlation id:
-        // it lines the flight record up with the trace position at serve
-        // time (spans have no exposed ids).
-        let corr = self.extracted_total;
-        let (critical, degraded) = match self.monitor_state.ensure_monitor(model) {
-            Some(mon) => {
-                let alerts = mon.observe(features, prediction, outcome, corr);
-                let critical = alerts
-                    .iter()
-                    .any(|a| a.level == au_monitor::AlertLevel::Critical);
-                crate::monitoring::emit_alerts(model, &alerts);
-                (critical, mon.is_degraded())
-            }
-            None => (false, false),
-        };
-        if critical {
-            // Black-box discipline: persist the moments leading up to the
-            // incident while they are still in the ring buffer.
-            if let Err(e) = self.dump_flight_recorder(model) {
-                eprintln!("au_core.monitor: flight-recorder dump for `{model}` failed: {e}");
-            }
-        }
-        degraded
-    }
-}
-
-/// Mean absolute element-wise error over the overlapping prefix; `None`
-/// when either side is empty.
-#[cfg(feature = "monitor")]
-fn mean_abs_err(prediction: &[f64], truth: &[f64]) -> Option<f64> {
-    let n = prediction.len().min(truth.len());
-    if n == 0 {
-        return None;
-    }
-    let sum: f64 = prediction
-        .iter()
-        .zip(truth.iter())
-        .map(|(p, t)| (p - t).abs())
-        .sum();
-    Some(sum / n as f64)
-}
-
-fn meta_actions(counts: &BTreeMap<String, usize>, name: &str, net: &Network) -> usize {
-    let n = counts.get(name).copied().unwrap_or(0);
-    if n > 0 {
-        n
-    } else {
-        net.out_features()
+        self.handle.dump_flight_recorder(model)
     }
 }
 
@@ -989,7 +361,11 @@ mod tests {
         let mut out = [0.0; 3];
         assert!(matches!(
             e.au_write_back("A", &mut out),
-            Err(AuError::MissingData { wanted: 3, available: 1, .. })
+            Err(AuError::MissingData {
+                wanted: 3,
+                available: 1,
+                ..
+            })
         ));
     }
 
@@ -1028,9 +404,8 @@ mod tests {
             assert_eq!(e.db().get("F"), &[] as &[f64], "ext reset to ⊥");
         }
         e.au_extract("F", &[0.5]);
-        // Deployment-style call: no labels (π("P") holds the last prediction,
-        // but we clear it to simulate a fresh run).
-        e.db.clear("P");
+        // Deployment-style call: π("P") holds the last prediction, which is
+        // stale (not freshly extracted), so no label flows.
         e.set_mode(Mode::Test);
         e.au_nn("M", "F", &["P"]).unwrap();
         let p = e.au_write_back_scalar("P").unwrap();
@@ -1130,6 +505,21 @@ mod tests {
     }
 
     #[test]
+    fn restore_after_pop_on_empty_stack_is_typed_error() {
+        let mut e = Engine::new(Mode::Train);
+        // Popping an empty stack is a no-op, and restoring afterwards must
+        // surface the typed error, not panic.
+        e.pop_checkpoint();
+        assert!(matches!(e.au_restore(), Err(AuError::NoCheckpoint)));
+        e.au_extract("S", &[1.0]);
+        e.au_checkpoint();
+        e.pop_checkpoint();
+        assert!(matches!(e.au_restore(), Err(AuError::NoCheckpoint)));
+        // π is untouched by the failed restores.
+        assert_eq!(e.db().get("S"), &[1.0]);
+    }
+
+    #[test]
     fn combined_checkpoint_round_trip() {
         let mut e = Engine::new(Mode::Train);
         e.au_extract("D", &[1.0]);
@@ -1165,7 +555,10 @@ mod tests {
         ts.au_extract("F", &[0.5]);
         ts.au_nn("M", "F", &["P"]).unwrap();
         let p = ts.au_write_back_scalar("P").unwrap();
-        assert!((p - 1.5).abs() < 0.3, "loaded model predicts {p}, want ≈1.5");
+        assert!(
+            (p - 1.5).abs() < 0.3,
+            "loaded model predicts {p}, want ≈1.5"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1257,8 +650,11 @@ mod tests {
         let mut e = Engine::new(Mode::Train);
         // The SL Raw setting with a convolutional front end: an 8x8 frame
         // in, one parameter out.
-        e.au_config("RawSL", ModelConfig::cnn(1, 8, 8, &[16]).with_learning_rate(5e-3))
-            .unwrap();
+        e.au_config(
+            "RawSL",
+            ModelConfig::cnn(1, 8, 8, &[16]).with_learning_rate(5e-3),
+        )
+        .unwrap();
         for step in 0..30 {
             let brightness = (step % 10) as f64 / 10.0;
             let frame = vec![brightness; 64];
@@ -1305,6 +701,7 @@ mod tests {
         let m = e.monitor("M").expect("monitor exists after TS serving");
         assert!(m.alerts().is_empty(), "clean run alerted: {:?}", m.alerts());
         assert!(!m.is_degraded());
+        drop(m); // release the monitor lock before the report re-takes it
         let report = e.monitor_report();
         assert!(report.contains("M:"), "{report}");
         assert!(report.contains("observations=40"), "{report}");
@@ -1335,6 +732,7 @@ mod tests {
         let m = e.monitor("M").unwrap();
         assert!(m.is_degraded());
         assert!(!m.alerts().is_empty());
+        drop(m);
         // The critical alert auto-dumped the black box.
         let flight = dir.join("M.flight.jsonl");
         assert!(flight.exists(), "flight recorder dumped on critical alert");
@@ -1383,6 +781,7 @@ mod tests {
         let m = ts.monitor("M").expect("monitor installed at load");
         assert!(m.report().has_baseline, "loaded baseline attached");
         assert!((m.baseline_mae().unwrap()) < 0.5, "plausible training MAE");
+        drop(m);
         ts.au_extract("F", &[99.0, 99.0]);
         ts.au_nn("M", "F", &["P"]).unwrap();
         let m = ts.monitor("M").unwrap();
@@ -1391,6 +790,7 @@ mod tests {
             2,
             "out-of-range flagged against the persisted baseline"
         );
+        drop(m);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1419,6 +819,7 @@ mod tests {
         let m = ts.monitor("M").unwrap();
         assert!(!m.report().has_baseline);
         assert!(m.alerts().is_empty());
+        drop(m);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1454,5 +855,15 @@ mod tests {
         e.au_extract("Obj", &[5.0]);
         let name = e.au_serialize(&["PX", "PY", "MnX", "MnY", "Obj"]);
         assert_eq!(e.db().get(&name), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn facade_and_handle_share_one_runtime() {
+        let mut e = Engine::new(Mode::Train);
+        let h = e.handle();
+        e.au_extract("A", &[1.0]);
+        h.au_extract("A", &[2.0]);
+        assert_eq!(e.db().get("A"), &[1.0, 2.0]);
+        assert_eq!(e.total_extracted(), 2);
     }
 }

@@ -46,17 +46,22 @@ mod telem;
 
 mod engine;
 mod error;
+mod handle;
 mod model;
 mod monitoring;
+mod registry;
 pub mod semantics;
 mod store;
 
-pub use engine::{Checkpoint, Engine, Mode};
+pub use engine::Engine;
 pub use error::AuError;
+#[cfg(feature = "monitor")]
+pub use handle::MonitorRef;
+pub use handle::{Checkpoint, DbRef, EngineHandle, Mode};
 pub use model::{Algorithm, ModelConfig, ModelKind, ModelStats};
-pub use monitoring::BaselineMeta;
 #[cfg(feature = "monitor")]
 pub use monitoring::set_default_monitor_config;
+pub use monitoring::BaselineMeta;
 pub use store::{DbStore, ProgramStore, Value};
 
 /// Re-export of the monitoring subsystem (alerts, drift detection, flight

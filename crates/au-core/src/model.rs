@@ -309,16 +309,27 @@ impl ModelInstance {
 
 /// Runs one supervised gradient step: trains `net` to map `input` to
 /// `label` (Fig. 8 rule TRAIN's `gradient` statement).
-pub(crate) fn supervised_step(net: &mut Network, opt: &mut Adam, input: &[f64], label: &[f64]) -> f32 {
+pub(crate) fn supervised_step(
+    net: &mut Network,
+    opt: &mut Adam,
+    input: &[f64],
+    label: &[f64],
+) -> f32 {
     let x = Tensor::row(&to_f32(input));
     let y = Tensor::row(&to_f32(label));
     net.train_batch(&x, &y, Loss::Mse, opt)
 }
 
-/// Runs the model on `input` (Fig. 8's `runModel` statement).
-pub(crate) fn run_model(net: &mut Network, input: &[f64]) -> Vec<f64> {
+/// Runs the model on `input` (Fig. 8's `runModel` statement). Uses the
+/// pure `&self` inference path so deployment-mode callers can share the
+/// network behind a read lock.
+pub(crate) fn run_model_ref(net: &Network, input: &[f64]) -> Vec<f64> {
     let x = Tensor::row(&to_f32(input));
-    net.forward(&x).into_vec().into_iter().map(f64::from).collect()
+    net.infer(&x)
+        .into_vec()
+        .into_iter()
+        .map(f64::from)
+        .collect()
 }
 
 /// Feeds one RL step to the agent: completes the pending transition with
@@ -412,7 +423,11 @@ mod tests {
         inst.ensure_supervised("m", 3, 1).unwrap();
         assert!(matches!(
             inst.ensure_supervised("m", 5, 1),
-            Err(AuError::InputSizeChanged { built: 3, got: 5, .. })
+            Err(AuError::InputSizeChanged {
+                built: 3,
+                got: 5,
+                ..
+            })
         ));
     }
 

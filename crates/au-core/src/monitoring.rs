@@ -109,7 +109,12 @@ mod gated {
         }
 
         /// Records one TR-mode training observation for `model`.
-        pub(crate) fn observe_training(&mut self, model: &str, input: &[f64], abs_err: Option<f64>) {
+        pub(crate) fn observe_training(
+            &mut self,
+            model: &str,
+            input: &[f64],
+            abs_err: Option<f64>,
+        ) {
             if !self.enabled() {
                 return;
             }
@@ -181,7 +186,11 @@ mod gated {
                     au_monitor::AlertLevel::Warn => au_telemetry::Level::Warn,
                     au_monitor::AlertLevel::Critical => au_telemetry::Level::Error,
                 };
-                au_telemetry::alert(level, "au_core.monitor", &format!("model `{model}`: {alert}"));
+                au_telemetry::alert(
+                    level,
+                    "au_core.monitor",
+                    &format!("model `{model}`: {alert}"),
+                );
             }
             #[cfg(not(feature = "telemetry"))]
             eprintln!("[ALERT] au_core.monitor: model `{model}`: {alert}");

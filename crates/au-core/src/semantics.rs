@@ -7,8 +7,9 @@
 //! that fired is reported — so the test suite can check the semantics
 //! rule by rule, and documentation can show executable derivations.
 
-use crate::engine::{Engine, Mode};
+use crate::engine::Engine;
 use crate::error::AuError;
+use crate::handle::Mode;
 use crate::model::ModelConfig;
 use crate::store::{ProgramStore, Value};
 
@@ -118,7 +119,7 @@ pub struct Machine {
     sigma: ProgramStore,
     /// π and θ live inside the engine; ω is its mode.
     engine: Engine,
-    checkpoint: Option<crate::engine::Checkpoint<ProgramStore>>,
+    checkpoint: Option<crate::handle::Checkpoint<ProgramStore>>,
 }
 
 impl Machine {
@@ -203,23 +204,23 @@ impl Machine {
                 n_actions,
             } => {
                 let mode = self.engine.mode();
-                let reward = self
-                    .sigma
-                    .get_scalar(reward_var)
-                    .ok_or_else(|| AuError::MissingData {
-                        name: reward_var.clone(),
-                        wanted: 1,
-                        available: 0,
-                    })?;
-                let terminal = self
-                    .sigma
-                    .get_scalar(term_var)
-                    .ok_or_else(|| AuError::MissingData {
-                        name: term_var.clone(),
-                        wanted: 1,
-                        available: 0,
-                    })?
-                    != 0.0;
+                let reward =
+                    self.sigma
+                        .get_scalar(reward_var)
+                        .ok_or_else(|| AuError::MissingData {
+                            name: reward_var.clone(),
+                            wanted: 1,
+                            available: 0,
+                        })?;
+                let terminal =
+                    self.sigma
+                        .get_scalar(term_var)
+                        .ok_or_else(|| AuError::MissingData {
+                            name: term_var.clone(),
+                            wanted: 1,
+                            available: 0,
+                        })?
+                        != 0.0;
                 self.engine
                     .au_nn_rl(model, ext, reward, terminal, wb, *n_actions)?;
                 Ok(match mode {
@@ -373,7 +374,10 @@ mod tests {
             ]
         );
         assert!(m.sigma().get_scalar("param").is_some());
-        assert!(m.engine().db().get("F").is_empty(), "extName ↦ ⊥ after TRAIN");
+        assert!(
+            m.engine().db().get("F").is_empty(),
+            "extName ↦ ⊥ after TRAIN"
+        );
     }
 
     #[test]

@@ -109,20 +109,33 @@ impl ProgramStore {
     }
 }
 
+/// One named π list: its values plus the append counter the engine uses to
+/// tell freshly extracted labels apart from stale model predictions.
+///
+/// Keeping the counter next to the values (instead of in a parallel map)
+/// means `append` — the hottest π write, fired by every `au_extract` — does
+/// a single tree lookup with no key allocation on the hit path.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct DbList {
+    values: Vec<f64>,
+    appends: u64,
+}
+
 /// The database store π: `String → list of values`.
 ///
 /// `au_extract` appends here; `au_NN` reads model inputs from here and
 /// writes model outputs back here; `au_write_back` copies values out to
 /// program variables.
+///
+/// The write path is append-optimized: `append` touches the tree once, and
+/// `clear` empties a list in place so the buffer's capacity is reused by the
+/// next extract→serve cycle instead of reallocating every iteration.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DbStore {
-    lists: BTreeMap<String, Vec<f64>>,
+    lists: BTreeMap<String, DbList>,
     /// Total scalars ever appended — the paper's "trace size" metric
     /// (Table 2) in units of recorded values.
     appended: u64,
-    /// Per-key append counters, used by the engine to tell freshly
-    /// extracted labels apart from stale model predictions.
-    appends_by_key: BTreeMap<String, u64>,
 }
 
 impl DbStore {
@@ -134,53 +147,69 @@ impl DbStore {
     /// Rule EXTRACT: appends `values` to the list under `name`.
     pub fn append(&mut self, name: &str, values: &[f64]) {
         self.appended += values.len() as u64;
-        *self.appends_by_key.entry(name.to_owned()).or_default() += 1;
-        self.lists
-            .entry(name.to_owned())
-            .or_default()
-            .extend_from_slice(values);
+        let list = match self.lists.get_mut(name) {
+            Some(list) => list,
+            None => self.lists.entry(name.to_owned()).or_default(),
+        };
+        list.appends += 1;
+        list.values.extend_from_slice(values);
     }
 
-    /// How many times [`DbStore::append`] has run for `name`.
+    /// How many times [`DbStore::append`] has run for `name`. Survives
+    /// [`DbStore::clear`] — label freshness tracking depends on it being
+    /// monotonic for the store's lifetime.
     pub fn append_count(&self, name: &str) -> u64 {
-        self.appends_by_key.get(name).copied().unwrap_or(0)
+        self.lists.get(name).map(|l| l.appends).unwrap_or(0)
     }
 
     /// Reads the list under `name` (empty slice if absent — the paper's ⊥).
     pub fn get(&self, name: &str) -> &[f64] {
-        self.lists.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.lists
+            .get(name)
+            .map(|l| l.values.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Replaces the list under `name`.
     pub fn put(&mut self, name: &str, values: Vec<f64>) {
-        self.lists.insert(name.to_owned(), values);
+        match self.lists.get_mut(name) {
+            Some(list) => list.values = values,
+            None => {
+                self.lists.entry(name.to_owned()).or_default().values = values;
+            }
+        }
     }
 
-    /// Rule TRAIN/TEST's `extName ↦ ⊥`: resets a list to empty.
+    /// Rule TRAIN/TEST's `extName ↦ ⊥`: resets a list to empty. The backing
+    /// buffer (and the append counter) survive so the next append reuses the
+    /// capacity.
     pub fn clear(&mut self, name: &str) {
-        self.lists.remove(name);
+        if let Some(list) = self.lists.get_mut(name) {
+            list.values.clear();
+        }
     }
 
     /// Rule SERIALIZE: concatenates the lists under `names` into one list
     /// stored under the strcat of the names, returning the combined name.
     pub fn serialize(&mut self, names: &[&str]) -> String {
         let combined_name = names.concat();
-        let mut combined = Vec::new();
+        let total: usize = names.iter().map(|n| self.get(n).len()).sum();
+        let mut combined = Vec::with_capacity(total);
         for name in names {
             combined.extend_from_slice(self.get(name));
         }
-        self.lists.insert(combined_name.clone(), combined);
+        self.put(&combined_name, combined);
         combined_name
     }
 
-    /// Number of named lists.
+    /// Number of non-empty lists.
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.iter().count()
     }
 
-    /// Whether no lists exist.
+    /// Whether every list is ⊥.
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.len() == 0
     }
 
     /// Total scalars appended over the store's lifetime (survives `clear`,
@@ -190,9 +219,13 @@ impl DbStore {
         self.appended
     }
 
-    /// Iterates lists in name order.
+    /// Iterates non-empty lists in name order (cleared lists are ⊥ and
+    /// indistinguishable from never-written ones).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.lists.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.lists
+            .iter()
+            .filter(|(_, l)| !l.values.is_empty())
+            .map(|(k, l)| (k.as_str(), l.values.as_slice()))
     }
 }
 

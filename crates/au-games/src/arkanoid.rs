@@ -111,11 +111,26 @@ impl Game for Arkanoid {
         db.record_assign("paddleX", &["paddleX", "actionKey"], None, "updatePaddle");
         db.record_assign("ballX", &["ballX", "ballVX"], None, "updateBall");
         db.record_assign("ballY", &["ballY", "ballVY"], None, "updateBall");
-        db.record_assign("ballVX", &["ballVX", "paddleX", "ballX"], None, "updateBall");
+        db.record_assign(
+            "ballVX",
+            &["ballVX", "paddleX", "ballX"],
+            None,
+            "updateBall",
+        );
         db.record_assign("ballVY", &["ballVY", "ballY"], None, "updateBall");
         db.record_assign("relBallX", &["ballX", "paddleX"], None, "gameLoop");
-        db.record_assign("bricksLeft", &["bricksLeft", "ballX", "ballY"], None, "brickCollision");
-        db.record_assign("score", &["bricksLeft", "relBallX", "actionKey"], None, "gameLoop");
+        db.record_assign(
+            "bricksLeft",
+            &["bricksLeft", "ballX", "ballY"],
+            None,
+            "brickCollision",
+        );
+        db.record_assign(
+            "score",
+            &["bricksLeft", "relBallX", "actionKey"],
+            None,
+            "gameLoop",
+        );
         db.mark_target("actionKey");
     }
 }

@@ -296,7 +296,10 @@ mod tests {
         let frame = game.render(16, 16);
         assert_eq!(frame.len(), 256);
         assert!(frame.contains(&1.0), "bird pixel present");
-        assert!(frame.iter().any(|&p| p > 0.5 && p < 1.0), "pipe pixels present");
+        assert!(
+            frame.iter().any(|&p| p > 0.5 && p < 1.0),
+            "pipe pixels present"
+        );
     }
 
     #[test]

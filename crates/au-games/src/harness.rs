@@ -407,7 +407,10 @@ mod tests {
             )
             .unwrap();
         }
-        assert!(bonus_total > 0.0, "coverage bonus should fire at least once");
+        assert!(
+            bonus_total > 0.0,
+            "coverage bonus should fire at least once"
+        );
     }
 
     #[test]
@@ -437,27 +440,38 @@ mod tests {
         engine.au_config("D", small_q_config(8)).unwrap();
         let mut game = Flappybird::new(3);
         for _ in 0..3 {
-            play_episode(&mut engine, "D", &mut game, 200, FeatureSource::Internal, None).unwrap();
+            play_episode(
+                &mut engine,
+                "D",
+                &mut game,
+                200,
+                FeatureSource::Internal,
+                None,
+            )
+            .unwrap();
         }
 
         engine.set_mode(Mode::Test);
         let mut clean = drift_extractor(1.0, 0.0);
         play_episode_custom(&mut engine, "D", &mut game, 100, &mut clean, None).unwrap();
+        // Reports are taken before the monitor guard: both acquire the
+        // monitor lock, and the guard must drop before the next episode.
+        let report = engine.monitor_report();
         let mon = engine.monitor("D").unwrap();
         assert!(
             mon.alerts().iter().all(|a| a.kind != AlertKind::Drift),
-            "on-policy play must not look like sensor drift: {}",
-            engine.monitor_report()
+            "on-policy play must not look like sensor drift: {report}"
         );
+        drop(mon);
 
         // Drifted sensors: every feature shifted far outside training range.
         let mut drifted = drift_extractor(1.0, 50.0);
         play_episode_custom(&mut engine, "D", &mut game, 100, &mut drifted, None).unwrap();
+        let report = engine.monitor_report();
         let mon = engine.monitor("D").unwrap();
         assert!(
             mon.alerts().iter().any(|a| a.kind == AlertKind::Drift),
-            "drifted extraction should raise a drift alert: {}",
-            engine.monitor_report()
+            "drifted extraction should raise a drift alert: {report}"
         );
         let last = mon.last_drift().expect("baseline attached");
         assert_eq!(
@@ -474,7 +488,15 @@ mod tests {
         engine.au_config("E", small_q_config(6)).unwrap();
         let mut game = Flappybird::new(5);
         // One training episode to build the backend.
-        play_episode(&mut engine, "E", &mut game, 50, FeatureSource::Internal, None).unwrap();
+        play_episode(
+            &mut engine,
+            "E",
+            &mut game,
+            50,
+            FeatureSource::Internal,
+            None,
+        )
+        .unwrap();
         let steps_before = engine.model_stats("E").unwrap().train_steps;
         evaluate(&mut engine, "E", &mut game, 2, 50, FeatureSource::Internal).unwrap();
         assert_eq!(engine.model_stats("E").unwrap().train_steps, steps_before);

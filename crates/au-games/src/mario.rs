@@ -173,11 +173,7 @@ impl Mario {
         self.goombas
             .iter()
             .filter(|g| g.alive)
-            .min_by(|a, b| {
-                (a.x - self.x)
-                    .abs()
-                    .total_cmp(&(b.x - self.x).abs())
-            })
+            .min_by(|a, b| (a.x - self.x).abs().total_cmp(&(b.x - self.x).abs()))
     }
 
     fn in_dungeon(&self) -> bool {
@@ -403,8 +399,17 @@ impl Game for Mario {
 
     fn feature_names(&self) -> Vec<&'static str> {
         vec![
-            "PX", "PY", "PVY", "onGround", "MnX", "MnDir", "pitDX", "pipeDX", "coinDX",
-            "flagDX", "inDungeon",
+            "PX",
+            "PY",
+            "PVY",
+            "onGround",
+            "MnX",
+            "MnDir",
+            "pitDX",
+            "pipeDX",
+            "coinDX",
+            "flagDX",
+            "inDungeon",
         ]
     }
 

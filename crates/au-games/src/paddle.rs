@@ -31,7 +31,12 @@ const PADDLE_STEP: f64 = 0.03;
 impl PaddleCore {
     /// Creates a playfield; `layout(row, col)` decides which cells hold a
     /// brick.
-    pub fn new(rows: usize, cols: usize, layout: impl Fn(usize, usize) -> bool, serve_angle: f64) -> Self {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        layout: impl Fn(usize, usize) -> bool,
+        serve_angle: f64,
+    ) -> Self {
         let bricks: Vec<bool> = (0..rows * cols)
             .map(|i| layout(i / cols, i % cols))
             .collect();
@@ -141,7 +146,13 @@ impl PaddleCore {
 
     pub fn feature_names() -> Vec<&'static str> {
         vec![
-            "ballX", "ballY", "ballVX", "ballVY", "paddleX", "relBallX", "bricksLeft",
+            "ballX",
+            "ballY",
+            "ballVX",
+            "ballVY",
+            "paddleX",
+            "relBallX",
+            "bricksLeft",
         ]
     }
 
@@ -169,8 +180,8 @@ impl PaddleCore {
             for col in 0..self.cols {
                 if self.bricks[row * self.cols + col] {
                     let x = (col as f64 + 0.5) / self.cols as f64;
-                    let y = WALL_TOP
-                        + (row as f64 + 0.5) / self.rows as f64 * (WALL_BOTTOM - WALL_TOP);
+                    let y =
+                        WALL_TOP + (row as f64 + 0.5) / self.rows as f64 * (WALL_BOTTOM - WALL_TOP);
                     frame[to_px(x, y)] = 0.6;
                 }
             }
@@ -178,8 +189,8 @@ impl PaddleCore {
         // Paddle.
         let steps = 5;
         for i in 0..=steps {
-            let x = self.paddle_x - self.paddle_half
-                + 2.0 * self.paddle_half * i as f64 / steps as f64;
+            let x =
+                self.paddle_x - self.paddle_half + 2.0 * self.paddle_half * i as f64 / steps as f64;
             frame[to_px(x.clamp(0.0, 1.0), PADDLE_Y)] = 0.8;
         }
         frame[to_px(self.ball_x.clamp(0.0, 1.0), self.ball_y.clamp(0.0, 1.0))] = 1.0;

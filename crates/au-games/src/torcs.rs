@@ -147,7 +147,13 @@ impl Game for Torcs {
     }
 
     fn features(&self) -> Vec<f64> {
-        let mut f = vec![self.pos, self.angle, self.roll(), self.acc_x, 1.0 /* speed */];
+        let mut f = vec![
+            self.pos,
+            self.angle,
+            self.roll(),
+            self.acc_x,
+            1.0, /* speed */
+        ];
         for i in 1..=LOOKAHEAD {
             f.push(self.curvature_at(i) * 20.0);
         }
@@ -156,8 +162,7 @@ impl Game for Torcs {
 
     fn feature_names(&self) -> Vec<&'static str> {
         vec![
-            "posX", "angle", "roll", "accX", "speedX", "curv1", "curv2", "curv3", "curv4",
-            "curv5",
+            "posX", "angle", "roll", "accX", "speedX", "curv1", "curv2", "curv3", "curv4", "curv5",
         ]
     }
 
@@ -219,7 +224,14 @@ impl Game for Torcs {
         db.record_assign("curv5", &["curv5"], None, "trackSensor");
         db.record_assign("speedX", &["speedX"], None, "physics");
         db.record_assign("damage", &["posX", "roll", "curv1"], None, "drive");
-        db.record_assign("score", &["damage", "steer", "accX", "curv2", "curv3", "curv4", "curv5"], None, "gameLoop");
+        db.record_assign(
+            "score",
+            &[
+                "damage", "steer", "accX", "curv2", "curv3", "curv4", "curv5",
+            ],
+            None,
+            "gameLoop",
+        );
         db.mark_target("steer");
     }
 }

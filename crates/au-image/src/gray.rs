@@ -172,7 +172,11 @@ impl GrayImage {
     pub fn histogram(&self, bins: usize) -> Vec<f64> {
         assert!(bins > 0, "bins must be positive");
         let min = self.pixels.iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = self.pixels.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = self
+            .pixels
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let mut hist = vec![0.0f64; bins];
         let range = (max - min).max(1e-12);
         for &p in &self.pixels {

@@ -114,7 +114,9 @@ impl SceneGenerator {
 
     fn draw_disc(&mut self, image: &mut GrayImage, truth: &mut GrayImage, value: f32) {
         let (w, h) = (image.width(), image.height());
-        let r = self.rng.gen_range((w.min(h) / 8).max(2)..(w.min(h) / 3).max(3)) as isize;
+        let r = self
+            .rng
+            .gen_range((w.min(h) / 8).max(2)..(w.min(h) / 3).max(3)) as isize;
         let cx = self.rng.gen_range(r..w as isize - r);
         let cy = self.rng.gen_range(r..h as isize - r);
         for y in (cy - r)..=(cy + r) {

@@ -107,11 +107,8 @@ mod tests {
     #[test]
     fn ssim_inverted_is_low() {
         let img = checker(8, 8);
-        let inverted = GrayImage::from_pixels(
-            8,
-            8,
-            img.pixels().iter().map(|&p| 1.0 - p).collect(),
-        );
+        let inverted =
+            GrayImage::from_pixels(8, 8, img.pixels().iter().map(|&p| 1.0 - p).collect());
         assert!(ssim(&img, &inverted) < 0.2);
     }
 

@@ -124,8 +124,7 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                         interp.set_input(name, Value::Num(value));
                     }
                     ("--seed", n) => {
-                        let seed: u64 =
-                            n.parse().map_err(|e| format!("bad --seed value: {e}"))?;
+                        let seed: u64 = n.parse().map_err(|e| format!("bad --seed value: {e}"))?;
                         interp.set_seed(seed);
                     }
                     _ => {}

@@ -381,7 +381,9 @@ impl Interpreter {
             .as_num()
             .ok_or_else(|| self.err("array index must be a number"))?;
         if !n.is_finite() || n < 0.0 || n.fract() != 0.0 {
-            return Err(self.err(format!("array index must be a non-negative integer, got {n}")));
+            return Err(self.err(format!(
+                "array index must be a non-negative integer, got {n}"
+            )));
         }
         Ok(n as usize)
     }
@@ -454,7 +456,12 @@ impl Interpreter {
         }
     }
 
-    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<(Value, Deps), LangError> {
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<(Value, Deps), LangError> {
         // Short-circuit forms first.
         if matches!(op, BinOp::And | BinOp::Or) {
             let (l, mut deps) = self.eval(lhs)?;
@@ -485,12 +492,12 @@ impl Interpreter {
             BinOp::Eq => Value::Bool(l == r),
             BinOp::Ne => Value::Bool(l != r),
             _ => {
-                let a = l.as_num().ok_or_else(|| {
-                    self.err(format!("arithmetic on {}", l.type_name()))
-                })?;
-                let b = r.as_num().ok_or_else(|| {
-                    self.err(format!("arithmetic on {}", r.type_name()))
-                })?;
+                let a = l
+                    .as_num()
+                    .ok_or_else(|| self.err(format!("arithmetic on {}", l.type_name())))?;
+                let b = r
+                    .as_num()
+                    .ok_or_else(|| self.err(format!("arithmetic on {}", r.type_name())))?;
                 match op {
                     BinOp::Add => Value::Num(a + b),
                     BinOp::Sub => Value::Num(a - b),
@@ -527,7 +534,10 @@ impl Interpreter {
         if args.len() == n {
             Ok(())
         } else {
-            Err(self.err(format!("`{name}` expects {n} arguments, got {}", args.len())))
+            Err(self.err(format!(
+                "`{name}` expects {n} arguments, got {}",
+                args.len()
+            )))
         }
     }
 
@@ -817,8 +827,7 @@ impl Interpreter {
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rng_state = x;
-                let r = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let r = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
                 Ok((Value::Num(r), Deps::new()))
             }
             other => Err(self.err(format!("unknown function `{other}`"))),
@@ -836,25 +845,28 @@ mod tests {
 
     #[test]
     fn arithmetic_and_control_flow() {
-        let v = run("fn main() { let s = 0; let i = 0; while (i < 5) { i = i + 1; s = s + i; } return s; }");
+        let v = run(
+            "fn main() { let s = 0; let i = 0; while (i < 5) { i = i + 1; s = s + i; } return s; }",
+        );
         assert_eq!(v.as_num(), Some(15.0));
     }
 
     #[test]
     fn for_loop_sugar_executes() {
-        let v = run("fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }");
+        let v = run(
+            "fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }",
+        );
         assert_eq!(v.as_num(), Some(10.0));
     }
 
     #[test]
     fn for_loop_initializer_is_scoped() {
         // `i` from the for initializer must not leak into the outer scope.
-        let err = Interpreter::compile(
-            "fn main() { for (let i = 0; i < 2; i = i + 1) { } return i; }",
-        )
-        .unwrap()
-        .run()
-        .unwrap_err();
+        let err =
+            Interpreter::compile("fn main() { for (let i = 0; i < 2; i = i + 1) { } return i; }")
+                .unwrap()
+                .run()
+                .unwrap_err();
         assert!(matches!(err, LangError::Runtime(_)));
     }
 
@@ -1060,7 +1072,10 @@ mod tests {
     #[test]
     fn builtin_math_functions() {
         assert_eq!(run("fn main() { return abs(0 - 5); }").as_num(), Some(5.0));
-        assert_eq!(run("fn main() { return max(2, 3) + min(2, 3); }").as_num(), Some(5.0));
+        assert_eq!(
+            run("fn main() { return max(2, 3) + min(2, 3); }").as_num(),
+            Some(5.0)
+        );
         assert_eq!(run("fn main() { return floor(2.9); }").as_num(), Some(2.0));
         assert_eq!(
             run("fn main() { let a = append([1], 2); return len(a); }").as_num(),

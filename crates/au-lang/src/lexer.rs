@@ -236,7 +236,10 @@ impl<'src> Lexer<'src> {
 
     fn lex_ident(&mut self) -> TokenKind {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");

@@ -238,7 +238,9 @@ impl Parser {
                 let value = self.expr()?;
                 Stmt::Assign { name, value }
             }
-            other => return Err(self.err(format!("expected for-loop initializer, found {other:?}"))),
+            other => {
+                return Err(self.err(format!("expected for-loop initializer, found {other:?}")))
+            }
         };
         self.expect(TokenKind::Semi, "`;`")?;
         let cond = self.expr()?;
@@ -470,7 +472,11 @@ mod tests {
         let p = parse("fn main() { let x = 1 + 2 * 3; return x; }").unwrap();
         match &p.functions[0].body[0] {
             Stmt::Let { init, .. } => match init {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at top: {other:?}"),
@@ -529,7 +535,8 @@ mod tests {
 
     #[test]
     fn for_loop_desugars_and_runs() {
-        let src = "fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }";
+        let src =
+            "fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }";
         let p = parse(src).unwrap();
         // Desugared: the for becomes an if-true wrapper.
         assert!(matches!(p.functions[0].body[1], Stmt::If { .. }));

@@ -52,7 +52,12 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
             let _ = writeln!(out, "{name} = {};", print_expr(value));
         }
         Stmt::AssignIndex { name, index, value } => {
-            let _ = writeln!(out, "{name}[{}] = {};", print_expr(index), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{name}[{}] = {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
         Stmt::If {
             cond,
@@ -154,7 +159,12 @@ pub fn print_expr(expr: &Expr) -> String {
             format!("{name}({})", inner.join(", "))
         }
         Expr::Binary { op, lhs, rhs } => {
-            format!("({} {} {})", print_expr(lhs), bin_op_str(*op), print_expr(rhs))
+            format!(
+                "({} {} {})",
+                print_expr(lhs),
+                bin_op_str(*op),
+                print_expr(rhs)
+            )
         }
         Expr::Unary { op, expr } => match op {
             UnOp::Neg => format!("(-{})", print_expr(expr)),
@@ -209,7 +219,9 @@ mod tests {
 
     #[test]
     fn round_trips_unary_and_logic() {
-        round_trip("fn main() { let b = !(1 < 2) || true && false; if (b) { return -1; } return 0 - -2; }");
+        round_trip(
+            "fn main() { let b = !(1 < 2) || true && false; if (b) { return -1; } return 0 - -2; }",
+        );
     }
 
     #[test]

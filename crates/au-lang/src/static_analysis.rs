@@ -306,7 +306,10 @@ mod tests {
         let db = analyze(&program);
         let x = db.id("x").unwrap();
         let y = db.id("y").unwrap();
-        assert!(db.dependents(x).contains(&y), "x flows through double into y");
+        assert!(
+            db.dependents(x).contains(&y),
+            "x flows through double into y"
+        );
     }
 
     #[test]

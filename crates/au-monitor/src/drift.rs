@@ -271,7 +271,8 @@ impl DriftDetector {
         for (i, &v) in row.iter().enumerate().take(self.baseline.width()) {
             let base = &self.baseline.features[i];
             let slack = self.range_tolerance * base.range();
-            let outside = v.is_nan() || v < base.min - slack - 1e-12 || v > base.max + slack + 1e-12;
+            let outside =
+                v.is_nan() || v < base.min - slack - 1e-12 || v > base.max + slack + 1e-12;
             if outside {
                 out_of_range += 1;
             }
@@ -310,9 +311,7 @@ mod tests {
 
     fn base_unit() -> FeatureBaseline {
         // Feature 0 uniform-ish over [0,1], feature 1 constant.
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![i as f64 / 99.0, 7.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 99.0, 7.0]).collect();
         FeatureBaseline::from_rows(&rows)
     }
 
@@ -369,7 +368,11 @@ mod tests {
         let steady = d.observe(&[0.5, 7.0]);
         assert_eq!(steady.score.min(0.999), steady.score, "no drift yet");
         let moved = d.observe(&[0.5, 7.5]);
-        assert!(moved.score >= 1.0, "constant feature moved: {}", moved.score);
+        assert!(
+            moved.score >= 1.0,
+            "constant feature moved: {}",
+            moved.score
+        );
         assert_eq!(moved.worst_feature, Some(1));
     }
 

@@ -87,11 +87,7 @@ impl ModelMonitor {
 
     /// Attaches the training-time baselines: the per-feature input
     /// distribution and (when known) the training-set MAE.
-    pub fn with_baseline(
-        mut self,
-        baseline: FeatureBaseline,
-        baseline_mae: Option<f64>,
-    ) -> Self {
+    pub fn with_baseline(mut self, baseline: FeatureBaseline, baseline_mae: Option<f64>) -> Self {
         self.drift = Some(DriftDetector::new(baseline, &self.config));
         self.baseline_mae = baseline_mae;
         self
@@ -429,8 +425,9 @@ mod tests {
         let cfg = MonitorConfig::default().with_fallback(true);
         let mut m = ModelMonitor::new(cfg);
         let alerts = m.observe(&[0.1], &[f64::NAN], None, 1);
-        assert!(alerts.iter().any(|a| a.kind == AlertKind::NaNPrediction
-            && a.level == AlertLevel::Critical));
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::NaNPrediction && a.level == AlertLevel::Critical));
         assert!(m.is_degraded());
         m.clear_degraded();
         assert!(!m.is_degraded());

@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(q.samples(), 2);
         assert_eq!(q.total(), 3);
         let mae = q.rolling_mae().unwrap();
-        assert!((mae - 2.0).abs() < 1e-12, "only the last two survive: {mae}");
+        assert!(
+            (mae - 2.0).abs() < 1e-12,
+            "only the last two survive: {mae}"
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let e = q.observe(&[f64::NAN], &[0.5]);
         assert!(e.is_infinite());
         assert_eq!(q.nan_count(), 1);
-        assert!(q.rolling_mae().unwrap().is_infinite(), "NaN must not vanish");
+        assert!(
+            q.rolling_mae().unwrap().is_infinite(),
+            "NaN must not vanish"
+        );
     }
 
     #[test]

@@ -84,11 +84,15 @@ impl ActivationLayer {
 
 impl Layer for ActivationLayer {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = input.map(|x| self.kind.apply(x));
+        let out = self.infer(input);
         if train {
             self.cached_output = Some(out.clone());
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| self.kind.apply(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -41,8 +41,14 @@ impl Conv2d {
         in_h: usize,
         in_w: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be positive"
+        );
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             kernel <= in_h && kernel <= in_w,
             "kernel {kernel} exceeds input {in_h}x{in_w}"
@@ -75,8 +81,14 @@ impl Conv2d {
     ) -> Self {
         // Constructed directly (not via `new`) so loading a saved model
         // does not advance the global initialization stream.
-        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be positive"
+        );
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             kernel <= in_h && kernel <= in_w,
             "kernel {kernel} exceeds input {in_h}x{in_w}"
@@ -123,6 +135,14 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.row_len(),
             self.in_len(),
@@ -136,8 +156,8 @@ impl Layer for Conv2d {
         for b in 0..input.batch() {
             let row = input.row_slice(b);
             for oc in 0..self.out_channels {
-                let wrow =
-                    &self.weight.value.data()[oc * self.in_channels * k * k..][..self.in_channels * k * k];
+                let wrow = &self.weight.value.data()[oc * self.in_channels * k * k..]
+                    [..self.in_channels * k * k];
                 let bias = self.bias.value.data()[oc];
                 for oy in 0..oh {
                     for ox in 0..ow {
@@ -158,9 +178,6 @@ impl Layer for Conv2d {
                     }
                 }
             }
-        }
-        if train {
-            self.cached_input = Some(input.clone());
         }
         out
     }
@@ -283,7 +300,11 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.row_len(), self.in_len(), "maxpool input size mismatch");
+        assert_eq!(
+            input.row_len(),
+            self.in_len(),
+            "maxpool input size mismatch"
+        );
         let (oh, ow) = (self.out_h(), self.out_w());
         let w = self.window;
         let mut out = Tensor::zeros(&[input.batch(), self.out_len()]);
@@ -315,6 +336,40 @@ impl Layer for MaxPool2d {
         }
         self.cached_argmax = Some(argmax);
         self.cached_batch = input.batch();
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.row_len(),
+            self.in_len(),
+            "maxpool input size mismatch"
+        );
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let w = self.window;
+        let mut out = Tensor::zeros(&[input.batch(), self.out_len()]);
+        for b in 0..input.batch() {
+            let row = input.row_slice(b);
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..w {
+                            for kx in 0..w {
+                                let iy = oy * w + ky;
+                                let ix = ox * w + kx;
+                                let idx = (c * self.in_h + iy) * self.in_w + ix;
+                                if row[idx] > best {
+                                    best = row[idx];
+                                }
+                            }
+                        }
+                        let oidx = (c * oh + oy) * ow + ox;
+                        out.data_mut()[b * self.out_len() + oidx] = best;
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -367,6 +422,10 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.row_len(), self.features, "flatten size mismatch");
         input.clone()
     }

@@ -64,6 +64,15 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        // The backward pass only needs the input during training.
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.row_len(),
             self.in_features,
@@ -79,10 +88,6 @@ impl Layer for Dense {
             for (o, b) in row.iter_mut().zip(bias) {
                 *o += b;
             }
-        }
-        // The backward pass only needs the input during training.
-        if train {
-            self.cached_input = Some(input.clone());
         }
         out
     }

@@ -57,7 +57,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.next_f32() < self.p { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if self.next_f32() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
         let data = input
             .data()
@@ -67,6 +73,11 @@ impl Layer for Dropout {
             .collect();
         self.mask = Some(mask);
         Tensor::from_vec(input.shape(), data)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        // Inverted dropout is the identity in deployment mode.
+        input.clone()
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -108,7 +119,10 @@ mod tests {
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         assert!(zeros > 300 && zeros < 700, "zeros {zeros} far from p=0.5");
         for &v in y.data() {
-            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6, "survivors scaled by 1/(1-p)");
+            assert!(
+                v == 0.0 || (v - 2.0).abs() < 1e-6,
+                "survivors scaled by 1/(1-p)"
+            );
         }
         // Expected value preserved approximately.
         let mean = y.sum() / 1000.0;

@@ -139,8 +139,7 @@ mod tests {
             .dense(2)
             .build();
         let x = Tensor::from_rows(&[&[
-            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, -0.1, -0.2, -0.3, -0.4, -0.5, -0.6, -0.7,
-            -0.8,
+            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, -0.1, -0.2, -0.3, -0.4, -0.5, -0.6, -0.7, -0.8,
         ]]);
         let y = Tensor::from_rows(&[&[0.5, -0.5]]);
         let report = check_gradients(&mut net, &x, &y, Loss::Mse, 30);

@@ -53,13 +53,20 @@ impl Param {
 ///
 /// Layers are stateful: `forward` caches whatever `backward` needs. A network
 /// always calls `backward` immediately after the matching `forward` on the
-/// same layer, with no interleaving.
-pub trait Layer: std::fmt::Debug + Send {
+/// same layer, with no interleaving. The `Sync` bound lets a fully trained
+/// network serve concurrent inference through [`Layer::infer`], which never
+/// touches the training caches.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Computes the layer output for `input` (first dimension = batch).
     ///
     /// `train` distinguishes the paper's TR mode from TS mode for layers that
     /// behave differently during training.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Pure deployment-mode forward pass: the same math as
+    /// `forward(input, false)` but through `&self`, so a shared model can
+    /// serve many threads at once. Must not touch any backward-pass cache.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
     /// parameter gradients along the way.

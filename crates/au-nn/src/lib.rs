@@ -56,11 +56,11 @@ pub mod rl;
 mod tensor;
 
 pub use activation::Activation;
-pub use init::set_init_seed;
 pub use conv::{Conv2d, Flatten, MaxPool2d};
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use gradcheck::{check_gradients, GradCheckReport};
+pub use init::set_init_seed;
 pub use layer::{Layer, LayerSpec, Param};
 pub use loss::Loss;
 pub use network::{Network, NetworkBuilder, NnError};

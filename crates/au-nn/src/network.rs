@@ -107,6 +107,19 @@ impl Network {
         self.forward_mode(input, false)
     }
 
+    /// Runs inference through `&self`: identical math to
+    /// [`Network::forward`], but without touching any backward-pass cache —
+    /// so one trained network (behind an `RwLock` read guard or `Arc`) can
+    /// serve arbitrarily many threads at once.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let _t = t_time!("au_nn.forward");
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     fn forward_mode(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
@@ -146,7 +159,12 @@ impl Network {
     /// Like [`Network::train_batch`] but with a caller-supplied output
     /// gradient instead of a loss — needed by Q-learning, which only
     /// penalizes the taken action's output.
-    pub fn train_with_output_grad(&mut self, input: &Tensor, grad_out: &Tensor, opt: &mut dyn Optimizer) {
+    pub fn train_with_output_grad(
+        &mut self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        opt: &mut dyn Optimizer,
+    ) {
         let _t = t_time!("au_nn.train_batch");
         t_count!("au_nn.batches_trained");
         let _ = self.forward_mode(input, true);
@@ -225,7 +243,11 @@ impl Network {
         for (a, b) in self.layers.iter_mut().zip(other.layers.iter_mut()) {
             let mut bp = b.params_mut();
             for (pa, pb) in a.params_mut().into_iter().zip(bp.iter_mut()) {
-                assert_eq!(pa.value.shape(), pb.value.shape(), "parameter shape mismatch");
+                assert_eq!(
+                    pa.value.shape(),
+                    pb.value.shape(),
+                    "parameter shape mismatch"
+                );
                 pa.value = pb.value.clone();
             }
         }
@@ -307,7 +329,15 @@ impl NetworkBuilder {
     /// # Panics
     ///
     /// Panics if `channels * h * w` does not equal the current feature count.
-    pub fn conv2d(mut self, channels: usize, h: usize, w: usize, out_channels: usize, kernel: usize, stride: usize) -> Self {
+    pub fn conv2d(
+        mut self,
+        channels: usize,
+        h: usize,
+        w: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Self {
         assert_eq!(
             channels * h * w,
             self.current,
@@ -376,7 +406,11 @@ mod tests {
 
     #[test]
     fn builder_threads_shapes() {
-        let mut net = Network::builder(4).dense(8).activation(Activation::Relu).dense(2).build();
+        let mut net = Network::builder(4)
+            .dense(8)
+            .activation(Activation::Relu)
+            .dense(2)
+            .build();
         assert_eq!(net.in_features(), 4);
         assert_eq!(net.out_features(), 2);
         assert_eq!(net.depth(), 3);
@@ -402,8 +436,38 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_forward_everywhere() {
+        // Every layer kind: conv → pool → flatten → dense → act → dropout.
+        crate::init::set_init_seed(41);
+        let mut net = Network::builder(8 * 8)
+            .conv2d(1, 8, 8, 2, 3, 1)
+            .activation(Activation::Relu)
+            .max_pool2d(2, 6, 6, 2)
+            .flatten()
+            .dense(8)
+            .activation(Activation::Tanh)
+            .dropout(0.2)
+            .dense(3)
+            .build();
+        let x = Tensor::from_rows(&[&[0.3; 64], &[0.7; 64]]);
+        let by_ref = net.infer(&x);
+        let by_mut = net.forward(&x);
+        assert_eq!(by_ref, by_mut, "infer must be bit-identical to forward");
+    }
+
+    #[test]
+    fn networks_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Network>();
+    }
+
+    #[test]
     fn json_round_trip_preserves_predictions() {
-        let mut net = Network::builder(3).dense(5).activation(Activation::Sigmoid).dense(2).build();
+        let mut net = Network::builder(3)
+            .dense(5)
+            .activation(Activation::Sigmoid)
+            .dense(2)
+            .build();
         let x = Tensor::row(&[0.1, -0.2, 0.3]);
         let before = net.forward(&x);
         let mut restored = Network::from_json(&net.to_json()).unwrap();
@@ -458,7 +522,11 @@ mod tests {
     #[test]
     fn sgd_reduces_loss_too() {
         crate::init::set_init_seed(11);
-        let mut net = Network::builder(1).dense(4).activation(Activation::Tanh).dense(1).build();
+        let mut net = Network::builder(1)
+            .dense(4)
+            .activation(Activation::Tanh)
+            .dense(1)
+            .build();
         let xs = Tensor::from_rows(&[&[0.0], &[1.0]]);
         let ys = Tensor::from_rows(&[&[1.0], &[-1.0]]);
         let mut opt = Sgd::new(0.1);

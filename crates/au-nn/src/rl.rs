@@ -190,7 +190,12 @@ impl DqnAgent {
     /// # Panics
     ///
     /// Panics if the network's shape disagrees with `state_dim`/`n_actions`.
-    pub fn with_network(state_dim: usize, n_actions: usize, config: DqnConfig, network: Network) -> Self {
+    pub fn with_network(
+        state_dim: usize,
+        n_actions: usize,
+        config: DqnConfig,
+        network: Network,
+    ) -> Self {
         assert_eq!(network.in_features(), state_dim, "network input mismatch");
         assert_eq!(network.out_features(), n_actions, "network output mismatch");
         let target = if config.target_sync_every > 0 {
@@ -234,15 +239,32 @@ impl DqnAgent {
         &mut self.online
     }
 
+    /// Read access to the online Q-network — enough for persistence
+    /// (`to_json`) and concurrent inference ([`Network::infer`]).
+    pub fn network(&self) -> &Network {
+        &self.online
+    }
+
     /// Q-values for a single state.
     pub fn q_values(&mut self, state: &[f32]) -> Vec<f32> {
+        self.q_values_ref(state)
+    }
+
+    /// Q-values for a single state through `&self`, so a shared agent can
+    /// serve concurrent deployment-mode traffic.
+    pub fn q_values_ref(&self, state: &[f32]) -> Vec<f32> {
         assert_eq!(state.len(), self.state_dim, "state size mismatch");
-        self.online.forward(&Tensor::row(state)).into_vec()
+        self.online.infer(&Tensor::row(state)).into_vec()
     }
 
     /// Greedy (exploitation-only) action — used in TS/deployment mode.
     pub fn greedy_action(&mut self, state: &[f32]) -> usize {
-        let q = self.online.forward(&Tensor::row(state));
+        self.greedy_action_ref(state)
+    }
+
+    /// Greedy action through `&self` — the concurrent deployment-mode path.
+    pub fn greedy_action_ref(&self, state: &[f32]) -> usize {
+        let q = self.online.infer(&Tensor::row(state));
         q.argmax_row(0)
     }
 
@@ -259,8 +281,16 @@ impl DqnAgent {
     /// experience is available. Returns the TD loss if a step ran.
     pub fn observe(&mut self, t: Transition) -> Option<f32> {
         assert_eq!(t.state.len(), self.state_dim, "state size mismatch");
-        assert_eq!(t.next_state.len(), self.state_dim, "next state size mismatch");
-        assert!(t.action < self.n_actions, "action {} out of range", t.action);
+        assert_eq!(
+            t.next_state.len(),
+            self.state_dim,
+            "next state size mismatch"
+        );
+        assert!(
+            t.action < self.n_actions,
+            "action {} out of range",
+            t.action
+        );
         self.buffer.push(t);
         self.observed += 1;
         if self.buffer.len() < self.config.batch_size {
@@ -311,18 +341,23 @@ impl DqnAgent {
             let predicted = q.row_slice(i)[t.action];
             let d = predicted - target_value;
             // Huber loss on the taken action's output only.
-            loss += if d.abs() <= 1.0 { 0.5 * d * d } else { d.abs() - 0.5 };
-            grad.data_mut()[i * self.n_actions + t.action] =
-                d.clamp(-1.0, 1.0) / batch_size as f32;
+            loss += if d.abs() <= 1.0 {
+                0.5 * d * d
+            } else {
+                d.abs() - 0.5
+            };
+            grad.data_mut()[i * self.n_actions + t.action] = d.clamp(-1.0, 1.0) / batch_size as f32;
         }
-        self.online.train_with_output_grad(&states, &grad, &mut self.opt);
+        self.online
+            .train_with_output_grad(&states, &grad, &mut self.opt);
 
         self.learn_steps += 1;
-        self.epsilon =
-            (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_end);
+        self.epsilon = (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_end);
         if let Some(target) = &mut self.target {
             if self.config.target_sync_every > 0
-                && self.learn_steps.is_multiple_of(self.config.target_sync_every)
+                && self
+                    .learn_steps
+                    .is_multiple_of(self.config.target_sync_every)
             {
                 target.copy_weights_from(&mut self.online);
             }
@@ -451,7 +486,11 @@ mod tests {
             });
         }
         assert_eq!(agent.greedy_action(&s1), 1);
-        assert_eq!(agent.greedy_action(&s0), 1, "reward propagates one step back");
+        assert_eq!(
+            agent.greedy_action(&s0),
+            1,
+            "reward propagates one step back"
+        );
     }
 
     #[test]

@@ -241,7 +241,10 @@ pub fn estimate_distances(sequences: &[Vec<u8>], params: DistParams) -> Vec<Vec<
 pub fn neighbor_joining(matrix: &[Vec<f64>]) -> Tree {
     let n = matrix.len();
     assert!(n >= 4, "need at least 4 taxa");
-    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     let mut d: Vec<Vec<f64>> = matrix.to_vec();
     let mut ids: Vec<usize> = (0..n).collect();
     let mut merges = Vec::with_capacity(n - 1);
@@ -304,7 +307,10 @@ pub fn neighbor_joining(matrix: &[Vec<f64>]) -> Tree {
 pub fn upgma(matrix: &[Vec<f64>]) -> Tree {
     let n = matrix.len();
     assert!(n >= 2, "need at least 2 taxa");
-    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     let mut d: Vec<Vec<f64>> = matrix.to_vec();
     let mut ids: Vec<usize> = (0..n).collect();
     let mut sizes: Vec<f64> = vec![1.0; n];
@@ -469,7 +475,12 @@ pub fn distance_summary(sequences: &[Vec<u8>]) -> Vec<f64> {
 pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
     db.mark_input("sequences");
     db.record_assign("pDist", &["sequences"], None, "estimateDistances");
-    db.record_assign("distMatrix", &["pDist", "alpha", "cutoff", "pseudo"], None, "estimateDistances");
+    db.record_assign(
+        "distMatrix",
+        &["pDist", "alpha", "cutoff", "pseudo"],
+        None,
+        "estimateDistances",
+    );
     db.record_assign("summary", &["pDist"], None, "summarize");
     db.record_assign("tree", &["distMatrix"], None, "neighborJoining");
     db.record_assign("result", &["tree", "summary"], None, "main");
@@ -495,10 +506,7 @@ mod tests {
         let data = generate_dataset(5, 80, 1);
         assert_eq!(data.sequences.len(), 5);
         assert!(data.sequences.iter().all(|s| s.len() == 80));
-        assert!(data
-            .sequences
-            .iter()
-            .all(|s| s.iter().all(|&b| b < 4)));
+        assert!(data.sequences.iter().all(|s| s.iter().all(|&b| b < 4)));
     }
 
     #[test]
@@ -548,7 +556,14 @@ mod tests {
     #[test]
     fn inference_on_long_sequences_is_accurate() {
         let data = generate_dataset(8, 2000, 17);
-        let tree = infer_tree(&data.sequences, DistParams { alpha: 1.0, cutoff: 3.0, pseudo: 0.0 });
+        let tree = infer_tree(
+            &data.sequences,
+            DistParams {
+                alpha: 1.0,
+                cutoff: 3.0,
+                pseudo: 0.0,
+            },
+        );
         let rf = robinson_foulds(&tree, &data.true_tree);
         // With 2000 sites the topology should be mostly recoverable.
         assert!(rf <= 4.0, "rf = {rf}");

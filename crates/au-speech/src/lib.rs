@@ -49,8 +49,7 @@ impl Vocabulary {
                         let f1 = 1.0
                             + 0.5 * ((w + 1) as f64 * std::f64::consts::PI * phase).sin()
                             + 0.2 * w as f64;
-                        let f2 = 2.0
-                            + 0.5 * ((w + 2) as f64 * std::f64::consts::PI * phase).cos()
+                        let f2 = 2.0 + 0.5 * ((w + 2) as f64 * std::f64::consts::PI * phase).cos()
                             - 0.15 * w as f64;
                         [f1, f2]
                     })
@@ -104,7 +103,11 @@ impl Utterance {
             .collect();
         let n = energies.len().max(1) as f64;
         let mean = energies.iter().sum::<f64>() / n;
-        let var = energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let var = energies
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / n;
         let high = energies.iter().filter(|&&e| e > 1.0).count() as f64 / n;
         vec![n, mean, var, high]
     }
@@ -133,10 +136,7 @@ pub fn synthesize(vocab: &Vocabulary, word: usize, seed: u64) -> Utterance {
     let lead = rng.gen_range(2..8usize);
     let tail = rng.gen_range(2..8usize);
     let noisy = |base: Frame, rng: &mut StdRng| -> Frame {
-        [
-            base[0] + noise * gauss(rng),
-            base[1] + noise * gauss(rng),
-        ]
+        [base[0] + noise * gauss(rng), base[1] + noise * gauss(rng)]
     };
     for _ in 0..lead {
         frames.push(noisy([0.05, 0.05], &mut rng));
@@ -356,8 +356,22 @@ mod tests {
             .take(12)
             .collect();
         assert!(!fast.is_empty());
-        let narrow = accuracy(&rec, &fast, DecodeParams { beam: 2.0, floor: 0.3 });
-        let wide = accuracy(&rec, &fast, DecodeParams { beam: 24.0, floor: 0.3 });
+        let narrow = accuracy(
+            &rec,
+            &fast,
+            DecodeParams {
+                beam: 2.0,
+                floor: 0.3,
+            },
+        );
+        let wide = accuracy(
+            &rec,
+            &fast,
+            DecodeParams {
+                beam: 24.0,
+                floor: 0.3,
+            },
+        );
         assert!(
             wide >= narrow,
             "wider beam should help fast speech: {narrow} vs {wide}"
@@ -400,7 +414,13 @@ mod tests {
         let utterance = synthesize(&vocab, 0, 3);
         // An absurd floor gates away every frame; recognition degrades but
         // returns.
-        let (_, cost, _) = rec.recognize(&utterance, DecodeParams { beam: 4.0, floor: 99.0 });
+        let (_, cost, _) = rec.recognize(
+            &utterance,
+            DecodeParams {
+                beam: 4.0,
+                floor: 99.0,
+            },
+        );
         assert!(cost.is_infinite());
     }
 

@@ -888,7 +888,11 @@ macro_rules! time {
     ($name:expr) => {{
         if $crate::enabled() {
             static __CELL: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
-            ::std::option::Option::Some(__CELL.get_or_init(|| $crate::histogram($name)).start_timer())
+            ::std::option::Option::Some(
+                __CELL
+                    .get_or_init(|| $crate::histogram($name))
+                    .start_timer(),
+            )
         } else {
             ::std::option::Option::None
         }
@@ -961,7 +965,17 @@ mod tests {
         assert_eq!(s.percentile(100.0), 100_000);
         assert!(s.percentile(50.0) >= 3);
         assert!(s.percentile(50.0) <= 127);
-        assert_eq!(HistogramSnapshot { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }.percentile(50.0), 0);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+                buckets: [0; BUCKETS]
+            }
+            .percentile(50.0),
+            0
+        );
     }
 
     #[test]
@@ -1022,7 +1036,11 @@ mod tests {
             let _later = rec.span("later");
         }
         assert_eq!(
-            rec.spans().iter().find(|s| s.name == "later").unwrap().depth,
+            rec.spans()
+                .iter()
+                .find(|s| s.name == "later")
+                .unwrap()
+                .depth,
             0
         );
     }

@@ -151,14 +151,24 @@ mod tests {
         let mut db = AnalysisDb::new();
         for i in 0..20 {
             let t = i as f64;
-            db.record_assign("playerX", &["playerX", "speed"], Some(t * 2.0), "updatePlayer");
+            db.record_assign(
+                "playerX",
+                &["playerX", "speed"],
+                Some(t * 2.0),
+                "updatePlayer",
+            );
             db.record_assign("minionX", &["minionX"], Some(100.0 - t), "minionCollision");
             // mX is a duplicate alias of minionX (pruned by ε₁).
             db.record_assign("mX", &["minionX"], Some(100.0 - t), "minionCollision");
             // lives is unchanging (pruned by ε₂).
             db.record_assign("lives", &["lives"], Some(3.0), "updatePlayer");
             db.record_assign("speed", &["right"], Some((t * 0.5).sin()), "updatePlayer");
-            db.record_assign("collide", &["playerX", "minionX", "mX"], Some(t % 2.0), "gameLoop");
+            db.record_assign(
+                "collide",
+                &["playerX", "minionX", "mX"],
+                Some(t % 2.0),
+                "gameLoop",
+            );
             db.record_assign("score", &["collide", "speed", "lives"], Some(t), "gameLoop");
         }
         db.mark_target("right");
@@ -204,9 +214,25 @@ mod tests {
         db.mark_target("act");
         let act = db.id("act").unwrap();
 
-        let strict = extract_rl(&db, RlParams { epsilon1: 0.0, epsilon2: 0.0 });
-        assert_eq!(strict[&act].len(), 2, "no pruning at ε₁=0 for near-equal traces");
-        let loose = extract_rl(&db, RlParams { epsilon1: 0.1, epsilon2: 0.0 });
+        let strict = extract_rl(
+            &db,
+            RlParams {
+                epsilon1: 0.0,
+                epsilon2: 0.0,
+            },
+        );
+        assert_eq!(
+            strict[&act].len(),
+            2,
+            "no pruning at ε₁=0 for near-equal traces"
+        );
+        let loose = extract_rl(
+            &db,
+            RlParams {
+                epsilon1: 0.1,
+                epsilon2: 0.0,
+            },
+        );
         assert_eq!(loose[&act].len(), 1, "ε₁=0.1 prunes the near-duplicate");
     }
 
@@ -224,9 +250,21 @@ mod tests {
         // Note: variance is computed on the *scaled* trace, so both have
         // non-trivial variance after scaling; ε₂=0.2 keeps both, ε₂ large
         // prunes everything.
-        let keep = extract_rl(&db, RlParams { epsilon1: 0.0, epsilon2: 0.0 });
+        let keep = extract_rl(
+            &db,
+            RlParams {
+                epsilon1: 0.0,
+                epsilon2: 0.0,
+            },
+        );
         assert_eq!(keep[&act].len(), 2);
-        let prune_all = extract_rl(&db, RlParams { epsilon1: 0.0, epsilon2: 10.0 });
+        let prune_all = extract_rl(
+            &db,
+            RlParams {
+                epsilon1: 0.0,
+                epsilon2: 10.0,
+            },
+        );
         assert!(prune_all[&act].is_empty());
     }
 
@@ -239,9 +277,7 @@ mod tests {
         db.mark_target("act");
         let act = db.id("act").unwrap();
         let features = extract_rl(&db, RlParams::default());
-        assert!(features[&act]
-            .iter()
-            .all(|&v| db.name(v) != "ghost"));
+        assert!(features[&act].iter().all(|&v| db.name(v) != "ghost"));
     }
 
     #[test]
@@ -261,7 +297,13 @@ mod tests {
         db.record_use("far", "elsewhere");
         db.mark_target("act");
         let act = db.id("act").unwrap();
-        let features = extract_rl(&db, RlParams { epsilon1: 0.0, epsilon2: 0.0 });
+        let features = extract_rl(
+            &db,
+            RlParams {
+                epsilon1: 0.0,
+                epsilon2: 0.0,
+            },
+        );
         let names: Vec<&str> = features[&act].iter().map(|&v| db.name(v)).collect();
         assert_eq!(names, vec!["near"]);
     }

@@ -164,9 +164,7 @@ mod tests {
         db.record_assign("noise", &["image"], None, "other");
         let features = extract_sl(&db);
         let lo = db.id("lo").unwrap();
-        assert!(features[&lo]
-            .iter()
-            .all(|f| db.name(f.var) != "noise"));
+        assert!(features[&lo].iter().all(|f| db.name(f.var) != "noise"));
     }
 
     #[test]

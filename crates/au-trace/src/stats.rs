@@ -139,7 +139,15 @@ mod tests {
     #[test]
     fn summarize_empty_and_constant() {
         let empty = summarize(&[]);
-        assert_eq!(empty, TraceSummary { min: 0.0, max: 0.0, mean: 0.0, var: 0.0 });
+        assert_eq!(
+            empty,
+            TraceSummary {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                var: 0.0
+            }
+        );
         let c = summarize(&[3.0, 3.0]);
         assert_eq!(c.range(), 0.0);
         assert_eq!(c.mean, 3.0);

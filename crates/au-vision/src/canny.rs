@@ -181,7 +181,12 @@ pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
     db.record_assign("dir", &["sImg"], None, "canny");
     db.record_assign("hist", &["mag"], None, "hysteresis");
     db.record_assign("suppressed", &["mag", "dir"], None, "canny");
-    db.record_assign("result", &["suppressed", "hist", "lo", "hi"], None, "hysteresis");
+    db.record_assign(
+        "result",
+        &["suppressed", "hist", "lo", "hi"],
+        None,
+        "hysteresis",
+    );
     db.mark_target("sigma");
     db.mark_target("lo");
     db.mark_target("hi");
@@ -202,7 +207,10 @@ mod tests {
         }
         let result = canny(&img, CannyParams::default());
         let edge_pixels = result.edges.pixels().iter().filter(|&&p| p > 0.5).count();
-        assert!(edge_pixels >= 40, "square boundary should appear, got {edge_pixels}");
+        assert!(
+            edge_pixels >= 40,
+            "square boundary should appear, got {edge_pixels}"
+        );
         // The interior must stay empty.
         assert_eq!(result.edges.get(16, 16), 0.0);
     }
@@ -276,8 +284,9 @@ mod tests {
             .collect();
         let first = params[0];
         assert!(
-            params.iter().any(|p| (p.hi - first.hi).abs() > 1e-6
-                || (p.sigma - first.sigma).abs() > 1e-6),
+            params
+                .iter()
+                .any(|p| (p.hi - first.hi).abs() > 1e-6 || (p.sigma - first.sigma).abs() > 1e-6),
             "expected input-dependent ideal parameters, got {params:?}"
         );
     }

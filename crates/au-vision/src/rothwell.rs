@@ -56,7 +56,12 @@ pub fn rothwell(image: &GrayImage, params: RothwellParams) -> RothwellResult {
     assert!(params.alpha >= 0.0, "alpha must be non-negative");
     let s_img = image.gaussian_smooth(params.sigma);
     let (mag, dir) = s_img.sobel();
-    let max = mag.pixels().iter().cloned().fold(0.0f32, f32::max).max(1e-12);
+    let max = mag
+        .pixels()
+        .iter()
+        .cloned()
+        .fold(0.0f32, f32::max)
+        .max(1e-12);
     let (w, h) = (mag.width(), mag.height());
 
     // Local mean magnitude over a 5x5 window (the topology-driven dynamic
@@ -102,12 +107,7 @@ pub fn rothwell(image: &GrayImage, params: RothwellParams) -> RothwellResult {
     let mut sorted: Vec<f32> = mag.pixels().to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("magnitudes are finite"));
     let pct = |p: f64| f64::from(sorted[((sorted.len() - 1) as f64 * p) as usize]);
-    let summary = vec![
-        f64::from(mag.mean()),
-        f64::from(max),
-        pct(0.5),
-        pct(0.9),
-    ];
+    let summary = vec![f64::from(mag.mean()), f64::from(max), pct(0.5), pct(0.9)];
     RothwellResult {
         edges,
         s_img,
@@ -146,7 +146,12 @@ pub fn record_dependences(db: &mut au_trace::AnalysisDb) {
     db.record_assign("mag", &["sImg"], None, "rothwell");
     db.record_assign("localMean", &["mag"], None, "rothwell");
     db.record_assign("summary", &["mag"], None, "rothwell");
-    db.record_assign("result", &["summary", "localMean", "low", "alpha"], None, "rothwell");
+    db.record_assign(
+        "result",
+        &["summary", "localMean", "low", "alpha"],
+        None,
+        "rothwell",
+    );
     db.mark_target("sigma");
     db.mark_target("low");
     db.mark_target("alpha");
@@ -226,6 +231,9 @@ mod tests {
         let low = db.id("low").unwrap();
         let min = au_trace::select_band(&features[&low], au_trace::DistanceBand::Min);
         let names: Vec<&str> = min.iter().map(|&v| db.name(v)).collect();
-        assert!(names.contains(&"summary") || names.contains(&"localMean"), "{names:?}");
+        assert!(
+            names.contains(&"summary") || names.contains(&"localMean"),
+            "{names:?}"
+        );
     }
 }

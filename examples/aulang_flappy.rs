@@ -73,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The dependence graph was recorded automatically while the program
     // ran; Algorithm 2 can now justify the feature choice.
     let db = interp.analysis();
-    let features = extract_rl(db, RlParams { epsilon1: 0.0, epsilon2: 0.0001 });
+    let features = extract_rl(
+        db,
+        RlParams {
+            epsilon1: 0.0,
+            epsilon2: 0.0001,
+        },
+    );
     for (&target, selected) in &features {
         println!(
             "Algorithm 2: features for `{}`: {:?}",

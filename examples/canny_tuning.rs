@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut engine = Engine::new(Mode::Train);
-    engine.au_config("SigmaNN", ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3))?;
-    engine.au_config("MinNN", ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3))?;
+    engine.au_config(
+        "SigmaNN",
+        ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3),
+    )?;
+    engine.au_config(
+        "MinNN",
+        ModelConfig::dnn(&[64, 32]).with_learning_rate(2e-3),
+    )?;
 
     // Training: run the program on each input, extract features and the
     // per-input ideal parameters (the paper's expert/auto-tuned labels).
@@ -85,7 +91,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.au_extract("HIST", &normalized(&probe.hist));
         engine.au_nn("MinNN", "HIST", &["LO", "HI"])?;
         let hi = engine.au_write_back_scalar("HI")?.clamp(0.05, 0.95) as f32;
-        let lo = engine.au_write_back_scalar("LO")?.clamp(0.01, f64::from(hi)) as f32;
+        let lo = engine
+            .au_write_back_scalar("LO")?
+            .clamp(0.01, f64::from(hi)) as f32;
 
         let auto = canny::canny(&scene.image, CannyParams { sigma, lo, hi });
         let auto_score = canny::score(&auto.edges, &scene.truth);

@@ -123,7 +123,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "deployed run: progress {:.0}%{}",
         progress * 100.0,
-        if progress >= 1.0 { " — flag reached!" } else { "" }
+        if progress >= 1.0 {
+            " — flag reached!"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -140,7 +144,10 @@ fn greedy_run(
         let all = game.features();
         let feature_names = game.feature_names();
         for name in names {
-            let idx = feature_names.iter().position(|n| n == name).expect("exists");
+            let idx = feature_names
+                .iter()
+                .position(|n| n == name)
+                .expect("exists");
             engine.au_extract(name, &[all[idx]]);
         }
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();

@@ -114,10 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Plays greedily for `frames` frames (respawning on death), returning the
 /// fraction of coverage regions hit across the whole window. Reports the
 /// seeded boundary-check bug if the policy triggers it.
-fn greedy_coverage(
-    engine: &mut Engine,
-    frames: usize,
-) -> Result<f64, Box<dyn std::error::Error>> {
+fn greedy_coverage(engine: &mut Engine, frames: usize) -> Result<f64, Box<dyn std::error::Error>> {
     let mut game = Mario::new(1);
     let mut covered: std::collections::BTreeSet<&str> = Default::default();
     let mut reward = 0.0;

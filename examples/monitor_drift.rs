@@ -16,7 +16,9 @@
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     use autonomizer::core::monitor::MonitorConfig;
     use autonomizer::core::{Engine, Mode, ModelConfig};
-    use autonomizer::games::harness::{drift_extractor, play_episode, play_episode_custom, FeatureSource};
+    use autonomizer::games::harness::{
+        drift_extractor, play_episode, play_episode_custom, FeatureSource,
+    };
     use autonomizer::games::Flappybird;
     use autonomizer::nn::rl::DqnConfig;
 
@@ -40,19 +42,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[TR] training 20 episodes with monitoring on");
     let mut game = Flappybird::new(3);
     for _ in 0..20 {
-        play_episode(&mut engine, "Flappy", &mut game, 200, FeatureSource::Internal, None)?;
+        play_episode(
+            &mut engine,
+            "Flappy",
+            &mut game,
+            200,
+            FeatureSource::Internal,
+            None,
+        )?;
     }
 
     engine.set_mode(Mode::Test);
     println!("[TS] deploying with healthy sensors");
     let mut healthy = drift_extractor(1.0, 0.0);
     let out = play_episode_custom(&mut engine, "Flappy", &mut game, 150, &mut healthy, None)?;
-    println!("[TS] survived {} frames; {}", out.steps, engine.monitor_report());
+    println!(
+        "[TS] survived {} frames; {}",
+        out.steps,
+        engine.monitor_report()
+    );
 
     println!("[TS] sensors fail: every reading now offset by +50");
     let mut drifted = drift_extractor(1.0, 50.0);
     let out = play_episode_custom(&mut engine, "Flappy", &mut game, 150, &mut drifted, None)?;
-    println!("[TS] survived {} frames; {}", out.steps, engine.monitor_report());
+    println!(
+        "[TS] survived {} frames; {}",
+        out.steps,
+        engine.monitor_report()
+    );
 
     let monitor = engine
         .monitor("Flappy")

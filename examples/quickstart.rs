@@ -37,7 +37,10 @@ fn phylip_part() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Training: for each input, extract the recommended features
     //    (the distance summary) and the ideal parameters, then au_NN.
     let mut engine = Engine::new(Mode::Train);
-    engine.au_config("PhylipNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))?;
+    engine.au_config(
+        "PhylipNN",
+        ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3),
+    )?;
     for seed in 0..40u64 {
         let data = phylo::generate_dataset(8, 150, seed);
         engine.au_extract("SUMMARY", &phylo::distance_summary(&data.sequences));
@@ -97,7 +100,10 @@ fn sphinx_part() -> Result<(), Box<dyn std::error::Error>> {
     let recognizer = Recognizer::new(Vocabulary::new(4, 20));
 
     let mut engine = Engine::new(Mode::Train);
-    engine.au_config("SphinxNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))?;
+    engine.au_config(
+        "SphinxNN",
+        ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3),
+    )?;
     for round in 0..5u64 {
         for i in 0..40u64 {
             let utterance =

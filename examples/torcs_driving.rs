@@ -30,19 +30,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extraction = &detailed[&steer];
     println!(
         "candidates: {:?}",
-        extraction.candidates.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+        extraction
+            .candidates
+            .iter()
+            .map(|&v| db.name(v))
+            .collect::<Vec<_>>()
     );
     println!(
         "pruned duplicates (eps1): {:?}",
-        extraction.pruned_redundant.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+        extraction
+            .pruned_redundant
+            .iter()
+            .map(|&v| db.name(v))
+            .collect::<Vec<_>>()
     );
     println!(
         "pruned unchanging (eps2): {:?}",
-        extraction.pruned_unchanging.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+        extraction
+            .pruned_unchanging
+            .iter()
+            .map(|&v| db.name(v))
+            .collect::<Vec<_>>()
     );
     println!(
         "selected: {:?}",
-        extraction.selected.iter().map(|&v| db.name(v)).collect::<Vec<_>>()
+        extraction
+            .selected
+            .iter()
+            .map(|&v| db.name(v))
+            .collect::<Vec<_>>()
     );
 
     // Train the steering model through the primitives.
@@ -60,8 +76,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut game = Torcs::new(4);
     println!("\ntraining...");
     for block in 0..8 {
-        harness::train(&mut engine, "Torcs", &mut game, 25, 450, FeatureSource::Internal)?;
-        let eval = harness::evaluate(&mut engine, "Torcs", &mut game, 5, 450, FeatureSource::Internal)?;
+        harness::train(
+            &mut engine,
+            "Torcs",
+            &mut game,
+            25,
+            450,
+            FeatureSource::Internal,
+        )?;
+        let eval = harness::evaluate(
+            &mut engine,
+            "Torcs",
+            &mut game,
+            5,
+            450,
+            FeatureSource::Internal,
+        )?;
         println!(
             "after {:>3} episodes: progress {:.0}%  finished {:.0}%",
             (block + 1) * 25,
@@ -75,7 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nplayers reference: progress {:.0}% ({}); the trained model aims to match it",
         oracle.progress * 100.0,
-        if oracle.succeeded { "finished" } else { "crashed" }
+        if oracle.succeeded {
+            "finished"
+        } else {
+            "crashed"
+        }
     );
     Ok(())
 }

@@ -62,7 +62,7 @@ pub use au_vision as vision;
 
 /// Everything a typical autonomization needs, in one import.
 pub mod prelude {
-    pub use au_core::{AuError, Engine, Mode, ModelConfig};
+    pub use au_core::{AuError, Engine, EngineHandle, Mode, ModelConfig};
     pub use au_games::harness::{evaluate, play_episode, run_oracle, train, FeatureSource};
     pub use au_games::{Game, StepResult};
     pub use au_trace::{extract_rl, extract_sl, select_band, AnalysisDb, DistanceBand, RlParams};

@@ -14,7 +14,10 @@ fn canny_autonomization_beats_or_matches_baseline() {
     autonomizer::nn::set_init_seed(101);
     let mut engine = Engine::new(Mode::Train);
     engine
-        .au_config("MinNN", ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3))
+        .au_config(
+            "MinNN",
+            ModelConfig::dnn(&[32, 16]).with_learning_rate(3e-3),
+        )
         .unwrap();
 
     // Train on 12 scenes for a few epochs (hist -> lo/hi/sigma).
@@ -37,7 +40,9 @@ fn canny_autonomization_beats_or_matches_baseline() {
             engine.au_extract("SIGMA", &[f64::from(ideal.sigma)]);
             engine.au_extract("LO", &[f64::from(ideal.lo)]);
             engine.au_extract("HI", &[f64::from(ideal.hi)]);
-            engine.au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"]).unwrap();
+            engine
+                .au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"])
+                .unwrap();
         }
     }
 
@@ -50,8 +55,13 @@ fn canny_autonomization_beats_or_matches_baseline() {
         let scene = test_gen.generate(24, 24);
         let probe = canny::canny(&scene.image, CannyParams::default());
         engine.au_extract("HIST", &norm(&probe.hist));
-        engine.au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"]).unwrap();
-        let sigma = engine.au_write_back_scalar("SIGMA").unwrap().clamp(0.3, 3.0) as f32;
+        engine
+            .au_nn("MinNN", "HIST", &["SIGMA", "LO", "HI"])
+            .unwrap();
+        let sigma = engine
+            .au_write_back_scalar("SIGMA")
+            .unwrap()
+            .clamp(0.3, 3.0) as f32;
         let hi = engine.au_write_back_scalar("HI").unwrap().clamp(0.05, 0.95) as f32;
         let lo = engine
             .au_write_back_scalar("LO")
@@ -73,7 +83,10 @@ fn sphinx_autonomization_improves_noisy_recognition() {
     let recognizer = Recognizer::new(Vocabulary::new(4, 20));
     let mut engine = Engine::new(Mode::Train);
     engine
-        .au_config("SphinxNN", ModelConfig::dnn(&[24, 12]).with_learning_rate(3e-3))
+        .au_config(
+            "SphinxNN",
+            ModelConfig::dnn(&[24, 12]).with_learning_rate(3e-3),
+        )
         .unwrap();
     // Offline training, as the paper does for SL.
     let mut xs = Vec::new();
@@ -93,8 +106,7 @@ fn sphinx_autonomization_improves_noisy_recognition() {
     let mut auto_ok = 0;
     let trials = 30u64;
     for i in 0..trials {
-        let utterance =
-            speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, 7000 + i);
+        let utterance = speech::synthesize(recognizer.vocabulary(), (i % 4) as usize, 7000 + i);
         let prediction = engine.predict("SphinxNN", &utterance.summary()).unwrap();
         let params = DecodeParams {
             beam: prediction[0].clamp(1.0, 40.0),
@@ -132,9 +144,20 @@ fn torcs_training_improves_driving_through_primitives() {
         )
         .unwrap();
     let mut game = Torcs::new(4);
-    let report = harness::train(&mut engine, "T", &mut game, 50, 450, FeatureSource::Internal)
-        .unwrap();
-    let early: f64 = report.episodes[..10].iter().map(|e| e.progress).sum::<f64>() / 10.0;
+    let report = harness::train(
+        &mut engine,
+        "T",
+        &mut game,
+        50,
+        450,
+        FeatureSource::Internal,
+    )
+    .unwrap();
+    let early: f64 = report.episodes[..10]
+        .iter()
+        .map(|e| e.progress)
+        .sum::<f64>()
+        / 10.0;
     let late = report.recent_progress(10);
     assert!(
         late > early,
@@ -184,9 +207,15 @@ fn trained_rl_model_survives_process_restart() {
             )
             .unwrap();
         let mut game = Flappybird::new(3);
-        let out =
-            harness::play_episode(&mut engine, "F", &mut game, 100, FeatureSource::Internal, None)
-                .unwrap();
+        let out = harness::play_episode(
+            &mut engine,
+            "F",
+            &mut game,
+            100,
+            FeatureSource::Internal,
+            None,
+        )
+        .unwrap();
         assert!(out.steps > 0);
     }
     let _ = std::fs::remove_dir_all(&dir);

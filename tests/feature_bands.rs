@@ -30,16 +30,15 @@ fn min_band_trains_faster_per_epoch_than_raw() {
         })
         .collect();
 
-    let time_for = |name: &str, features: &dyn Fn(&autonomizer::image::scene::Scene) -> Vec<f64>| {
-        let mut engine = Engine::new(Mode::Train);
-        engine
-            .au_config(name, ModelConfig::dnn(&[32, 16]))
-            .unwrap();
-        let xs: Vec<Vec<f64>> = scenes.iter().map(features).collect();
-        let start = Instant::now();
-        engine.train_supervised(name, &xs, &labels, 5).unwrap();
-        start.elapsed()
-    };
+    let time_for =
+        |name: &str, features: &dyn Fn(&autonomizer::image::scene::Scene) -> Vec<f64>| {
+            let mut engine = Engine::new(Mode::Train);
+            engine.au_config(name, ModelConfig::dnn(&[32, 16])).unwrap();
+            let xs: Vec<Vec<f64>> = scenes.iter().map(features).collect();
+            let start = Instant::now();
+            engine.train_supervised(name, &xs, &labels, 5).unwrap();
+            start.elapsed()
+        };
     let min_time = time_for("Min", &hist_features);
     let raw_time = time_for("Raw", &raw_features);
     assert!(

@@ -17,7 +17,8 @@ proptest! {
             engine.au_extract("K", chunk);
             expected.extend_from_slice(chunk);
         }
-        prop_assert_eq!(engine.db().get("K"), &expected[..]);
+        let db = engine.db();
+        prop_assert_eq!(db.get("K"), &expected[..]);
         prop_assert_eq!(engine.total_extracted(), expected.len() as u64);
     }
 
@@ -31,7 +32,8 @@ proptest! {
         engine.au_extract("D", &extra);
         let restored = engine.restore_with(&ckpt);
         prop_assert_eq!(restored, state.clone());
-        prop_assert_eq!(engine.db().get("D"), &state[..]);
+        let db = engine.db();
+        prop_assert_eq!(db.get("D"), &state[..]);
     }
 
     /// Serialize equals manual concatenation, regardless of list contents.
@@ -44,7 +46,8 @@ proptest! {
         let name = engine.au_serialize(&["A", "B"]);
         let mut expected = a.clone();
         expected.extend_from_slice(&b);
-        prop_assert_eq!(engine.db().get(&name), &expected[..]);
+        let db = engine.db();
+        prop_assert_eq!(db.get(&name), &expected[..]);
     }
 
     /// Matmul with the identity is the identity.

@@ -61,7 +61,10 @@ fn test_mode_never_trains() {
     engine.au_extract("F", &[0.1]);
     engine.au_extract("L", &[0.9]); // labels present but TS ignores them
     engine.au_nn("M", "F", &["L"]).unwrap();
-    assert_eq!(engine.model_stats("M").unwrap().train_steps, steps_after_train);
+    assert_eq!(
+        engine.model_stats("M").unwrap().train_steps,
+        steps_after_train
+    );
 }
 
 /// Rule CONFIG-TRAIN: re-configuring an existing model with the same
@@ -74,7 +77,11 @@ fn config_is_idempotent_for_same_model() {
     engine.au_extract("L", &[2.0]);
     engine.au_nn("M", "F", &["L"]).unwrap();
     engine.au_config("M", ModelConfig::dnn(&[8])).unwrap();
-    assert_eq!(engine.model_stats("M").unwrap().train_steps, 1, "θ preserved");
+    assert_eq!(
+        engine.model_stats("M").unwrap().train_steps,
+        1,
+        "θ preserved"
+    );
 }
 
 /// Rules CHECKPOINT/RESTORE: ⟨σ, π⟩ roll back together; θ does not.
