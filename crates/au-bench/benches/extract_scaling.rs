@@ -1,0 +1,75 @@
+//! Worker-count scaling of the feature-extraction algorithms.
+//!
+//! Algorithm 1 (`extract_sl`) and Algorithm 2 (`extract_rl`) fan their
+//! per-target loops out across au-par workers; this bench sweeps the worker
+//! count over a synthetic trace database large enough for the extraction to
+//! dominate. On a single-core container the sweep bounds the fan-out
+//! overhead (results are identical at every count) rather than showing a
+//! speedup — see docs/telemetry.md for the caveat.
+
+use au_trace::{extract_rl_detailed, extract_sl, AnalysisDb, RlParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A layered synthetic program: `input` feeds a chain of `vars` variables,
+/// every variable carries a `trace_len`-step trace, and each target reads
+/// from the chain through a shared sink so every chain variable becomes a
+/// candidate for every target.
+fn synth_db(vars: usize, targets: usize, trace_len: usize) -> AnalysisDb {
+    let mut db = AnalysisDb::new();
+    let target_names: Vec<String> = (0..targets).map(|j| format!("t{j}")).collect();
+    for step in 0..trace_len {
+        for i in 0..vars {
+            let name = format!("v{i}");
+            let dep = if i == 0 {
+                "input".to_string()
+            } else {
+                format!("v{}", i - 1)
+            };
+            let value = (((step * 31 + i * 7) % 97) as f64) / 97.0;
+            db.record_assign(&name, &[dep.as_str()], Some(value), "main");
+        }
+        // Every target and every chain variable feeds the sink, giving the
+        // targets and candidates the common dependent both algorithms need.
+        let mut deps: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+        deps.extend(target_names.iter().cloned());
+        let dep_refs: Vec<&str> = deps.iter().map(|s| s.as_str()).collect();
+        db.record_assign("sink", &dep_refs, Some(step as f64), "main");
+    }
+    db.mark_input("input");
+    for name in &target_names {
+        db.mark_target(name);
+    }
+    db
+}
+
+fn bench_extract_sl(c: &mut Criterion) {
+    let db = synth_db(48, 12, 100);
+    let mut group = c.benchmark_group("extract_sl");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("48vars_12targets/{threads}"), |b| {
+            au_par::set_thread_override(Some(threads));
+            b.iter(|| black_box(extract_sl(black_box(&db))));
+            au_par::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract_rl(c: &mut Criterion) {
+    let db = synth_db(48, 12, 100);
+    let mut group = c.benchmark_group("extract_rl");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("48vars_12targets/{threads}"), |b| {
+            au_par::set_thread_override(Some(threads));
+            b.iter(|| black_box(extract_rl_detailed(black_box(&db), RlParams::default())));
+            au_par::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract_sl, bench_extract_rl);
+criterion_main!(benches);

@@ -1,0 +1,329 @@
+//! Compute-kernel benches: the blocked/batched kernels against faithful
+//! copies of the pre-overhaul scalar kernels, plus a worker-count sweep.
+//!
+//! The `naive_*` routines here are byte-for-byte ports of the loops that
+//! `Tensor::matmul` and `Conv2d::forward` shipped with before the kernel
+//! overhaul — they are the baseline the speedup claims in
+//! `BENCH_kernels.json` are measured against. Run with
+//! `AU_BENCH_JSON=BENCH_kernels.json cargo bench --bench kernels` to
+//! regenerate that file.
+//!
+//! Thread-sweep caveat: this container exposes a single core, so the
+//! 1/2/4/8-worker rows bound the cost of oversubscribing the core (the
+//! kernels are bit-identical either way); the headline speedups come from
+//! cache blocking and im2col, not threads.
+
+use au_nn::{Network, Tensor};
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic pseudo-random buffer (no RNG state, reproducible).
+fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed);
+            ((h % 2000) as f32) / 100.0 - 10.0
+        })
+        .collect()
+}
+
+/// The pre-overhaul `Tensor::matmul` inner loops: row-major triple loop
+/// with the `a == 0.0` skip, no register or cache blocking.
+fn naive_matmul(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let s = a[i * k + p];
+            if s == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let dst = &mut out[i * n..(i + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(brow) {
+                *d += s * bv;
+            }
+        }
+    }
+}
+
+/// Conv bench shape: 8 input channels of 16×16, 16 output channels, 3×3
+/// kernel, stride 1, batch 8 — big enough that the kernel dominates, small
+/// enough that the naive nest finishes in bench time.
+const CONV: (usize, usize, usize, usize, usize, usize, usize) = (8, 8, 16, 16, 16, 3, 1);
+
+/// The pre-overhaul `Conv2d::forward` loop nest: seven nested loops, one
+/// multiply-accumulate at the innermost level, no im2col.
+#[allow(clippy::too_many_arguments)]
+fn naive_conv_forward(
+    input: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    batch: usize,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+) -> Vec<f32> {
+    let out_h = (in_h - k) / stride + 1;
+    let out_w = (in_w - k) / stride + 1;
+    let in_len = in_c * in_h * in_w;
+    let out_len = out_c * out_h * out_w;
+    let mut out = vec![0.0f32; batch * out_len];
+    for row in 0..batch {
+        let x = &input[row * in_len..(row + 1) * in_len];
+        let o = &mut out[row * out_len..(row + 1) * out_len];
+        for oc in 0..out_c {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = bias[oc];
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * stride + ky;
+                                let ix = ox * stride + kx;
+                                acc += x[ic * in_h * in_w + iy * in_w + ix]
+                                    * w[oc * in_c * k * k + ic * k * k + ky * k + kx];
+                            }
+                        }
+                    }
+                    o[oc * out_h * out_w + oy * out_w + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn conv_net() -> Network {
+    let (_, in_c, in_h, in_w, out_c, k, stride) = CONV;
+    au_nn::set_init_seed(4242);
+    Network::builder(in_c * in_h * in_w)
+        .conv2d(in_c, in_h, in_w, out_c, k, stride)
+        .build()
+}
+
+fn bench_matmul_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for size in [64usize, 128, 256, 512] {
+        let a = pseudo(size * size, 1);
+        let b = pseudo(size * size, 2);
+        group.bench_function(format!("naive/{size}"), |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; size * size];
+                naive_matmul(&mut out, black_box(&a), black_box(&b), size, size, size);
+                out
+            });
+        });
+        let ta = Tensor::from_vec(&[size, size], a.clone());
+        let tb = Tensor::from_vec(&[size, size], b.clone());
+        group.bench_function(format!("blocked/{size}"), |bch| {
+            bch.iter(|| black_box(&ta).matmul(black_box(&tb)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let (batch, in_c, in_h, in_w, out_c, k, stride) = CONV;
+    let mut group = c.benchmark_group("conv2d_forward");
+    let input = pseudo(batch * in_c * in_h * in_w, 3);
+    let w = pseudo(out_c * in_c * k * k, 4);
+    let bias = pseudo(out_c, 5);
+    group.bench_function("naive/8x8x16x16", |bch| {
+        bch.iter(|| {
+            naive_conv_forward(
+                black_box(&input),
+                &w,
+                &bias,
+                batch,
+                in_c,
+                in_h,
+                in_w,
+                out_c,
+                k,
+                stride,
+            )
+        });
+    });
+    let net = conv_net();
+    let batch_t = Tensor::from_vec(&[batch, in_c * in_h * in_w], input.clone());
+    group.bench_function("im2col/8x8x16x16", |bch| {
+        bch.iter(|| net.infer(black_box(&batch_t)));
+    });
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads");
+    let size = 256usize;
+    let ta = Tensor::from_vec(&[size, size], pseudo(size * size, 6));
+    let tb = Tensor::from_vec(&[size, size], pseudo(size * size, 7));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("matmul_256/{threads}"), |bch| {
+            au_par::set_thread_override(Some(threads));
+            bch.iter(|| black_box(&ta).matmul(black_box(&tb)));
+            au_par::set_thread_override(None);
+        });
+    }
+    au_nn::set_init_seed(11);
+    let net = Network::builder(128).dense(256).dense(64).build();
+    let batch = Tensor::from_vec(&[512, 128], pseudo(512 * 128, 8));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("dense_infer_512x128/{threads}"), |bch| {
+            au_par::set_thread_override(Some(threads));
+            bch.iter(|| net.infer(black_box(&batch)));
+            au_par::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_sweep,
+    bench_conv_forward,
+    bench_thread_sweep
+);
+
+// ---------------------------------------------------------------------
+// BENCH_kernels.json generation (AU_BENCH_JSON=<path>)
+// ---------------------------------------------------------------------
+
+/// Median seconds/iteration over `samples` timed samples, with the
+/// iteration count auto-scaled so each sample runs at least ~20 ms.
+fn measure<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_millis() >= 20 || iters >= 1 << 22 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per.sort_by(|a, b| a.total_cmp(b));
+    per[per.len() / 2]
+}
+
+fn write_json(path: &str) {
+    use std::fmt::Write as _;
+    let samples = 7;
+    let mut matmul = String::new();
+    for size in [64usize, 128, 256, 512] {
+        let a = pseudo(size * size, 1);
+        let b = pseudo(size * size, 2);
+        let naive = measure(
+            || {
+                let mut out = vec![0.0f32; size * size];
+                naive_matmul(&mut out, &a, &b, size, size, size);
+                black_box(&out);
+            },
+            samples,
+        );
+        let ta = Tensor::from_vec(&[size, size], a.clone());
+        let tb = Tensor::from_vec(&[size, size], b.clone());
+        au_par::set_thread_override(Some(1));
+        let blocked = measure(
+            || {
+                black_box(ta.matmul(&tb));
+            },
+            samples,
+        );
+        au_par::set_thread_override(None);
+        if !matmul.is_empty() {
+            matmul.push_str(",\n");
+        }
+        write!(
+            matmul,
+            "    \"{size}\": {{ \"naive_ns\": {:.0}, \"blocked_ns\": {:.0}, \"speedup\": {:.2} }}",
+            naive * 1e9,
+            blocked * 1e9,
+            naive / blocked,
+        )
+        .expect("format");
+    }
+
+    let (batch, in_c, in_h, in_w, out_c, k, stride) = CONV;
+    let input = pseudo(batch * in_c * in_h * in_w, 3);
+    let w = pseudo(out_c * in_c * k * k, 4);
+    let bias = pseudo(out_c, 5);
+    let conv_naive = measure(
+        || {
+            black_box(naive_conv_forward(
+                &input, &w, &bias, batch, in_c, in_h, in_w, out_c, k, stride,
+            ));
+        },
+        samples,
+    );
+    let net = conv_net();
+    let batch_t = Tensor::from_vec(&[batch, in_c * in_h * in_w], input.clone());
+    au_par::set_thread_override(Some(1));
+    let conv_im2col = measure(
+        || {
+            black_box(net.infer(&batch_t));
+        },
+        samples,
+    );
+    au_par::set_thread_override(None);
+
+    let size = 256usize;
+    let ta = Tensor::from_vec(&[size, size], pseudo(size * size, 6));
+    let tb = Tensor::from_vec(&[size, size], pseudo(size * size, 7));
+    let mut sweep = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        au_par::set_thread_override(Some(threads));
+        let t = measure(
+            || {
+                black_box(ta.matmul(&tb));
+            },
+            samples,
+        );
+        au_par::set_thread_override(None);
+        if !sweep.is_empty() {
+            sweep.push_str(", ");
+        }
+        write!(sweep, "\"{threads}\": {:.0}", t * 1e9).expect("format");
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = format!(
+        "{{\n\
+         \x20 \"bench\": \"kernels\",\n\
+         \x20 \"available_parallelism\": {cores},\n\
+         \x20 \"matmul\": {{\n{matmul}\n  }},\n\
+         \x20 \"conv2d_forward\": {{\n\
+         \x20   \"shape\": \"batch{batch} {in_c}x{in_h}x{in_w} -> {out_c}c k{k} s{stride}\",\n\
+         \x20   \"naive_ns\": {:.0},\n\
+         \x20   \"im2col_ns\": {:.0},\n\
+         \x20   \"speedup\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"thread_sweep_matmul_256_ns\": {{ {sweep} }},\n\
+         \x20 \"note\": \"naive_* are the pre-overhaul kernels; speedups are single-thread (AU_PAR_THREADS=1). The thread sweep is measured on whatever cores the host exposes - on a single-core container extra workers only oversubscribe the core, so the sweep bounds the fan-out overhead rather than showing a speedup.\"\n\
+         }}\n",
+        conv_naive * 1e9,
+        conv_im2col * 1e9,
+        conv_naive / conv_im2col,
+    );
+    std::fs::write(path, doc).expect("write bench json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("AU_BENCH_JSON") {
+        write_json(&path);
+    }
+}

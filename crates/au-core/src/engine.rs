@@ -505,6 +505,40 @@ mod tests {
     }
 
     #[test]
+    fn restore_invalidates_cached_weight_views() {
+        // Training builds cached transposed-weight views inside the layers;
+        // a restore must drop them so later passes never use a transpose of
+        // parameters that have since been replaced. Observable contract:
+        // predictions are unchanged across restore (θ untouched, caches
+        // rebuilt from live weights) and training keeps working afterwards.
+        au_nn::set_init_seed(31);
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[8]).with_learning_rate(0.05))
+            .unwrap();
+        e.au_checkpoint();
+        for step in 0..50 {
+            let x = (step % 10) as f64 / 10.0;
+            e.au_extract("F", &[x]);
+            e.au_extract("L", &[2.0 * x]);
+            e.au_nn("M", "F", &["L"]).unwrap();
+        }
+        let before = e.predict("M", &[0.5]).unwrap();
+        e.au_restore().unwrap();
+        let after = e.predict("M", &[0.5]).unwrap();
+        assert_eq!(before, after, "θ and its served values survive restore");
+        // Backward passes after the restore rebuild caches from live
+        // weights and keep learning.
+        for step in 0..200 {
+            let x = (step % 10) as f64 / 10.0;
+            e.au_extract("F", &[x]);
+            e.au_extract("L", &[2.0 * x]);
+            e.au_nn("M", "F", &["L"]).unwrap();
+        }
+        let p = e.predict("M", &[0.5]).unwrap()[0];
+        assert!((p - 1.0).abs() < 0.3, "still converging after restore: {p}");
+    }
+
+    #[test]
     fn restore_after_pop_on_empty_stack_is_typed_error() {
         let mut e = Engine::new(Mode::Train);
         // Popping an empty stack is a no-op, and restoring afterwards must

@@ -777,10 +777,13 @@ impl EngineHandle {
     pub fn au_restore(&self) -> Result<(), AuError> {
         let _t = t_time!("au_core.au_restore");
         t_count!("au_core.restores");
-        let mut d = lock(&self.shared.db);
-        let (db, marks) = d.checkpoints.last().cloned().ok_or(AuError::NoCheckpoint)?;
-        d.db = db;
-        d.label_marks = marks;
+        {
+            let mut d = lock(&self.shared.db);
+            let (db, marks) = d.checkpoints.last().cloned().ok_or(AuError::NoCheckpoint)?;
+            d.db = db;
+            d.label_marks = marks;
+        }
+        self.invalidate_model_caches();
         Ok(())
     }
 
@@ -803,10 +806,24 @@ impl EngineHandle {
     /// Restores a combined checkpoint, returning the program state to
     /// reinstall. θ is untouched.
     pub fn restore_with<S: Clone>(&self, ckpt: &Checkpoint<S>) -> S {
-        let mut d = lock(&self.shared.db);
-        d.db = ckpt.db.clone();
-        d.label_marks = ckpt.label_marks.clone();
+        {
+            let mut d = lock(&self.shared.db);
+            d.db = ckpt.db.clone();
+            d.label_marks = ckpt.label_marks.clone();
+        }
+        self.invalidate_model_caches();
         ckpt.program.clone()
+    }
+
+    /// Drops every model's cached weight views (transposed-weight
+    /// tensors). Restores roll program state back while θ keeps learning,
+    /// and the rolled-back host may have mutated parameters through any
+    /// handle; a stale cached view would serve a transpose of weights that
+    /// no longer exist. π lock and entry locks are never held together.
+    fn invalidate_model_caches(&self) {
+        for entry in self.shared.registry.entries() {
+            write(&entry).instance.invalidate_cached_weights();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1031,16 +1048,28 @@ impl EngineHandle {
                 });
             }
         }
-        let mut flat = Vec::with_capacity(xs.len() * width);
-        for x in xs {
-            flat.extend(x.iter().map(|&v| v as f32));
-        }
-        let batch = Tensor::from_vec(&[xs.len(), width], flat);
-        let out = net.infer(&batch);
+        // Fan the batch out across au-par workers in row order. Each row's
+        // output depends only on that row, and every kernel preserves
+        // per-element accumulation order, so the result is bit-identical to
+        // one full-batch forward pass for every thread count. Inside a
+        // worker the kernels themselves stay serial (nested-spawn guard);
+        // with a single range this runs inline and the kernels may
+        // parallelize instead.
+        const MIN_ROWS: usize = 8;
+        let chunks = au_par::par_map_ranges(xs.len(), MIN_ROWS, |r| {
+            let rows = &xs[r];
+            let mut flat = Vec::with_capacity(rows.len() * width);
+            for x in rows {
+                flat.extend(x.iter().map(|&v| v as f32));
+            }
+            let batch = Tensor::from_vec(&[rows.len(), width], flat);
+            let out = net.infer(&batch);
+            (0..rows.len())
+                .map(|i| out.row_slice(i).iter().map(|&v| f64::from(v)).collect())
+                .collect::<Vec<Vec<f64>>>()
+        });
         t_count!("au_core.predictions_served", xs.len() as u64);
-        Ok((0..xs.len())
-            .map(|i| out.row_slice(i).iter().map(|&v| f64::from(v)).collect())
-            .collect())
+        Ok(chunks.into_iter().flatten().collect())
     }
 
     /// Size/training statistics for a built model (Table 2's model size).

@@ -305,6 +305,18 @@ impl ModelInstance {
             }
         }
     }
+
+    /// Drops cached weight views (transposes) on every network the backend
+    /// holds. Called on checkpoint restore: a host that rolls state back may
+    /// have mutated parameters through any path, and a stale cached view
+    /// would silently poison later backward passes.
+    pub fn invalidate_cached_weights(&mut self) {
+        match self.backend.as_mut() {
+            Some(Backend::Supervised { net, .. }) => net.invalidate_cached_weights(),
+            Some(Backend::Reinforcement { agent, .. }) => agent.invalidate_cached_weights(),
+            None => {}
+        }
+    }
 }
 
 /// Runs one supervised gradient step: trains `net` to map `input` to

@@ -124,6 +124,15 @@ impl ModelRegistry {
         Ok(())
     }
 
+    /// Clones every registered entry handle. Shard locks are released
+    /// before any entry is locked, preserving the lock discipline above.
+    pub fn entries(&self) -> Vec<SharedEntry> {
+        self.shards
+            .iter()
+            .flat_map(|s| read(s).values().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
     /// Whether a model is registered.
     pub fn contains(&self, name: &str) -> bool {
         read(&self.shards[Self::shard_of(name)]).contains_key(name)

@@ -14,6 +14,9 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    /// `Wᵀ` memoized for the backward pass (`dx = dy · Wᵀ`); rebuilt lazily
+    /// after [`Layer::invalidate_cached_weights`].
+    cached_wt: Option<Tensor>,
 }
 
 impl Dense {
@@ -35,6 +38,7 @@ impl Dense {
             )),
             bias: Param::new(Tensor::zeros(&[1, out_features])),
             cached_input: None,
+            cached_wt: None,
         }
     }
 
@@ -53,6 +57,7 @@ impl Dense {
             weight: Param::new(weight),
             bias: Param::new(bias),
             cached_input: None,
+            cached_wt: None,
         }
     }
 
@@ -97,11 +102,19 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        // dW = xᵀ · dy ; db = Σ_batch dy ; dx = dy · Wᵀ
-        let dw = input.transpose().matmul(grad_out);
-        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(dw.data()) {
-            *g += d;
-        }
+        // dW = xᵀ · dy, accumulated straight into the gradient buffer
+        // without materializing xᵀ (ascending-sample order, same result as
+        // the explicit transpose-then-multiply it replaced).
+        let batch = input.batch();
+        crate::kernels::gemm_tn_acc(
+            self.weight.grad.data_mut(),
+            input.data(),
+            grad_out.data(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
+        // db = Σ_batch dy
         let n = self.out_features;
         for i in 0..grad_out.batch() {
             let row = grad_out.row_slice(i);
@@ -109,7 +122,14 @@ impl Layer for Dense {
                 *g += d;
             }
         }
-        grad_out.matmul(&self.weight.value.transpose())
+        // dx = dy · Wᵀ through the memoized transpose: valid until the next
+        // weight mutation, so repeated backward passes between optimizer
+        // steps (gradient checking, minibatch accumulation) pay for the
+        // transpose once.
+        let wt = self
+            .cached_wt
+            .get_or_insert_with(|| self.weight.value.transpose());
+        grad_out.matmul(wt)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -127,6 +147,10 @@ impl Layer for Dense {
             weight: self.weight.value.clone(),
             bias: self.bias.value.clone(),
         }
+    }
+
+    fn invalidate_cached_weights(&mut self) {
+        self.cached_wt = None;
     }
 }
 

@@ -93,11 +93,13 @@ pub fn check_gradients(
             }
         }
     }
-    // Clear gradients so the check leaves the network clean.
+    // Clear gradients so the check leaves the network clean, and drop any
+    // cached weight views: the probe loop wrote parameter values directly.
     for layer in net.layers_mut().iter_mut() {
         for param in layer.params_mut() {
             param.zero_grad();
         }
+        layer.invalidate_cached_weights();
     }
     GradCheckReport {
         max_relative_error: max_err,

@@ -4,7 +4,7 @@ use crate::activation::{Activation, ActivationLayer};
 use crate::conv::{Conv2d, Flatten, MaxPool2d};
 use crate::dense::Dense;
 use crate::dropout::Dropout;
-use crate::layer::{Layer, LayerSpec};
+use crate::layer::{Layer, LayerSpec, Param};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::tensor::Tensor;
@@ -149,11 +149,122 @@ impl Network {
                 opt.step(param);
                 param.zero_grad();
             }
+            layer.invalidate_cached_weights();
         }
         opt.end_batch();
         t_count!("au_nn.batches_trained");
         t_gauge!("au_nn.last_batch_loss", f64::from(loss_value));
         loss_value
+    }
+
+    /// [`Network::train_batch`] with the minibatch fanned out across au-par
+    /// workers: the batch rows are split into contiguous chunks, each chunk
+    /// runs forward/backward on a weight-sharing replica, and the chunk
+    /// gradients are summed in chunk order before a single optimizer step.
+    ///
+    /// With one worker (e.g. `AU_PAR_THREADS=1`, a single-core host, or a
+    /// batch smaller than two chunks) this *is* [`Network::train_batch`] —
+    /// same code path, bit-identical results. With N workers the merged
+    /// gradient is mathematically equal but floating-point addition is
+    /// regrouped at chunk boundaries, so weights may differ from the serial
+    /// run by normal `f32` rounding (documented tolerance: ~1e-6 relative
+    /// per step). Dropout replicas draw independent masks; networks with
+    /// dropout train correctly but make no cross-thread determinism claim.
+    pub fn train_minibatch(
+        &mut self,
+        input: &Tensor,
+        target: &Tensor,
+        loss: Loss,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        /// Below this many rows per chunk, replica setup costs more than
+        /// the parallel backward saves.
+        const MIN_ROWS: usize = 8;
+        let batch = input.batch();
+        let ranges = au_par::split_ranges(batch, MIN_ROWS);
+        if ranges.len() <= 1 {
+            return self.train_batch(input, target, loss, opt);
+        }
+        let _t = t_time!("au_nn.train_batch");
+        let scale = |r: &std::ops::Range<usize>| (r.end - r.start) as f32 / batch as f32;
+        // One weight-sharing replica per extra chunk; chunk 0 runs on the
+        // calling thread through `self`.
+        let mut replicas: Vec<Network> = ranges[1..].iter().map(|_| self.replicate()).collect();
+        let row_len = input.row_len();
+        let target_len = target.row_len();
+        let chunk_of = |t: &Tensor, len: usize, r: &std::ops::Range<usize>| {
+            Tensor::from_vec(
+                &[r.end - r.start, len],
+                t.data()[r.start * len..r.end * len].to_vec(),
+            )
+        };
+        let run_chunk = |net: &mut Network, r: &std::ops::Range<usize>| -> f32 {
+            let x = chunk_of(input, row_len, r);
+            let y = chunk_of(target, target_len, r);
+            let output = net.forward_mode(&x, true);
+            let value = loss.value(&output, &y);
+            // The chunk gradient normalizes by chunk rows; rescale so the
+            // merged sum equals the full-batch gradient.
+            let mut grad = loss.gradient(&output, &y).scale(scale(r));
+            for layer in net.layers.iter_mut().rev() {
+                grad = layer.backward(&grad);
+            }
+            value
+        };
+        let mut chunk_losses = vec![0.0f32; ranges.len()];
+        std::thread::scope(|scope| {
+            let run_chunk = &run_chunk;
+            let handles: Vec<_> = replicas
+                .iter_mut()
+                .zip(&ranges[1..])
+                .map(|(net, r)| scope.spawn(move || run_chunk(net, r)))
+                .collect();
+            chunk_losses[0] = run_chunk(self, &ranges[0]);
+            for (slot, h) in chunk_losses[1..].iter_mut().zip(handles) {
+                *slot = h.join().expect("minibatch worker panicked");
+            }
+        });
+        // Merge replica gradients into the main network in chunk order,
+        // then take one optimizer step — identical step sequence to
+        // `train_batch`.
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let mut replica_params: Vec<Vec<&mut Param>> = replicas
+                .iter_mut()
+                .map(|r| r.layers[li].params_mut())
+                .collect();
+            for (pi, param) in layer.params_mut().into_iter().enumerate() {
+                for rep in replica_params.iter_mut() {
+                    for (g, d) in param.grad.data_mut().iter_mut().zip(rep[pi].grad.data()) {
+                        *g += d;
+                    }
+                }
+                opt.step(param);
+                param.zero_grad();
+            }
+            layer.invalidate_cached_weights();
+        }
+        opt.end_batch();
+        t_count!("au_nn.batches_trained");
+        let loss_value: f32 = chunk_losses
+            .iter()
+            .zip(&ranges)
+            .map(|(v, r)| v * scale(r))
+            .sum();
+        t_gauge!("au_nn.last_batch_loss", f64::from(loss_value));
+        loss_value
+    }
+
+    /// Clones the architecture and current weights into an independent
+    /// network (training caches start empty; dropout replicas reseed).
+    fn replicate(&self) -> Network {
+        Network {
+            in_features: self.in_features,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| build_layer(l.spec()).expect("replica of a live layer"))
+                .collect(),
+        }
     }
 
     /// Like [`Network::train_batch`] but with a caller-supplied output
@@ -177,8 +288,22 @@ impl Network {
                 opt.step(param);
                 param.zero_grad();
             }
+            layer.invalidate_cached_weights();
         }
         opt.end_batch();
+    }
+
+    /// Drops every layer's derived weight views (cached transposes).
+    ///
+    /// Training steps and [`Network::copy_weights_from`] do this
+    /// automatically; callers that mutate parameter values directly —
+    /// checkpoint restores, custom weight surgery through layer params —
+    /// must call it afterwards or stale views will poison later backward
+    /// passes.
+    pub fn invalidate_cached_weights(&mut self) {
+        for layer in &mut self.layers {
+            layer.invalidate_cached_weights();
+        }
     }
 
     /// Serializes the model (architecture + weights) to a JSON string.
@@ -250,6 +375,7 @@ impl Network {
                 );
                 pa.value = pb.value.clone();
             }
+            a.invalidate_cached_weights();
         }
     }
 
@@ -581,5 +707,66 @@ mod tests {
         assert_eq!(net.out_features(), 5);
         // dense+relu per hidden, final dense
         assert_eq!(net.depth(), 5);
+    }
+
+    fn training_fixture() -> (Network, Network, Tensor, Tensor) {
+        crate::init::set_init_seed(77);
+        let a = dnn(3, &[16], 2);
+        crate::init::set_init_seed(77);
+        let b = dnn(3, &[16], 2);
+        let n = 32;
+        let xs: Vec<f32> = (0..n * 3)
+            .map(|i| ((i * 13 % 29) as f32) / 29.0 - 0.5)
+            .collect();
+        let ys: Vec<f32> = (0..n * 2).map(|i| ((i * 7 % 11) as f32) / 11.0).collect();
+        (
+            a,
+            b,
+            Tensor::from_vec(&[n, 3], xs),
+            Tensor::from_vec(&[n, 2], ys),
+        )
+    }
+
+    /// With one worker, `train_minibatch` *is* `train_batch`: identical
+    /// weights bit-for-bit after many steps.
+    #[test]
+    fn minibatch_single_worker_is_bit_identical_to_train_batch() {
+        let _g = crate::test_support::par_lock();
+        au_par::set_thread_override(Some(1));
+        let (mut a, mut b, xs, ys) = training_fixture();
+        let mut oa = Adam::new(0.01);
+        let mut ob = Adam::new(0.01);
+        for _ in 0..20 {
+            let la = a.train_batch(&xs, &ys, Loss::Mse, &mut oa);
+            let lb = b.train_minibatch(&xs, &ys, Loss::Mse, &mut ob);
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss diverged");
+        }
+        let probe = Tensor::from_rows(&[&[0.2, -0.3, 0.4]]);
+        assert_eq!(a.forward(&probe), b.forward(&probe));
+        au_par::set_thread_override(None);
+    }
+
+    /// With N workers the merged gradient regroups f32 additions at chunk
+    /// boundaries; weights must stay within a small relative tolerance of
+    /// the serial run.
+    #[test]
+    fn minibatch_multi_worker_matches_serial_within_tolerance() {
+        let _g = crate::test_support::par_lock();
+        au_par::set_thread_override(Some(4));
+        let (mut a, mut b, xs, ys) = training_fixture();
+        let mut oa = Adam::new(0.01);
+        let mut ob = Adam::new(0.01);
+        for _ in 0..20 {
+            let la = a.train_batch(&xs, &ys, Loss::Mse, &mut oa);
+            let lb = b.train_minibatch(&xs, &ys, Loss::Mse, &mut ob);
+            assert!((la - lb).abs() < 1e-4, "loss diverged: {la} vs {lb}");
+        }
+        let probe = Tensor::from_rows(&[&[0.2, -0.3, 0.4]]);
+        let pa = a.forward(&probe);
+        let pb = b.forward(&probe);
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-3, "prediction drifted: {x} vs {y}");
+        }
+        au_par::set_thread_override(None);
     }
 }

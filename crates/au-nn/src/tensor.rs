@@ -152,6 +152,12 @@ impl Tensor {
 
     /// Matrix multiply: `self [m,k] × other [k,n] → [m,n]`.
     ///
+    /// Runs through the cache-blocked kernel in [`crate::kernels`], with
+    /// output rows fanned out across au-par workers for large products.
+    /// Each output element accumulates its products in ascending inner-index
+    /// order, so results are bit-identical to the scalar triple loop and
+    /// invariant to thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the tensors are not 2-D or the inner dimensions disagree.
@@ -162,19 +168,7 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions must agree: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_acc_par(&mut out, &self.data, &other.data, m, k, n);
         Tensor::from_vec(&[m, n], out)
     }
 

@@ -1,0 +1,376 @@
+//! Zero-dependency scoped-thread parallel runtime.
+//!
+//! The workspace builds offline from `vendor/`, so this crate provides the
+//! small slice of rayon the Autonomizer runtime actually needs — a
+//! parallel-for and an order-preserving map over chunked index ranges —
+//! using nothing but `std::thread::scope`.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Determinism.** Work is split into *contiguous* index ranges and
+//!    results are always recombined in range order, so every helper returns
+//!    bit-identical results regardless of thread count. Callers that cannot
+//!    guarantee that on their own (e.g. floating-point reductions across
+//!    chunk boundaries) must document their tolerance.
+//! 2. **Zero overhead when serial.** With one thread (or one range, or when
+//!    already inside an au-par worker) everything runs inline on the calling
+//!    thread — no spawn, no allocation beyond the range list.
+//! 3. **No nesting.** A worker thread that calls back into au-par runs the
+//!    nested region inline. Parallelism is spent at the outermost level
+//!    (e.g. an engine-level batch split) and inner kernels degrade to their
+//!    serial form instead of oversubscribing.
+//!
+//! Thread count resolution: programmatic [`set_thread_override`] >
+//! `AU_PAR_THREADS` environment variable (read per call, so benchmark
+//! sweeps can vary it) > [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Upper bound on the resolved thread count; a safety valve against
+/// misconfigured overrides, far above any machine this targets.
+const MAX_THREADS: usize = 256;
+
+/// `0` means "no override"; any other value wins over the environment.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while executing inside an au-par worker; used to run nested
+    /// parallel regions inline instead of spawning threads under threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets (or with `None` clears) a process-wide thread-count override that
+/// takes precedence over `AU_PAR_THREADS`. `Some(0)` is treated as `None`.
+///
+/// Intended for benchmarks and tests that sweep thread counts without
+/// mutating the process environment.
+pub fn set_thread_override(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0).min(MAX_THREADS), Ordering::SeqCst);
+}
+
+/// Resolves the maximum number of worker threads a parallel region may use:
+/// override > `AU_PAR_THREADS` > available parallelism, clamped to
+/// `1..=256`. Always at least 1.
+pub fn max_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("AU_PAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// True while the calling thread is an au-par worker. Nested parallel
+/// regions run inline; exposed so callers can skip parallel setup work
+/// (e.g. building per-thread replicas) when it would be wasted.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Splits `0..len` into at most [`max_threads`] contiguous ranges of at
+/// least `min_chunk` items each (a single range when `len < 2 * min_chunk`).
+/// Returns an empty vector for `len == 0`.
+///
+/// Ranges are as even as possible and cover `0..len` exactly, in order.
+pub fn split_ranges(len: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let cap = if in_worker() { 1 } else { max_threads() };
+    let pieces = cap.min(len / min_chunk).max(1);
+    let base = len / pieces;
+    let rem = len % pieces;
+    let mut ranges = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let extra = usize::from(i < rem);
+        let end = start + base + extra;
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Runs `f` once per range of `split_ranges(len, min_chunk)`, in parallel
+/// when more than one range results. `f` must only touch state it can
+/// safely share; use [`par_map`] or [`par_row_chunks_mut`] when each range
+/// produces a value or owns a slice.
+pub fn par_ranges<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let ranges = split_ranges(len, min_chunk);
+    if ranges.len() <= 1 {
+        for r in ranges {
+            f(r);
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        let mut iter = ranges.into_iter();
+        let first = iter.next().expect("at least two ranges");
+        for r in iter {
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| {
+                    w.set(true);
+                    f(r);
+                    w.set(false);
+                })
+            });
+        }
+        // The calling thread takes the first range instead of idling.
+        IN_WORKER.with(|w| {
+            w.set(true);
+            f(first);
+            w.set(false);
+        });
+    });
+}
+
+/// Order-preserving parallel map: returns `[f(0), f(1), …, f(len-1)]`.
+///
+/// Indices are processed in contiguous chunks of at least `min_chunk`; the
+/// output order is identical to a serial map regardless of thread count.
+pub fn par_map<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let parts = par_map_ranges(len, min_chunk, |r| r.map(&f).collect::<Vec<T>>());
+    let mut out = Vec::with_capacity(len);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Runs `f` once per chunk range and returns the per-range results in
+/// range order. The building block under [`par_map`] and
+/// [`par_map_reduce`]; useful directly when a whole-chunk result is
+/// cheaper than per-index values (e.g. partial gradient sums).
+pub fn par_map_ranges<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = split_ranges(len, min_chunk);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    thread::scope(|scope| {
+        let mut iter = ranges.into_iter();
+        let first = iter.next().expect("at least two ranges");
+        let handles: Vec<_> = iter
+            .map(|r| {
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| {
+                        w.set(true);
+                        let out = f(r);
+                        w.set(false);
+                        out
+                    })
+                })
+            })
+            .collect();
+        let head = IN_WORKER.with(|w| {
+            w.set(true);
+            let out = f(first);
+            w.set(false);
+            out
+        });
+        let mut results = Vec::with_capacity(handles.len() + 1);
+        results.push(head);
+        for h in handles {
+            results.push(h.join().expect("au-par worker panicked"));
+        }
+        results
+    })
+}
+
+/// Parallel map-reduce: maps each index chunk with `map` and folds the
+/// per-chunk results left-to-right in range order with `reduce`, starting
+/// from `identity`. The fold order is fixed, so the result is deterministic
+/// for a given thread count; it matches the serial result exactly whenever
+/// `reduce` is associative over the chunk boundaries actually used.
+pub fn par_map_reduce<T, M, R>(len: usize, min_chunk: usize, identity: T, map: M, reduce: R) -> T
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    par_map_ranges(len, min_chunk, map)
+        .into_iter()
+        .fold(identity, reduce)
+}
+
+/// Parallel-for over the rows of a dense row-major buffer: splits
+/// `data` (of `data.len() / row_len` rows) into contiguous row ranges and
+/// hands each worker `(first_row, rows_slice)` for its disjoint slice.
+///
+/// # Panics
+///
+/// Panics if `row_len == 0` or `data.len()` is not a multiple of `row_len`.
+pub fn par_row_chunks_mut<T, F>(data: &mut [T], row_len: usize, min_rows: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data is not a whole number of rows"
+    );
+    let rows = data.len() / row_len;
+    let ranges = split_ranges(rows, min_rows);
+    if ranges.len() <= 1 {
+        for r in ranges {
+            f(r.start, &mut data[r.start * row_len..r.end * row_len]);
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut((r.end - r.start) * row_len);
+            rest = tail;
+            debug_assert_eq!(consumed, r.start * row_len);
+            consumed += chunk.len();
+            let f = &f;
+            let first_row = r.start;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| {
+                    w.set(true);
+                    f(first_row, chunk);
+                    w.set(false);
+                })
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-wide override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn split_covers_exactly_in_order() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        for len in [0usize, 1, 3, 4, 5, 17, 100] {
+            for min_chunk in [1usize, 2, 8, 64] {
+                let ranges = split_ranges(len, min_chunk);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap in ranges for len={len}");
+                    assert!(r.end > r.start, "empty range for len={len}");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "ranges do not cover len={len}");
+                if ranges.len() > 1 {
+                    assert!(
+                        ranges.iter().all(|r| r.end - r.start >= min_chunk),
+                        "undersized chunk for len={len} min_chunk={min_chunk}"
+                    );
+                }
+            }
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_thread_override(Some(0));
+        assert!(max_threads() >= 1);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn par_map_is_order_preserving() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 2, 7] {
+            set_thread_override(Some(threads));
+            let got = par_map(100, 1, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn map_reduce_matches_serial_sum() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 3, 8] {
+            set_thread_override(Some(threads));
+            let total = par_map_reduce(1000, 16, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+            assert_eq!(total, 1000 * 999 / 2, "threads={threads}");
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn row_chunks_cover_all_rows_disjointly() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let mut data = vec![0u32; 7 * 3];
+        par_row_chunks_mut(&mut data, 3, 1, |first_row, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + i) as u32 + 1;
+                }
+            }
+        });
+        let want: Vec<u32> = (0..7).flat_map(|r| [r + 1; 3]).collect();
+        assert_eq!(data, want);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let outer = par_map(4, 1, |i| {
+            assert!(in_worker());
+            // A nested region must not spawn: it sees a single range.
+            assert_eq!(split_ranges(100, 1).len(), 1);
+            par_map(10, 1, move |j| i * 10 + j)
+        });
+        let flat: Vec<usize> = outer.into_iter().flatten().collect();
+        let want: Vec<usize> = (0..40).collect();
+        assert_eq!(flat, want);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        assert!(par_map(0, 1, |i| i).is_empty());
+        assert!(split_ranges(0, 4).is_empty());
+        par_ranges(0, 1, |_| panic!("must not run"));
+    }
+}

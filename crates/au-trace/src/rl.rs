@@ -68,8 +68,12 @@ pub fn extract_rl_detailed(db: &AnalysisDb, params: RlParams) -> BTreeMap<VarId,
     let _s = t_span!("extract_rl", targets = db.targets().len());
     let _t = t_time!("au_trace.extract_rl");
     t_count!("au_trace.rl_extractions");
-    let mut features = BTreeMap::new();
-    for &v in db.targets() {
+    // Targets are extracted independently (immutable reads of the db), so
+    // fan the per-target loop out across au-par workers and recombine in
+    // target order — the result is identical for every thread count.
+    let targets: Vec<VarId> = db.targets().iter().copied().collect();
+    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+        let v = targets[ti];
         let dep_v = db.dependents(v);
         // UseFunc[dep(v)]: union of usage functions over v's dependents.
         let mut dep_funcs: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
@@ -99,17 +103,26 @@ pub fn extract_rl_detailed(db: &AnalysisDb, params: RlParams) -> BTreeMap<VarId,
         }
 
         // Redundancy pruning (ε₁): keep the first of each similar pair.
+        // For a fixed basis `w`, the distance tests against every later
+        // candidate are independent (deleting `x` never changes whether
+        // some other `x'` is within ε₁ of `w`), so each basis row of the
+        // pairwise-distance triangle is computed in parallel and the
+        // deletions applied afterwards — the surviving set is exactly the
+        // sequential algorithm's.
         let order: Vec<VarId> = candidates.keys().copied().collect();
         let mut deleted: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
         for (i, &w) in order.iter().enumerate() {
             if deleted.contains(&w) {
                 continue;
             }
-            for &x in &order[i + 1..] {
-                if deleted.contains(&x) {
-                    continue;
-                }
-                if euclidean_distance(&candidates[&w], &candidates[&x]) <= params.epsilon1 {
+            let tail = &order[i + 1..];
+            let prune = au_par::par_map(tail.len(), 8, |j| {
+                let x = tail[j];
+                !deleted.contains(&x)
+                    && euclidean_distance(&candidates[&w], &candidates[&x]) <= params.epsilon1
+            });
+            for (&x, doomed) in tail.iter().zip(prune) {
+                if doomed {
                     deleted.insert(x);
                 }
             }
@@ -128,7 +141,7 @@ pub fn extract_rl_detailed(db: &AnalysisDb, params: RlParams) -> BTreeMap<VarId,
             }
             selected.push(w);
         }
-        features.insert(
+        (
             v,
             RlExtraction {
                 candidates: order.clone(),
@@ -136,9 +149,9 @@ pub fn extract_rl_detailed(db: &AnalysisDb, params: RlParams) -> BTreeMap<VarId,
                 pruned_unchanging,
                 selected,
             },
-        );
-    }
-    features
+        )
+    });
+    per_target.into_iter().collect()
 }
 
 #[cfg(test)]

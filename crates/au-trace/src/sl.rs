@@ -47,8 +47,13 @@ pub fn extract_sl(db: &AnalysisDb) -> BTreeMap<VarId, Vec<RankedFeature>> {
     let mut candidates = db.inputs().clone();
     candidates.extend(db.dependents_of_set(db.inputs()));
 
-    let mut features = BTreeMap::new();
-    for &v in db.targets() {
+    // Each target's ranking reads the database immutably and is independent
+    // of every other target's, so the per-target loop fans out across au-par
+    // workers. Results are recombined in target order, so the returned map
+    // is identical for every thread count.
+    let targets: Vec<VarId> = db.targets().iter().copied().collect();
+    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+        let v = targets[ti];
         let dep_v = db.dependents(v);
         let mut ranked = Vec::new();
         for &w in &candidates {
@@ -71,9 +76,9 @@ pub fn extract_sl(db: &AnalysisDb) -> BTreeMap<VarId, Vec<RankedFeature>> {
             ranked.push(RankedFeature { var: w, distance });
         }
         ranked.sort_by_key(|f| (f.distance, f.var));
-        features.insert(v, ranked);
-    }
-    features
+        (v, ranked)
+    });
+    per_target.into_iter().collect()
 }
 
 /// Selects the feature variables in the requested distance band:
