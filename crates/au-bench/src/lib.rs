@@ -20,6 +20,7 @@
 //! `Raw`/`All` reinforcement variants for the five games; [`stats`]
 //! computes the Table 1/2 bookkeeping.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod monitor;

@@ -39,6 +39,7 @@
 //! # Ok::<(), au_core::AuError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[macro_use]

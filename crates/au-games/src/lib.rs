@@ -21,6 +21,7 @@
 //! [`harness`] trains agents through the Autonomizer primitives exactly as
 //! the paper's Fig. 2 game loop does.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arkanoid;

@@ -24,6 +24,7 @@
 //! assert!((ssim(&s.truth, &s.truth) - 1.0).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gray;

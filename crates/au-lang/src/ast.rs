@@ -1,4 +1,59 @@
-//! AuLang abstract syntax.
+//! AuLang abstract syntax with byte-offset source spans.
+//!
+//! Every expression, statement, and function carries a [`Span`] — the
+//! half-open byte range of the source text it was parsed from. Spans are
+//! threaded from the lexer through the parser so downstream tooling
+//! (`au-lint` diagnostics, error rendering) can point at the offending
+//! source. Structural equality (`PartialEq`) deliberately **ignores
+//! spans**: the pretty-printer round-trip property compares programs by
+//! shape, and synthetic nodes (desugared `for` loops, test-built ASTs)
+//! use [`Span::DUMMY`].
+
+/// A half-open byte range `[start, end)` into the original source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty span used for synthetic nodes with no source location.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// True for [`Span::DUMMY`] (no source location).
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`. Dummy spans are
+    /// absorbed (joining with one returns the other unchanged).
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The source text this span covers, clamped to `src`'s bounds.
+    pub fn slice(self, src: &str) -> &str {
+        let start = self.start.min(src.len());
+        let end = self.end.clamp(start, src.len());
+        &src[start..end]
+    }
+}
 
 /// A binary operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,9 +95,42 @@ pub enum UnOp {
     Not,
 }
 
-/// An expression.
+/// An expression: shape plus source span.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Source bytes this expression was parsed from.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Builds an expression at an explicit span.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+impl From<ExprKind> for Expr {
+    /// Builds a synthetic expression with [`Span::DUMMY`].
+    fn from(kind: ExprKind) -> Self {
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Structural equality — spans are ignored.
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// An expression's shape.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     /// Numeric literal.
     Num(f64),
     /// Boolean literal.
@@ -80,9 +168,42 @@ pub enum Expr {
     },
 }
 
-/// A statement.
+/// A statement: shape plus source span.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// The statement's shape.
+    pub kind: StmtKind,
+    /// Source bytes this statement was parsed from.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Builds a statement at an explicit span.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+impl From<StmtKind> for Stmt {
+    /// Builds a synthetic statement with [`Span::DUMMY`].
+    fn from(kind: StmtKind) -> Self {
+        Stmt {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Structural equality — spans are ignored.
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// A statement's shape.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub enum StmtKind {
     /// `let x = e;` — introduces a variable in the current scope.
     Let {
         /// Variable name.
@@ -133,7 +254,7 @@ pub enum Stmt {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Function {
     /// Function name.
     pub name: String,
@@ -141,6 +262,15 @@ pub struct Function {
     pub params: Vec<String>,
     /// Body statements.
     pub body: Vec<Stmt>,
+    /// Source bytes of the whole definition (`fn` through closing brace).
+    pub span: Span,
+}
+
+/// Structural equality — spans are ignored.
+impl PartialEq for Function {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.params == other.params && self.body == other.body
+    }
 }
 
 /// A whole program: a list of functions; execution starts at `main`.
@@ -154,5 +284,37 @@ impl Program {
     /// Finds a function by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both_and_absorbs_dummy() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(Span::DUMMY.join(b), b);
+        assert_eq!(a.join(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn span_slice_is_clamped() {
+        let src = "hello";
+        assert_eq!(Span::new(1, 4).slice(src), "ell");
+        assert_eq!(Span::new(3, 99).slice(src), "lo");
+        assert_eq!(Span::new(99, 120).slice(src), "");
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = Expr::new(ExprKind::Num(1.0), Span::new(0, 1));
+        let b = Expr::new(ExprKind::Num(1.0), Span::new(5, 6));
+        assert_eq!(a, b);
+        let s = Stmt::new(StmtKind::Expr(a), Span::new(0, 2));
+        let t = Stmt::new(StmtKind::Expr(b), Span::DUMMY);
+        assert_eq!(s, t);
     }
 }

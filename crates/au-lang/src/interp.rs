@@ -7,7 +7,7 @@
 //! exactly what Algorithms 1–2 consume, so feature extraction works on any
 //! AuLang program with no further annotation.
 
-use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Expr, ExprKind, Function, Program, Stmt, StmtKind, UnOp};
 use crate::parser::parse;
 use crate::value::Value;
 use crate::LangError;
@@ -263,8 +263,8 @@ impl Interpreter {
         if self.stats.steps > self.step_limit {
             return Err(self.err("step limit exceeded"));
         }
-        match stmt {
-            Stmt::Let { name, init } => {
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
                 let (value, deps) = self.eval(init)?;
                 self.mark_target_if_write_back(name, init);
                 self.trace_assign(name, &deps, &value);
@@ -277,7 +277,7 @@ impl Interpreter {
                     .insert(name.clone(), value);
                 Ok(Flow::Normal)
             }
-            Stmt::Assign { name, value } => {
+            StmtKind::Assign { name, value } => {
                 let (value_v, deps) = self.eval(value)?;
                 self.mark_target_if_write_back(name, value);
                 self.trace_assign(name, &deps, &value_v);
@@ -290,7 +290,7 @@ impl Interpreter {
                     None => Err(self.err(format!("assignment to undefined variable `{name}`"))),
                 }
             }
-            Stmt::AssignIndex { name, index, value } => {
+            StmtKind::AssignIndex { name, index, value } => {
                 let (index_v, mut deps) = self.eval(index)?;
                 let (value_v, value_deps) = self.eval(value)?;
                 deps.extend(value_deps);
@@ -315,7 +315,7 @@ impl Interpreter {
                 };
                 Err(self.err(problem))
             }
-            Stmt::If {
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -331,7 +331,7 @@ impl Interpreter {
                     self.exec_block(else_body)
                 }
             }
-            Stmt::While { cond, body } => loop {
+            StmtKind::While { cond, body } => loop {
                 let (cond_v, cond_deps) = self.eval(cond)?;
                 self.note_uses(&cond_deps);
                 let truthy = cond_v
@@ -346,16 +346,16 @@ impl Interpreter {
                     ret @ Flow::Return(..) => return Ok(ret),
                 }
             },
-            Stmt::Return(expr) => match expr {
+            StmtKind::Return(expr) => match expr {
                 Some(e) => {
                     let (value, deps) = self.eval(e)?;
                     Ok(Flow::Return(value, deps))
                 }
                 None => Ok(Flow::Return(Value::Unit, Deps::new())),
             },
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Expr(e) => {
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Expr(e) => {
                 let _ = self.eval(e)?;
                 Ok(Flow::Normal)
             }
@@ -368,7 +368,7 @@ impl Interpreter {
         if !self.tracing {
             return;
         }
-        if let Expr::Call { name, .. } = value {
+        if let ExprKind::Call { name, .. } = &value.kind {
             if name == "au_write_back" || name == "au_write_back_n" || name == "au_nn_rl" {
                 self.analysis.mark_target(dst);
             }
@@ -399,11 +399,11 @@ impl Interpreter {
     }
 
     fn eval(&mut self, expr: &Expr) -> Result<(Value, Deps), LangError> {
-        match expr {
-            Expr::Num(n) => Ok((Value::Num(*n), Deps::new())),
-            Expr::Bool(b) => Ok((Value::Bool(*b), Deps::new())),
-            Expr::Str(s) => Ok((Value::Str(s.clone()), Deps::new())),
-            Expr::Var(name) => {
+        match &expr.kind {
+            ExprKind::Num(n) => Ok((Value::Num(*n), Deps::new())),
+            ExprKind::Bool(b) => Ok((Value::Bool(*b), Deps::new())),
+            ExprKind::Str(s) => Ok((Value::Str(s.clone()), Deps::new())),
+            ExprKind::Var(name) => {
                 let frame = self.frames.last().expect("frame");
                 let value = frame
                     .lookup(name)
@@ -413,7 +413,7 @@ impl Interpreter {
                 deps.insert(name.clone());
                 Ok((value, deps))
             }
-            Expr::Array(items) => {
+            ExprKind::Array(items) => {
                 let mut values = Vec::with_capacity(items.len());
                 let mut deps = Deps::new();
                 for item in items {
@@ -423,7 +423,7 @@ impl Interpreter {
                 }
                 Ok((Value::Array(values), deps))
             }
-            Expr::Index(target, index) => {
+            ExprKind::Index(target, index) => {
                 let (target_v, mut deps) = self.eval(target)?;
                 let (index_v, index_deps) = self.eval(index)?;
                 deps.extend(index_deps);
@@ -437,7 +437,7 @@ impl Interpreter {
                     other => Err(self.err(format!("cannot index a {}", other.type_name()))),
                 }
             }
-            Expr::Unary { op, expr } => {
+            ExprKind::Unary { op, expr } => {
                 let (v, deps) = self.eval(expr)?;
                 let out = match op {
                     UnOp::Neg => Value::Num(
@@ -451,8 +451,8 @@ impl Interpreter {
                 };
                 Ok((out, deps))
             }
-            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
-            Expr::Call { name, args } => self.eval_call(name, args),
+            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            ExprKind::Call { name, args } => self.eval_call(name, args),
         }
     }
 

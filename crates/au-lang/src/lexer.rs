@@ -1,5 +1,6 @@
 //! AuLang lexer.
 
+use crate::ast::Span;
 use crate::LangError;
 
 /// A lexical token kind.
@@ -83,13 +84,15 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its 1-based source line.
+/// A token with its 1-based source line and byte-offset span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind.
     pub kind: TokenKind,
     /// 1-based line number.
     pub line: usize,
+    /// Byte range of the token text in the source.
+    pub span: Span,
 }
 
 /// Converts AuLang source text into tokens.
@@ -178,10 +181,12 @@ impl<'src> Lexer<'src> {
     fn next_token(&mut self) -> Result<Token, LangError> {
         self.skip_trivia();
         let line = self.line;
+        let start = self.pos;
         let Some(c) = self.peek() else {
             return Ok(Token {
                 kind: TokenKind::Eof,
                 line,
+                span: Span::new(start, start),
             });
         };
         let kind = match c {
@@ -190,7 +195,11 @@ impl<'src> Lexer<'src> {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
             _ => self.lex_operator()?,
         };
-        Ok(Token { kind, line })
+        Ok(Token {
+            kind,
+            line,
+            span: Span::new(start, self.pos),
+        })
     }
 
     fn lex_number(&mut self) -> Result<TokenKind, LangError> {
@@ -391,6 +400,28 @@ mod tests {
         let tokens = Lexer::new("x\ny").tokenize().unwrap();
         assert_eq!(tokens[0].line, 1);
         assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn spans_slice_back_to_token_text() {
+        let src = "fn main() { let xy = 3.25; } // trailing";
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        for t in &tokens {
+            let text = t.span.slice(src);
+            match &t.kind {
+                TokenKind::Ident(name) => assert_eq!(text, name.as_str()),
+                TokenKind::Num(_) => assert_eq!(text, "3.25"),
+                TokenKind::Eof => assert_eq!(text, ""),
+                _ => assert!(!text.is_empty(), "non-EOF token with empty span"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_spans_include_the_quotes() {
+        let src = r#"x "a\"b" y"#;
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        assert_eq!(tokens[1].span.slice(src), r#""a\"b""#);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! # Ok::<(), au_lang::LangError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[macro_use]
@@ -54,7 +55,7 @@ pub mod pretty;
 pub mod static_analysis;
 mod value;
 
-pub use ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+pub use ast::{BinOp, Expr, ExprKind, Function, Program, Span, Stmt, StmtKind, UnOp};
 pub use interp::{Interpreter, RunStats};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::parse;

@@ -1,6 +1,11 @@
 //! Recursive-descent parser for AuLang.
+//!
+//! Every produced AST node carries the byte-offset [`Span`] of the source
+//! text it was parsed from (desugared `for` loops reuse the spans of the
+//! surface tokens they came from), so downstream tooling — `au-lint`
+//! diagnostics, error rendering — can point back into the file.
 
-use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Expr, ExprKind, Function, Program, Span, Stmt, StmtKind, UnOp};
 use crate::lexer::{Lexer, Token, TokenKind};
 use crate::LangError;
 
@@ -26,6 +31,17 @@ impl Parser {
 
     fn line(&self) -> usize {
         self.tokens[self.pos].line
+    }
+
+    /// Span of the token about to be consumed.
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    /// End offset of the most recently consumed token — the natural end of
+    /// a construct once its last token has been bumped.
+    fn prev_end(&self) -> usize {
+        self.tokens[self.pos.saturating_sub(1)].span.end
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -74,6 +90,7 @@ impl Parser {
     }
 
     fn function(&mut self) -> Result<Function, LangError> {
+        let start = self.span();
         self.expect(TokenKind::Fn, "`fn`")?;
         let name = self.ident("function name")?;
         self.expect(TokenKind::LParen, "`(`")?;
@@ -90,7 +107,13 @@ impl Parser {
         }
         self.expect(TokenKind::RParen, "`)`")?;
         let body = self.block()?;
-        Ok(Function { name, params, body })
+        let span = Span::new(start.start, self.prev_end());
+        Ok(Function {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
@@ -107,6 +130,7 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, LangError> {
+        let start = self.span();
         match self.peek().clone() {
             TokenKind::Let => {
                 self.bump();
@@ -114,7 +138,7 @@ impl Parser {
                 self.expect(TokenKind::Assign, "`=`")?;
                 let init = self.expr()?;
                 self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Let { name, init })
+                Ok(self.stmt_from(StmtKind::Let { name, init }, start))
             }
             TokenKind::If => {
                 self.bump();
@@ -132,11 +156,14 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                })
+                Ok(self.stmt_from(
+                    StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                    start,
+                ))
             }
             TokenKind::While => {
                 self.bump();
@@ -144,7 +171,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen, "`)`")?;
                 let body = self.block()?;
-                Ok(Stmt::While { cond, body })
+                Ok(self.stmt_from(StmtKind::While { cond, body }, start))
             }
             TokenKind::For => self.for_statement(),
             TokenKind::Return => {
@@ -155,29 +182,29 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Return(value))
+                Ok(self.stmt_from(StmtKind::Return(value), start))
             }
             TokenKind::Break => {
                 self.bump();
                 self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Break)
+                Ok(self.stmt_from(StmtKind::Break, start))
             }
             TokenKind::Continue => {
                 self.bump();
                 self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Continue)
+                Ok(self.stmt_from(StmtKind::Continue, start))
             }
             TokenKind::Ident(name) => {
                 // Lookahead distinguishes `x = …;`, `x[i] = …;`, and an
                 // expression statement starting with an identifier.
-                let start = self.pos;
+                let start_pos = self.pos;
                 self.bump();
                 match self.peek().clone() {
                     TokenKind::Assign => {
                         self.bump();
                         let value = self.expr()?;
                         self.expect(TokenKind::Semi, "`;`")?;
-                        Ok(Stmt::Assign { name, value })
+                        Ok(self.stmt_from(StmtKind::Assign { name, value }, start))
                     }
                     TokenKind::LBracket => {
                         self.bump();
@@ -187,56 +214,67 @@ impl Parser {
                             self.bump();
                             let value = self.expr()?;
                             self.expect(TokenKind::Semi, "`;`")?;
-                            Ok(Stmt::AssignIndex { name, index, value })
+                            Ok(self.stmt_from(StmtKind::AssignIndex { name, index, value }, start))
                         } else {
                             // Not an assignment — rewind and parse as expr.
-                            self.pos = start;
+                            self.pos = start_pos;
                             let e = self.expr()?;
                             self.expect(TokenKind::Semi, "`;`")?;
-                            Ok(Stmt::Expr(e))
+                            Ok(self.stmt_from(StmtKind::Expr(e), start))
                         }
                     }
                     _ => {
-                        self.pos = start;
+                        self.pos = start_pos;
                         let e = self.expr()?;
                         self.expect(TokenKind::Semi, "`;`")?;
-                        Ok(Stmt::Expr(e))
+                        Ok(self.stmt_from(StmtKind::Expr(e), start))
                     }
                 }
             }
             _ => {
                 let e = self.expr()?;
                 self.expect(TokenKind::Semi, "`;`")?;
-                Ok(Stmt::Expr(e))
+                Ok(self.stmt_from(StmtKind::Expr(e), start))
             }
         }
+    }
+
+    /// Wraps a statement shape with the span running from `start` to the
+    /// last consumed token.
+    fn stmt_from(&self, kind: StmtKind, start: Span) -> Stmt {
+        Stmt::new(kind, Span::new(start.start, self.prev_end()))
     }
 
     /// Parses C-style `for (init; cond; post) { body }` and desugars it at
     /// parse time into `if (true) { init; while (cond) { body…; post; } }`
     /// (the `if` introduces a scope for the initializer), so the
-    /// interpreter and analyses only ever see core statements.
+    /// interpreter and analyses only ever see core statements. The
+    /// desugared statements keep the spans of the surface tokens they were
+    /// built from; the synthetic `true` condition gets the `for` keyword's
+    /// span.
     ///
     /// Known sugar limitation: `continue` inside a `for` body skips the
     /// `post` step too — documented AuLang behaviour matching the naive
     /// expansion.
     fn for_statement(&mut self) -> Result<Stmt, LangError> {
+        let for_span = self.span();
         self.bump(); // `for`
         self.expect(TokenKind::LParen, "`(`")?;
         // init: `let x = e` or `x = e`
+        let init_start = self.span();
         let init = match self.peek().clone() {
             TokenKind::Let => {
                 self.bump();
                 let name = self.ident("variable name")?;
                 self.expect(TokenKind::Assign, "`=`")?;
                 let value = self.expr()?;
-                Stmt::Let { name, init: value }
+                self.stmt_from(StmtKind::Let { name, init: value }, init_start)
             }
             TokenKind::Ident(name) => {
                 self.bump();
                 self.expect(TokenKind::Assign, "`=`")?;
                 let value = self.expr()?;
-                Stmt::Assign { name, value }
+                self.stmt_from(StmtKind::Assign { name, value }, init_start)
             }
             other => {
                 return Err(self.err(format!("expected for-loop initializer, found {other:?}")))
@@ -247,23 +285,42 @@ impl Parser {
         self.expect(TokenKind::Semi, "`;`")?;
         // post: `x = e` (no trailing semicolon)
         let post = {
+            let post_start = self.span();
             let name = self.ident("post-step variable")?;
             self.expect(TokenKind::Assign, "`=`")?;
             let value = self.expr()?;
-            Stmt::Assign { name, value }
+            self.stmt_from(StmtKind::Assign { name, value }, post_start)
         };
         self.expect(TokenKind::RParen, "`)`")?;
         let mut body = self.block()?;
         body.push(post);
-        Ok(Stmt::If {
-            cond: Expr::Bool(true),
-            then_body: vec![init, Stmt::While { cond, body }],
-            else_body: Vec::new(),
-        })
+        let whole = Span::new(for_span.start, self.prev_end());
+        let while_stmt = Stmt::new(StmtKind::While { cond, body }, whole);
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond: Expr::new(ExprKind::Bool(true), for_span),
+                then_body: vec![init, while_stmt],
+                else_body: Vec::new(),
+            },
+            whole,
+        ))
     }
 
     fn expr(&mut self) -> Result<Expr, LangError> {
         self.or_expr()
+    }
+
+    /// Joins two operand spans into the covering binary-expression node.
+    fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        let span = lhs.span.join(rhs.span);
+        Expr::new(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        )
     }
 
     fn or_expr(&mut self) -> Result<Expr, LangError> {
@@ -271,11 +328,7 @@ impl Parser {
         while *self.peek() == TokenKind::Or {
             self.bump();
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary {
-                op: BinOp::Or,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Self::binary(BinOp::Or, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -285,11 +338,7 @@ impl Parser {
         while *self.peek() == TokenKind::And {
             self.bump();
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary {
-                op: BinOp::And,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Self::binary(BinOp::And, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -307,11 +356,7 @@ impl Parser {
         };
         self.bump();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary {
-            op,
-            lhs: Box::new(lhs),
-            rhs: Box::new(rhs),
-        })
+        Ok(Self::binary(op, lhs, rhs))
     }
 
     fn add_expr(&mut self) -> Result<Expr, LangError> {
@@ -324,11 +369,7 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Self::binary(op, lhs, rhs);
         }
     }
 
@@ -343,32 +384,27 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Self::binary(op, lhs, rhs);
         }
     }
 
     fn unary_expr(&mut self) -> Result<Expr, LangError> {
-        match self.peek() {
-            TokenKind::Minus => {
-                self.bump();
-                Ok(Expr::Unary {
-                    op: UnOp::Neg,
-                    expr: Box::new(self.unary_expr()?),
-                })
-            }
-            TokenKind::Not => {
-                self.bump();
-                Ok(Expr::Unary {
-                    op: UnOp::Not,
-                    expr: Box::new(self.unary_expr()?),
-                })
-            }
-            _ => self.postfix_expr(),
-        }
+        let op_span = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => UnOp::Neg,
+            TokenKind::Not => UnOp::Not,
+            _ => return self.postfix_expr(),
+        };
+        self.bump();
+        let inner = self.unary_expr()?;
+        let span = op_span.join(inner.span);
+        Ok(Expr::new(
+            ExprKind::Unary {
+                op,
+                expr: Box::new(inner),
+            },
+            span,
+        ))
     }
 
     fn postfix_expr(&mut self) -> Result<Expr, LangError> {
@@ -377,33 +413,36 @@ impl Parser {
             self.bump();
             let index = self.expr()?;
             self.expect(TokenKind::RBracket, "`]`")?;
-            expr = Expr::Index(Box::new(expr), Box::new(index));
+            let span = Span::new(expr.span.start, self.prev_end());
+            expr = Expr::new(ExprKind::Index(Box::new(expr), Box::new(index)), span);
         }
         Ok(expr)
     }
 
     fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let start = self.span();
         match self.peek().clone() {
             TokenKind::Num(n) => {
                 self.bump();
-                Ok(Expr::Num(n))
+                Ok(Expr::new(ExprKind::Num(n), start))
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Expr::Str(s))
+                Ok(Expr::new(ExprKind::Str(s), start))
             }
             TokenKind::True => {
                 self.bump();
-                Ok(Expr::Bool(true))
+                Ok(Expr::new(ExprKind::Bool(true), start))
             }
             TokenKind::False => {
                 self.bump();
-                Ok(Expr::Bool(false))
+                Ok(Expr::new(ExprKind::Bool(false), start))
             }
             TokenKind::LParen => {
                 self.bump();
                 let e = self.expr()?;
                 self.expect(TokenKind::RParen, "`)`")?;
+                // The node keeps its own span; the parens only group.
                 Ok(e)
             }
             TokenKind::LBracket => {
@@ -420,7 +459,8 @@ impl Parser {
                     }
                 }
                 self.expect(TokenKind::RBracket, "`]`")?;
-                Ok(Expr::Array(items))
+                let span = Span::new(start.start, self.prev_end());
+                Ok(Expr::new(ExprKind::Array(items), span))
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -438,9 +478,10 @@ impl Parser {
                         }
                     }
                     self.expect(TokenKind::RParen, "`)`")?;
-                    Ok(Expr::Call { name, args })
+                    let span = Span::new(start.start, self.prev_end());
+                    Ok(Expr::new(ExprKind::Call { name, args }, span))
                 } else {
-                    Ok(Expr::Var(name))
+                    Ok(Expr::new(ExprKind::Var(name), start))
                 }
             }
             other => Err(self.err(format!("expected expression, found {other:?}"))),
@@ -470,14 +511,14 @@ mod tests {
     #[test]
     fn parses_precedence() {
         let p = parse("fn main() { let x = 1 + 2 * 3; return x; }").unwrap();
-        match &p.functions[0].body[0] {
-            Stmt::Let { init, .. } => match init {
-                Expr::Binary {
+        match &p.functions[0].body[0].kind {
+            StmtKind::Let { init, .. } => match &init.kind {
+                ExprKind::Binary {
                     op: BinOp::Add,
                     rhs,
                     ..
                 } => {
-                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at top: {other:?}"),
             },
@@ -489,9 +530,9 @@ mod tests {
     fn parses_if_else_chain() {
         let src = "fn main() { if (1 < 2) { return 1; } else if (2 < 3) { return 2; } else { return 3; } }";
         let p = parse(src).unwrap();
-        match &p.functions[0].body[0] {
-            Stmt::If { else_body, .. } => {
-                assert!(matches!(else_body[0], Stmt::If { .. }));
+        match &p.functions[0].body[0].kind {
+            StmtKind::If { else_body, .. } => {
+                assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
             }
             other => panic!("expected if: {other:?}"),
         }
@@ -501,19 +542,25 @@ mod tests {
     fn parses_index_assignment_and_read() {
         let src = "fn main() { let a = [1, 2]; a[0] = 5; return a[0]; }";
         let p = parse(src).unwrap();
-        assert!(matches!(p.functions[0].body[1], Stmt::AssignIndex { .. }));
+        assert!(matches!(
+            p.functions[0].body[1].kind,
+            StmtKind::AssignIndex { .. }
+        ));
     }
 
     #[test]
     fn parses_calls_with_string_args() {
         let src = r#"fn main() { au_extract("PX", 1); return 0; }"#;
         let p = parse(src).unwrap();
-        match &p.functions[0].body[0] {
-            Stmt::Expr(Expr::Call { name, args }) => {
-                assert_eq!(name, "au_extract");
-                assert_eq!(args.len(), 2);
-            }
-            other => panic!("expected call: {other:?}"),
+        match &p.functions[0].body[0].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Call { name, args } => {
+                    assert_eq!(name, "au_extract");
+                    assert_eq!(args.len(), 2);
+                }
+                other => panic!("expected call: {other:?}"),
+            },
+            other => panic!("expected expr stmt: {other:?}"),
         }
     }
 
@@ -521,7 +568,7 @@ mod tests {
     fn index_read_statement_is_not_assignment() {
         let src = "fn main() { let a = [1]; a[0]; return 0; }";
         let p = parse(src).unwrap();
-        assert!(matches!(p.functions[0].body[1], Stmt::Expr(_)));
+        assert!(matches!(p.functions[0].body[1].kind, StmtKind::Expr(_)));
     }
 
     #[test]
@@ -539,7 +586,7 @@ mod tests {
             "fn main() { let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } return s; }";
         let p = parse(src).unwrap();
         // Desugared: the for becomes an if-true wrapper.
-        assert!(matches!(p.functions[0].body[1], Stmt::If { .. }));
+        assert!(matches!(p.functions[0].body[1].kind, StmtKind::If { .. }));
     }
 
     #[test]
@@ -558,5 +605,62 @@ mod tests {
     fn parses_while_with_break_continue() {
         let src = "fn main() { let i = 0; while (true) { i = i + 1; if (i > 3) { break; } continue; } return i; }";
         assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn statement_spans_slice_source_text() {
+        let src = "fn main() { let x = 1 + 2; return x; }";
+        let p = parse(src).unwrap();
+        let body = &p.functions[0].body;
+        assert_eq!(body[0].span.slice(src), "let x = 1 + 2;");
+        assert_eq!(body[1].span.slice(src), "return x;");
+        assert_eq!(p.functions[0].span.slice(src), src);
+    }
+
+    #[test]
+    fn expression_spans_cover_their_tokens() {
+        let src = "fn main() { let y = foo(1, bar) + [2, 3][0]; return y; }";
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0].kind {
+            StmtKind::Let { init, .. } => {
+                assert_eq!(init.span.slice(src), "foo(1, bar) + [2, 3][0]");
+                match &init.kind {
+                    ExprKind::Binary { lhs, rhs, .. } => {
+                        assert_eq!(lhs.span.slice(src), "foo(1, bar)");
+                        assert_eq!(rhs.span.slice(src), "[2, 3][0]");
+                    }
+                    other => panic!("expected binary: {other:?}"),
+                }
+            }
+            other => panic!("expected let: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_spans_point_at_the_call() {
+        let src = "fn main() {\n    au_nn(\"M\", \"F\", \"Y\");\n    return 0;\n}";
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0].kind {
+            StmtKind::Expr(e) => {
+                assert_eq!(e.span.slice(src), "au_nn(\"M\", \"F\", \"Y\")");
+            }
+            other => panic!("expected expr stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desugared_for_keeps_surface_spans() {
+        let src = "fn main() { for (let i = 0; i < 3; i = i + 1) { } return 0; }";
+        let p = parse(src).unwrap();
+        match &p.functions[0].body[0].kind {
+            StmtKind::If {
+                cond, then_body, ..
+            } => {
+                assert_eq!(cond.span.slice(src), "for");
+                assert_eq!(then_body[0].span.slice(src), "let i = 0");
+                assert!(matches!(then_body[1].kind, StmtKind::While { .. }));
+            }
+            other => panic!("expected desugared if: {other:?}"),
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! (round-trip property), which the test suite uses to validate the parser
 //! against itself.
 
-use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Expr, ExprKind, Function, Program, Stmt, StmtKind, UnOp};
 use std::fmt::Write;
 
 /// Renders a whole program as canonical AuLang source.
@@ -44,14 +44,14 @@ fn print_block(stmts: &[Stmt], level: usize, out: &mut String) {
 
 fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
     indent(level, out);
-    match stmt {
-        Stmt::Let { name, init } => {
+    match &stmt.kind {
+        StmtKind::Let { name, init } => {
             let _ = writeln!(out, "let {name} = {};", print_expr(init));
         }
-        Stmt::Assign { name, value } => {
+        StmtKind::Assign { name, value } => {
             let _ = writeln!(out, "{name} = {};", print_expr(value));
         }
-        Stmt::AssignIndex { name, index, value } => {
+        StmtKind::AssignIndex { name, index, value } => {
             let _ = writeln!(
                 out,
                 "{name}[{}] = {};",
@@ -59,7 +59,7 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
                 print_expr(value)
             );
         }
-        Stmt::If {
+        StmtKind::If {
             cond,
             then_body,
             else_body,
@@ -71,7 +71,7 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
                 // `else if` chains are parsed as a single-statement else
                 // block; print them back flat.
                 if else_body.len() == 1 {
-                    if let Stmt::If { .. } = &else_body[0] {
+                    if let StmtKind::If { .. } = &else_body[0].kind {
                         let mut nested = String::new();
                         print_stmt(&else_body[0], 0, &mut nested);
                         out.push_str(nested.trim_start());
@@ -82,18 +82,18 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
             }
             out.push('\n');
         }
-        Stmt::While { cond, body } => {
+        StmtKind::While { cond, body } => {
             let _ = write!(out, "while ({}) ", print_expr(cond));
             print_block(body, level, out);
             out.push('\n');
         }
-        Stmt::Return(Some(e)) => {
+        StmtKind::Return(Some(e)) => {
             let _ = writeln!(out, "return {};", print_expr(e));
         }
-        Stmt::Return(None) => out.push_str("return;\n"),
-        Stmt::Break => out.push_str("break;\n"),
-        Stmt::Continue => out.push_str("continue;\n"),
-        Stmt::Expr(e) => {
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Expr(e) => {
             let _ = writeln!(out, "{};", print_expr(e));
         }
     }
@@ -120,16 +120,16 @@ fn bin_op_str(op: BinOp) -> &'static str {
 /// Renders one expression with full parenthesization (canonical form: the
 /// output re-parses to the identical AST without precedence reasoning).
 pub fn print_expr(expr: &Expr) -> String {
-    match expr {
-        Expr::Num(n) => {
+    match &expr.kind {
+        ExprKind::Num(n) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
                 format!("{}", *n as i64)
             } else {
                 format!("{n}")
             }
         }
-        Expr::Bool(b) => b.to_string(),
-        Expr::Str(s) => {
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Str(s) => {
             // Only the escapes the lexer understands: \n, \t, \", \\.
             // Other characters pass through verbatim.
             let mut out = String::with_capacity(s.len() + 2);
@@ -146,19 +146,19 @@ pub fn print_expr(expr: &Expr) -> String {
             out.push('"');
             out
         }
-        Expr::Var(name) => name.clone(),
-        Expr::Array(items) => {
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Array(items) => {
             let inner: Vec<String> = items.iter().map(print_expr).collect();
             format!("[{}]", inner.join(", "))
         }
-        Expr::Index(target, index) => {
+        ExprKind::Index(target, index) => {
             format!("{}[{}]", print_expr(target), print_expr(index))
         }
-        Expr::Call { name, args } => {
+        ExprKind::Call { name, args } => {
             let inner: Vec<String> = args.iter().map(print_expr).collect();
             format!("{name}({})", inner.join(", "))
         }
-        Expr::Binary { op, lhs, rhs } => {
+        ExprKind::Binary { op, lhs, rhs } => {
             format!(
                 "({} {} {})",
                 print_expr(lhs),
@@ -166,7 +166,7 @@ pub fn print_expr(expr: &Expr) -> String {
                 print_expr(rhs)
             )
         }
-        Expr::Unary { op, expr } => match op {
+        ExprKind::Unary { op, expr } => match op {
             UnOp::Neg => format!("(-{})", print_expr(expr)),
             UnOp::Not => format!("(!{})", print_expr(expr)),
         },

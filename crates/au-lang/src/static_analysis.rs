@@ -10,7 +10,7 @@
 //! bench counts the resulting extra candidate edges against the
 //! interpreter's observed dynamic graph.
 
-use crate::ast::{Expr, Program, Stmt};
+use crate::ast::{Expr, ExprKind, Program, Stmt, StmtKind};
 use au_trace::AnalysisDb;
 use std::collections::BTreeSet;
 
@@ -65,14 +65,14 @@ impl<'a> StaticAnalyzer<'a> {
     }
 
     fn stmt(&mut self, stmt: &Stmt, func: &str) {
-        match stmt {
-            Stmt::Let { name, init } | Stmt::Assign { name, value: init } => {
+        match &stmt.kind {
+            StmtKind::Let { name, init } | StmtKind::Assign { name, value: init } => {
                 let deps = self.expr_deps(init, func, Some(name));
                 let dep_refs: Vec<&str> = deps.iter().map(String::as_str).collect();
                 self.db.record_assign(name, &dep_refs, None, func);
                 self.mark_write_back_target(name, init);
             }
-            Stmt::AssignIndex { name, index, value } => {
+            StmtKind::AssignIndex { name, index, value } => {
                 // All elements alias statically: the whole array depends on
                 // the index and value expressions plus itself.
                 let mut deps = self.expr_deps(index, func, None);
@@ -81,7 +81,7 @@ impl<'a> StaticAnalyzer<'a> {
                 let dep_refs: Vec<&str> = deps.iter().map(String::as_str).collect();
                 self.db.record_assign(name, &dep_refs, None, func);
             }
-            Stmt::If {
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -93,23 +93,23 @@ impl<'a> StaticAnalyzer<'a> {
                 self.block(then_body, func);
                 self.block(else_body, func);
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 for var in self.expr_deps(cond, func, None) {
                     self.db.record_use(&var, func);
                 }
                 self.block(body, func);
             }
-            Stmt::Return(Some(e)) | Stmt::Expr(e) => {
+            StmtKind::Return(Some(e)) | StmtKind::Expr(e) => {
                 let _ = self.expr_deps(e, func, None);
             }
-            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
         }
     }
 
     /// `x = au_write_back("N")` marks x as a target, same as the dynamic
     /// tracer.
     fn mark_write_back_target(&mut self, dst: &str, value: &Expr) {
-        if let Expr::Call { name, .. } = value {
+        if let ExprKind::Call { name, .. } = &value.kind {
             if name == "au_write_back" || name == "au_write_back_n" || name == "au_nn_rl" {
                 self.db.mark_target(dst);
             }
@@ -123,34 +123,34 @@ impl<'a> StaticAnalyzer<'a> {
     #[allow(clippy::only_used_in_recursion)]
     fn expr_deps(&mut self, expr: &Expr, func: &str, _target: Option<&str>) -> BTreeSet<String> {
         let mut deps = BTreeSet::new();
-        match expr {
-            Expr::Num(_) | Expr::Bool(_) | Expr::Str(_) => {}
-            Expr::Var(name) => {
+        match &expr.kind {
+            ExprKind::Num(_) | ExprKind::Bool(_) | ExprKind::Str(_) => {}
+            ExprKind::Var(name) => {
                 deps.insert(name.clone());
             }
-            Expr::Array(items) => {
+            ExprKind::Array(items) => {
                 for item in items {
                     deps.extend(self.expr_deps(item, func, None));
                 }
             }
-            Expr::Index(target, index) => {
+            ExprKind::Index(target, index) => {
                 deps.extend(self.expr_deps(target, func, None));
                 deps.extend(self.expr_deps(index, func, None));
             }
-            Expr::Unary { expr, .. } => {
+            ExprKind::Unary { expr, .. } => {
                 deps.extend(self.expr_deps(expr, func, None));
             }
-            Expr::Binary { lhs, rhs, .. } => {
+            ExprKind::Binary { lhs, rhs, .. } => {
                 deps.extend(self.expr_deps(lhs, func, None));
                 deps.extend(self.expr_deps(rhs, func, None));
             }
-            Expr::Call { name, args } => {
+            ExprKind::Call { name, args } => {
                 let mut arg_deps: Vec<BTreeSet<String>> = Vec::with_capacity(args.len());
                 for arg in args {
                     arg_deps.push(self.expr_deps(arg, func, None));
                 }
                 if name == "input" {
-                    if let Some(Expr::Str(input_name)) = args.first() {
+                    if let Some(ExprKind::Str(input_name)) = args.first().map(|a| &a.kind) {
                         self.db.mark_input(input_name);
                         deps.insert(input_name.clone());
                     }
@@ -179,9 +179,9 @@ impl<'a> StaticAnalyzer<'a> {
 fn return_vars(stmts: &[Stmt]) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for stmt in stmts {
-        match stmt {
-            Stmt::Return(Some(e)) => collect_vars(e, &mut out),
-            Stmt::If {
+        match &stmt.kind {
+            StmtKind::Return(Some(e)) => collect_vars(e, &mut out),
+            StmtKind::If {
                 then_body,
                 else_body,
                 ..
@@ -189,7 +189,7 @@ fn return_vars(stmts: &[Stmt]) -> BTreeSet<String> {
                 out.extend(return_vars(then_body));
                 out.extend(return_vars(else_body));
             }
-            Stmt::While { body, .. } => out.extend(return_vars(body)),
+            StmtKind::While { body, .. } => out.extend(return_vars(body)),
             _ => {}
         }
     }
@@ -197,21 +197,21 @@ fn return_vars(stmts: &[Stmt]) -> BTreeSet<String> {
 }
 
 fn collect_vars(expr: &Expr, out: &mut BTreeSet<String>) {
-    match expr {
-        Expr::Var(name) => {
+    match &expr.kind {
+        ExprKind::Var(name) => {
             out.insert(name.clone());
         }
-        Expr::Array(items) => items.iter().for_each(|i| collect_vars(i, out)),
-        Expr::Index(a, b) => {
+        ExprKind::Array(items) => items.iter().for_each(|i| collect_vars(i, out)),
+        ExprKind::Index(a, b) => {
             collect_vars(a, out);
             collect_vars(b, out);
         }
-        Expr::Unary { expr, .. } => collect_vars(expr, out),
-        Expr::Binary { lhs, rhs, .. } => {
+        ExprKind::Unary { expr, .. } => collect_vars(expr, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
             collect_vars(lhs, out);
             collect_vars(rhs, out);
         }
-        Expr::Call { args, .. } => args.iter().for_each(|a| collect_vars(a, out)),
+        ExprKind::Call { args, .. } => args.iter().for_each(|a| collect_vars(a, out)),
         _ => {}
     }
 }

@@ -1,9 +1,10 @@
 //! Property-based round-trip testing: arbitrary generated ASTs survive
-//! pretty-printing and re-parsing unchanged, and the lexer/parser reject
-//! nothing the printer emits.
+//! pretty-printing and re-parsing unchanged, the lexer/parser reject
+//! nothing the printer emits, and every span the parser attaches slices
+//! back to exactly the source text of its node.
 
 use au_lang::pretty::print_program;
-use au_lang::{parse, BinOp, Expr, Function, Program, Stmt, UnOp};
+use au_lang::{parse, BinOp, Expr, ExprKind, Function, Program, Span, Stmt, StmtKind, UnOp};
 use proptest::prelude::*;
 
 /// Identifiers that cannot collide with keywords or builtins.
@@ -14,33 +15,41 @@ fn ident_strategy() -> impl Strategy<Value = String> {
 fn leaf_expr() -> impl Strategy<Value = Expr> {
     prop_oneof![
         // Integers and simple fractions print/parse exactly.
-        (0i64..1000).prop_map(|n| Expr::Num(n as f64)),
-        (0i64..1000).prop_map(|n| Expr::Num(n as f64 / 4.0)),
-        any::<bool>().prop_map(Expr::Bool),
-        "[ -~&&[^\"\\\\]]{0,8}".prop_map(Expr::Str),
-        ident_strategy().prop_map(Expr::Var),
+        (0i64..1000).prop_map(|n| ExprKind::Num(n as f64).into()),
+        (0i64..1000).prop_map(|n| ExprKind::Num(n as f64 / 4.0).into()),
+        any::<bool>().prop_map(|b| ExprKind::Bool(b).into()),
+        "[ -~&&[^\"\\\\]]{0,8}".prop_map(|s| ExprKind::Str(s).into()),
+        ident_strategy().prop_map(|v| ExprKind::Var(v).into()),
     ]
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf_expr().prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), bin_op()).prop_map(|(lhs, rhs, op)| Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+            (inner.clone(), inner.clone(), bin_op()).prop_map(|(lhs, rhs, op)| {
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }
+                .into()
             }),
-            (inner.clone(), un_op()).prop_map(|(expr, op)| Expr::Unary {
-                op,
-                expr: Box::new(expr),
+            (inner.clone(), un_op()).prop_map(|(expr, op)| {
+                ExprKind::Unary {
+                    op,
+                    expr: Box::new(expr),
+                }
+                .into()
             }),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Array),
+            prop::collection::vec(inner.clone(), 0..3)
+                .prop_map(|items| ExprKind::Array(items).into()),
             (ident_strategy(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(name, args)| Expr::Call { name, args }),
-            (inner.clone(), inner).prop_map(|(target, index)| Expr::Index(
-                Box::new(Expr::Array(vec![target])),
+                .prop_map(|(name, args)| ExprKind::Call { name, args }.into()),
+            (inner.clone(), inner).prop_map(|(target, index)| ExprKind::Index(
+                Box::new(ExprKind::Array(vec![target]).into()),
                 Box::new(index)
-            )),
+            )
+            .into()),
         ]
     })
 }
@@ -69,15 +78,20 @@ fn un_op() -> impl Strategy<Value = UnOp> {
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let leaf = prop_oneof![
-        (ident_strategy(), expr_strategy()).prop_map(|(name, init)| Stmt::Let { name, init }),
-        (ident_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Assign { name, value }),
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(name, init)| StmtKind::Let { name, init }.into()),
+        (ident_strategy(), expr_strategy()).prop_map(|(name, value)| StmtKind::Assign {
+            name,
+            value
+        }
+        .into()),
         (ident_strategy(), expr_strategy(), expr_strategy())
-            .prop_map(|(name, index, value)| Stmt::AssignIndex { name, index, value }),
-        expr_strategy().prop_map(|e| Stmt::Return(Some(e))),
-        Just(Stmt::Return(None)),
-        Just(Stmt::Break),
-        Just(Stmt::Continue),
-        expr_strategy().prop_map(Stmt::Expr),
+            .prop_map(|(name, index, value)| StmtKind::AssignIndex { name, index, value }.into()),
+        expr_strategy().prop_map(|e| StmtKind::Return(Some(e)).into()),
+        Just(StmtKind::Return(None).into()),
+        Just(StmtKind::Break.into()),
+        Just(StmtKind::Continue.into()),
+        expr_strategy().prop_map(|e| StmtKind::Expr(e).into()),
     ];
     leaf.prop_recursive(2, 16, 3, |inner| {
         prop_oneof![
@@ -86,13 +100,16 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
                 prop::collection::vec(inner.clone(), 0..3),
                 prop::collection::vec(inner.clone(), 0..3)
             )
-                .prop_map(|(cond, then_body, else_body)| Stmt::If {
-                    cond,
-                    then_body,
-                    else_body,
+                .prop_map(|(cond, then_body, else_body)| {
+                    StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    }
+                    .into()
                 }),
             (expr_strategy(), prop::collection::vec(inner, 0..3))
-                .prop_map(|(cond, body)| Stmt::While { cond, body }),
+                .prop_map(|(cond, body)| StmtKind::While { cond, body }.into()),
         ]
     })
 }
@@ -114,7 +131,12 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 .into_iter()
                 .map(|(name, mut params, body)| {
                     params.dedup();
-                    Function { name, params, body }
+                    Function {
+                        name,
+                        params,
+                        body,
+                        span: Span::DUMMY,
+                    }
                 })
                 .collect();
             // Helper names must be unique and differ from main.
@@ -123,9 +145,124 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 name: "main".to_owned(),
                 params: Vec::new(),
                 body: main_body,
+                span: Span::DUMMY,
             });
             Program { functions }
         })
+}
+
+// ---------------------------------------------------------------------
+// Span validation: every node of a parsed program must carry a span that
+// slices back to text representing exactly that node.
+// ---------------------------------------------------------------------
+
+fn check_expr_spans(expr: &Expr, src: &str) -> Result<(), String> {
+    let text = expr.span.slice(src);
+    match &expr.kind {
+        ExprKind::Var(name) => {
+            if text != name {
+                return Err(format!("Var `{name}` span sliced `{text}`"));
+            }
+        }
+        ExprKind::Num(n) => {
+            let parsed: f64 = text
+                .parse()
+                .map_err(|e| format!("Num span sliced non-number `{text}`: {e}"))?;
+            if parsed != *n {
+                return Err(format!("Num {n} span sliced `{text}`"));
+            }
+        }
+        ExprKind::Str(_) => {
+            if !(text.starts_with('"') && text.ends_with('"') && text.len() >= 2) {
+                return Err(format!("Str span sliced unquoted `{text}`"));
+            }
+        }
+        // `true` from a desugared `for` carries the `for` keyword's span.
+        ExprKind::Bool(b) => {
+            if text != b.to_string() && text != "for" {
+                return Err(format!("Bool {b} span sliced `{text}`"));
+            }
+        }
+        ExprKind::Array(items) => {
+            for item in items {
+                check_expr_spans(item, src)?;
+            }
+        }
+        ExprKind::Index(target, index) => {
+            check_expr_spans(target, src)?;
+            check_expr_spans(index, src)?;
+        }
+        ExprKind::Call { name, args } => {
+            if !text.starts_with(name.as_str()) {
+                return Err(format!("Call `{name}` span sliced `{text}`"));
+            }
+            for arg in args {
+                check_expr_spans(arg, src)?;
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            check_expr_spans(lhs, src)?;
+            check_expr_spans(rhs, src)?;
+        }
+        ExprKind::Unary { expr, .. } => check_expr_spans(expr, src)?,
+    }
+    Ok(())
+}
+
+fn check_stmt_spans(stmt: &Stmt, src: &str) -> Result<(), String> {
+    let text = stmt.span.slice(src);
+    let starts_ok = match &stmt.kind {
+        StmtKind::Let { .. } => text.starts_with("let"),
+        StmtKind::Return(_) => text.starts_with("return"),
+        StmtKind::Break => text.starts_with("break"),
+        StmtKind::Continue => text.starts_with("continue"),
+        StmtKind::While { .. } => text.starts_with("while") || text.starts_with("for"),
+        StmtKind::If { .. } => text.starts_with("if") || text.starts_with("for"),
+        // Assignments and expression statements start with their own text.
+        _ => !text.is_empty(),
+    };
+    if !starts_ok {
+        return Err(format!("{:?} span sliced `{text}`", stmt.span));
+    }
+    match &stmt.kind {
+        StmtKind::Let { init: e, .. }
+        | StmtKind::Assign { value: e, .. }
+        | StmtKind::Expr(e)
+        | StmtKind::Return(Some(e)) => check_expr_spans(e, src),
+        StmtKind::AssignIndex { index, value, .. } => {
+            check_expr_spans(index, src)?;
+            check_expr_spans(value, src)
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            check_expr_spans(cond, src)?;
+            then_body
+                .iter()
+                .chain(else_body)
+                .try_for_each(|s| check_stmt_spans(s, src))
+        }
+        StmtKind::While { cond, body } => {
+            check_expr_spans(cond, src)?;
+            body.iter().try_for_each(|s| check_stmt_spans(s, src))
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => Ok(()),
+    }
+}
+
+fn check_program_spans(program: &Program, src: &str) -> Result<(), String> {
+    for func in &program.functions {
+        let text = func.span.slice(src);
+        if !text.starts_with("fn") {
+            return Err(format!("function `{}` span sliced `{text}`", func.name));
+        }
+        for stmt in &func.body {
+            check_stmt_spans(stmt, src)?;
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -156,6 +293,19 @@ proptest! {
                     "printer emitted unparseable source: {msg}\n{printed}"
                 );
             }
+        }
+    }
+
+    /// Every span the parser attaches slices back to the text of its own
+    /// node: identifiers to their name, numbers to an equal literal,
+    /// strings to a quoted literal, statements to their leading keyword.
+    #[test]
+    fn parsed_spans_slice_to_their_nodes(program in program_strategy()) {
+        let printed = print_program(&program);
+        let reparsed = parse(&printed);
+        prop_assume!(reparsed.is_ok());
+        if let Err(msg) = check_program_spans(&reparsed.unwrap(), &printed) {
+            prop_assert!(false, "span mismatch: {msg}\nsource:\n{printed}");
         }
     }
 }

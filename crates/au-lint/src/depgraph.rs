@@ -1,0 +1,431 @@
+//! Dependence lints: AU007/AU008 on the static program-dependence graph.
+//!
+//! These lints reuse [`au_lang::static_analysis::analyze`] — the same
+//! over-approximated PDG that feeds the `static_vs_dynamic` ablation — and
+//! augment it with **π-list pseudo-variables**: each engine-store list `E`
+//! becomes a graph node `π:E`, with edges from the variables an
+//! `au_extract("E", …)` reads, between the feature and write-back lists of
+//! a prediction, and from a consumed list to the variable an
+//! `au_write_back`/`au_serialize` result is assigned to. The augmentation
+//! makes dataflow *through the engine* visible to the graph, so a feature
+//! that genuinely feeds a prediction whose result reaches a target is never
+//! flagged.
+//!
+//! Because the static graph over-approximates the dynamic one, "no static
+//! relation" implies "no dynamic relation": these warnings are conservative
+//! in the sound direction.
+
+use crate::{RawDiag, Severity};
+use au_lang::{static_analysis, Expr, ExprKind, Program, Span, Stmt, StmtKind};
+use au_trace::AnalysisDb;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Name of the pseudo-variable for engine-store list `list`.
+fn pi(list: &str) -> String {
+    format!("\u{3c0}:{list}")
+}
+
+/// Runs AU007/AU008 over `program`.
+pub(crate) fn dependence_lints(program: &Program) -> Vec<RawDiag> {
+    let mut db = static_analysis::analyze(program);
+    let mut facts = PiFacts::default();
+    for func in &program.functions {
+        collect_stmts(&func.body, &mut facts);
+    }
+    facts.add_pi_edges(&mut db);
+
+    let mut diags = Vec::new();
+
+    // Targets usable for relatedness checks: exclude any target fed by a
+    // write-back key no extraction or prediction produces — that program
+    // already gets AU003, and warning that features are "unrelated" to a
+    // broken target would be cascade noise.
+    let usable_targets: Vec<(&String, Span)> = facts
+        .targets
+        .iter()
+        .filter(|t| t.keys.iter().all(|k| facts.produced.contains(k)))
+        .filter_map(|t| db.id(&t.var).map(|_| (&t.var, t.span)))
+        .collect();
+
+    // AU007: an extracted feature variable with no static dependence
+    // relation to any target can never influence a prediction outcome.
+    if !usable_targets.is_empty() {
+        let target_deps: Vec<(&String, BTreeSet<au_trace::VarId>)> = usable_targets
+            .iter()
+            .map(|(name, _)| (*name, db.dependents(db.id(name).unwrap())))
+            .collect();
+        for (feat, span) in &facts.feature_vars {
+            let Some(w) = db.id(feat) else { continue };
+            if usable_targets.iter().any(|(t, _)| *t == feat) {
+                continue;
+            }
+            let dep_w = db.dependents(w);
+            let related = target_deps.iter().any(|(t_name, dep_v)| {
+                let v = db.id(t_name).unwrap();
+                dep_w.contains(&v) || dep_v.contains(&w) || !dep_w.is_disjoint(dep_v)
+            });
+            if !related {
+                diags.push(RawDiag {
+                    code: "AU007",
+                    severity: Severity::Warning,
+                    span: *span,
+                    message: format!(
+                        "extracted feature `{feat}` has no static dependence \
+                         relation to any write-back target — it cannot influence \
+                         a prediction outcome"
+                    ),
+                });
+            }
+        }
+    }
+
+    // AU008: a write-back target unrelated to every program input predicts
+    // from features that cannot vary with the program's inputs.
+    let inputs: Vec<au_trace::VarId> = db.inputs().iter().copied().collect();
+    if !inputs.is_empty() {
+        let input_deps: Vec<BTreeSet<au_trace::VarId>> =
+            inputs.iter().map(|&i| db.dependents(i)).collect();
+        for (t_name, span) in &usable_targets {
+            let v = db.id(t_name).unwrap();
+            let dep_v = db.dependents(v);
+            let related = inputs.iter().zip(&input_deps).any(|(&i, dep_i)| {
+                dep_i.contains(&v) || dep_v.contains(&i) || !dep_i.is_disjoint(&dep_v)
+            });
+            if !related {
+                diags.push(RawDiag {
+                    code: "AU008",
+                    severity: Severity::Warning,
+                    span: *span,
+                    message: format!(
+                        "write-back target `{t_name}` has no static dependence \
+                         relation to any program input — the prediction cannot \
+                         react to the program's inputs"
+                    ),
+                });
+            }
+        }
+    }
+
+    diags
+}
+
+/// One `x = …au_write_back/au_nn_rl/au_serialize(…)…` site.
+struct TargetSite {
+    var: String,
+    span: Span,
+    /// Engine-store keys the right-hand side consumes.
+    keys: Vec<String>,
+}
+
+#[derive(Default)]
+struct PiFacts {
+    /// List name → variables read by its extraction expression.
+    extract_srcs: BTreeMap<String, BTreeSet<String>>,
+    /// Feature variable → span of its first occurrence inside an
+    /// `au_extract` argument.
+    feature_vars: BTreeMap<String, Span>,
+    /// (feature list, write-back lists) per prediction: π:E → π:W edges.
+    pred_edges: Vec<(String, Vec<String>)>,
+    /// Lists produced somewhere (extractions + prediction write-backs).
+    produced: BTreeSet<String>,
+    /// Assignments whose value flows out of the engine store.
+    targets: Vec<TargetSite>,
+}
+
+impl PiFacts {
+    fn add_pi_edges(&self, db: &mut AnalysisDb) {
+        for (list, srcs) in &self.extract_srcs {
+            for src in srcs {
+                db.record_edge(src, &pi(list));
+            }
+        }
+        for (ext, wbs) in &self.pred_edges {
+            for wb in wbs {
+                db.record_edge(&pi(ext), &pi(wb));
+            }
+        }
+        for site in &self.targets {
+            for key in &site.keys {
+                db.record_edge(&pi(key), &site.var);
+            }
+        }
+    }
+}
+
+fn str_arg(args: &[Expr], i: usize) -> Option<&str> {
+    match args.get(i).map(|a| &a.kind) {
+        Some(ExprKind::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn collect_stmts(stmts: &[Stmt], facts: &mut PiFacts) {
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Let { name, init: e } | StmtKind::Assign { name, value: e } => {
+                let mut keys = Vec::new();
+                collect_store_reads(e, &mut keys);
+                if !keys.is_empty() {
+                    facts.targets.push(TargetSite {
+                        var: name.clone(),
+                        span: stmt.span,
+                        keys,
+                    });
+                }
+                collect_expr(e, facts);
+            }
+            StmtKind::AssignIndex { index, value, .. } => {
+                collect_expr(index, facts);
+                collect_expr(value, facts);
+            }
+            StmtKind::Expr(e) | StmtKind::Return(Some(e)) => collect_expr(e, facts),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_expr(cond, facts);
+                collect_stmts(then_body, facts);
+                collect_stmts(else_body, facts);
+            }
+            StmtKind::While { cond, body } => {
+                collect_expr(cond, facts);
+                collect_stmts(body, facts);
+            }
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+}
+
+/// Engine-store keys whose contents flow into this expression's value.
+fn collect_store_reads(expr: &Expr, keys: &mut Vec<String>) {
+    match &expr.kind {
+        ExprKind::Call { name, args } => {
+            match name.as_str() {
+                "au_write_back" | "au_write_back_n" => {
+                    if let Some(key) = str_arg(args, 0) {
+                        keys.push(key.to_owned());
+                    }
+                }
+                "au_nn_rl" => {
+                    if let Some(wb) = str_arg(args, 4) {
+                        keys.push(wb.to_owned());
+                    }
+                }
+                "au_serialize" => {
+                    for i in 0..args.len() {
+                        if let Some(list) = str_arg(args, i) {
+                            keys.push(list.to_owned());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for arg in args {
+                collect_store_reads(arg, keys);
+            }
+        }
+        ExprKind::Array(items) => items.iter().for_each(|e| collect_store_reads(e, keys)),
+        ExprKind::Index(a, b) => {
+            collect_store_reads(a, keys);
+            collect_store_reads(b, keys);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_store_reads(lhs, keys);
+            collect_store_reads(rhs, keys);
+        }
+        ExprKind::Unary { expr, .. } => collect_store_reads(expr, keys),
+        _ => {}
+    }
+}
+
+fn collect_expr(expr: &Expr, facts: &mut PiFacts) {
+    if let ExprKind::Call { name, args } = &expr.kind {
+        match name.as_str() {
+            "au_extract" => {
+                if let Some(list) = str_arg(args, 0) {
+                    facts.produced.insert(list.to_owned());
+                    let srcs = facts.extract_srcs.entry(list.to_owned()).or_default();
+                    for arg in args.iter().skip(1) {
+                        vars_with_spans(arg, srcs, &mut facts.feature_vars);
+                    }
+                }
+            }
+            "au_nn" => {
+                if let Some(ext) = str_arg(args, 1) {
+                    let wbs: Vec<String> = (2..args.len())
+                        .filter_map(|i| str_arg(args, i).map(str::to_owned))
+                        .collect();
+                    facts.produced.extend(wbs.iter().cloned());
+                    facts.pred_edges.push((ext.to_owned(), wbs));
+                }
+            }
+            "au_nn_rl" => {
+                if let Some(ext) = str_arg(args, 1) {
+                    let wbs: Vec<String> =
+                        str_arg(args, 4).map(str::to_owned).into_iter().collect();
+                    facts.produced.extend(wbs.iter().cloned());
+                    facts.pred_edges.push((ext.to_owned(), wbs));
+                }
+            }
+            _ => {}
+        }
+    }
+    match &expr.kind {
+        ExprKind::Array(items) => items.iter().for_each(|e| collect_expr(e, facts)),
+        ExprKind::Index(a, b) => {
+            collect_expr(a, facts);
+            collect_expr(b, facts);
+        }
+        ExprKind::Call { args, .. } => args.iter().for_each(|e| collect_expr(e, facts)),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, facts);
+            collect_expr(rhs, facts);
+        }
+        ExprKind::Unary { expr, .. } => collect_expr(expr, facts),
+        _ => {}
+    }
+}
+
+/// Collects variable names in `expr` into `srcs`, remembering each name's
+/// first span for AU007 report sites.
+fn vars_with_spans(expr: &Expr, srcs: &mut BTreeSet<String>, spans: &mut BTreeMap<String, Span>) {
+    match &expr.kind {
+        ExprKind::Var(name) => {
+            srcs.insert(name.clone());
+            spans.entry(name.clone()).or_insert(expr.span);
+        }
+        ExprKind::Array(items) => items.iter().for_each(|e| vars_with_spans(e, srcs, spans)),
+        ExprKind::Index(a, b) => {
+            vars_with_spans(a, srcs, spans);
+            vars_with_spans(b, srcs, spans);
+        }
+        ExprKind::Call { args, .. } => args.iter().for_each(|e| vars_with_spans(e, srcs, spans)),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            vars_with_spans(lhs, srcs, spans);
+            vars_with_spans(rhs, srcs, spans);
+        }
+        ExprKind::Unary { expr, .. } => vars_with_spans(expr, srcs, spans),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use au_lang::parse;
+
+    fn codes(src: &str) -> Vec<String> {
+        let program = parse(src).unwrap();
+        let mut diags = dependence_lints(&program);
+        diags.sort_by_key(|d| (d.span.start, d.code));
+        diags.into_iter().map(|d| d.code.to_owned()).collect()
+    }
+
+    #[test]
+    fn feature_feeding_a_prediction_is_related_via_pi() {
+        let src = r#"
+fn main() {
+    au_config("M", "DNN", "AdamOpt", 1, 8);
+    let x = input("x", 1);
+    au_extract("F", x);
+    au_extract("Y", x * 2);
+    au_nn("M", "F", "Y");
+    let t = 0;
+    t = au_write_back("Y");
+    return t;
+}
+"#;
+        assert_eq!(codes(src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unrelated_feature_fires_au007() {
+        let src = r#"
+fn main() {
+    au_config("M", "DNN", "AdamOpt", 1, 8);
+    au_config("M2", "DNN", "AdamOpt", 1, 8);
+    let x = input("x", 1);
+    let junk = 5;
+    au_extract("F", x);
+    au_extract("G", junk);
+    au_extract("Y", x * 2);
+    au_extract("Z", x * 3);
+    au_nn("M", "F", "Y");
+    au_nn("M2", "G", "Z");
+    let t = 0;
+    t = au_write_back("Y");
+    return t;
+}
+"#;
+        assert_eq!(codes(src), vec!["AU007"]);
+    }
+
+    #[test]
+    fn input_independent_target_fires_au008() {
+        let src = r#"
+fn main() {
+    au_config("M", "DNN", "AdamOpt", 1, 8);
+    let u = input("u", 1);
+    let w = 3;
+    au_extract("F", w);
+    au_extract("Y", w * 2);
+    au_nn("M", "F", "Y");
+    let t = 0;
+    t = au_write_back("Y");
+    return t + u;
+}
+"#;
+        assert_eq!(codes(src), vec!["AU008"]);
+    }
+
+    #[test]
+    fn unknown_write_back_key_suppresses_cascade() {
+        // `t` reads a key nothing produces: AU003 territory. Without
+        // suppression every feature would also trip AU007.
+        let src = r#"
+fn main() {
+    au_config("M", "DNN", "AdamOpt", 1, 8);
+    let x = input("x", 1);
+    au_extract("F", x);
+    au_extract("Y", x * 2);
+    au_nn("M", "F", "Y");
+    let t = 0;
+    t = au_write_back("Z");
+    return t;
+}
+"#;
+        assert_eq!(codes(src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn serialize_links_lists_to_their_blob() {
+        let src = r#"
+fn main() {
+    let x = input("x", 1);
+    au_extract("F", x);
+    let blob = au_serialize("F");
+    return blob;
+}
+"#;
+        // No targets at all: AU007/AU008 have nothing to check.
+        assert_eq!(codes(src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn no_inputs_means_no_au008() {
+        let src = r#"
+fn main() {
+    au_config("M", "DNN", "AdamOpt", 1, 8);
+    let w = 3;
+    au_extract("F", w);
+    au_extract("Y", w * 2);
+    au_nn("M", "F", "Y");
+    let t = 0;
+    t = au_write_back("Y");
+    return t;
+}
+"#;
+        assert_eq!(codes(src), Vec::<String>::new());
+    }
+}

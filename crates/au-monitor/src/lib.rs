@@ -28,6 +28,7 @@
 //! engine (`au-core` with the `monitor` feature) owns one per deployed
 //! model and feeds it from the `au_nn`/`au_nn_rl` hot paths.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod alert;

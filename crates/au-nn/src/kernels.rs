@@ -18,6 +18,12 @@
 //! exactly the shape LLVM's autovectorizer turns into full-width packed
 //! multiply/add code (no FMA contraction: Rust keeps IEEE semantics, which
 //! is what makes the bit-identity contract hold).
+//!
+//! **Unsafe audit (none needed).** The hot loops use fixed-size array tiles
+//! and slice iteration the bounds-check eliminator sees through; no
+//! `get_unchecked`, raw pointers, or intrinsics — the crate-level
+//! `forbid(unsafe_code)` makes that a compile-time guarantee rather than a
+//! review convention.
 
 /// Rows of A processed per micro-kernel invocation (register blocking).
 const MR: usize = 4;

@@ -37,6 +37,7 @@
 //! assert!((out.data()[0] - 2.0).abs() < 0.2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[macro_use]

@@ -23,7 +23,16 @@
 //! Thread count resolution: programmatic [`set_thread_override`] >
 //! `AU_PAR_THREADS` environment variable (read per call, so benchmark
 //! sweeps can vary it) > [`std::thread::available_parallelism`].
+//!
+//! **Unsafe audit (none needed).** Work distribution hands each scoped
+//! worker an owned `Vec` slot rather than a raw pointer into shared output
+//! (the rayon trick this crate replaces); recombination moves results back
+//! in range order after `std::thread::scope` joins. There is nothing to
+//! write a SAFETY comment about, and the crate pins that property with
+//! `forbid(unsafe_code)` so a future "optimization" cannot quietly
+//! reintroduce shared-mutation raciness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::Cell;

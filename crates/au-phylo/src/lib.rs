@@ -25,6 +25,7 @@
 //! assert!(score <= 2.0 * (8.0 - 3.0)); // RF is bounded by 2(n-3)
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

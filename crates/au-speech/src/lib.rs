@@ -17,6 +17,7 @@
 //! either admits noise frames or eats quiet speech — so the ideal values
 //! vary per utterance, the property the Autonomizer exploits.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

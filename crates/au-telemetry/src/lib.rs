@@ -21,6 +21,8 @@
 //! and never allocates. Instrumented callsites cache their counter/histogram
 //! handles in a `OnceLock`, so the on path is lock-free after first touch.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};

@@ -16,6 +16,11 @@
 //! - [`extract_rl`]: **Algorithm 2** — reinforcement-learning feature
 //!   extraction with ε₁ redundancy pruning (Euclidean distance between
 //!   min–max-scaled traces) and ε₂ variance pruning.
+//! - [`extract_sl_pruned`] / [`extract_rl_pruned`]: the same algorithms
+//!   behind a [`StaticFilter`] pre-pass that uses a *static* dependence
+//!   graph to discard candidates provably unrelated to a target before the
+//!   per-candidate dynamic BFS — same results, fewer graph walks
+//!   ([`PrepruneStats`] reports the savings).
 //!
 //! # Example
 //!
@@ -39,6 +44,7 @@
 //! assert_eq!(min.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[macro_use]
@@ -46,11 +52,13 @@ mod telem;
 
 mod db;
 pub mod persist;
+mod preprune;
 mod rl;
 mod sl;
 mod stats;
 
 pub use db::{AnalysisDb, VarId};
+pub use preprune::{extract_rl_pruned, extract_sl_pruned, PrepruneStats, StaticFilter};
 pub use rl::{extract_rl, extract_rl_detailed, RlExtraction, RlParams};
 pub use sl::{extract_sl, select_band, DistanceBand, RankedFeature};
 pub use stats::{euclidean_distance, min_max_scale, summarize, variance, TraceSummary};

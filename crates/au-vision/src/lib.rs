@@ -11,6 +11,7 @@
 //! against ground truth (SSIM), and ship an `ideal_params` oracle (direct
 //! search) standing in for the paper's expert labels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod canny;

@@ -1,12 +1,19 @@
 //! The AuLang command-line runner.
 //!
 //! ```text
-//! aulang run <file.au> [--input name=value]... [--seed N] [--no-trace]
+//! aulang run <file.au> [--preflight] [--input name=value]... [--seed N] [--no-trace]
+//! aulang check <file.au> [--deny warnings] [--format json]
 //! aulang dot <file.au>          # dynamic dependence graph (Graphviz)
 //! aulang static <file.au>       # static dependence graph (Graphviz)
 //! aulang fmt <file.au>          # canonical pretty-printed source
 //! aulang features <file.au>     # run + Algorithm 1/2 feature extraction
 //! ```
+//!
+//! `check` runs the `au-lint` static verifier and renders rustc-style
+//! diagnostics (or a JSON array with `--format json`); it exits non-zero on
+//! any error-severity finding, or on any finding at all under `--deny
+//! warnings`. `run --preflight` gates execution behind the same verifier:
+//! errors refuse to run, warnings are reported and execution proceeds.
 //!
 //! The runner executes the program with the full Autonomizer runtime: the
 //! `au_*` primitives train/serve models in-process, and (unless
@@ -87,7 +94,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: aulang <run|dot|static|fmt|features> <file.au> [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
+    "usage: aulang <run|check|dot|static|fmt|features> <file.au> [--preflight] [--deny warnings] [--format json] [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
         .to_owned()
 }
 
@@ -110,7 +117,46 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
             print!("{}", db.to_dot());
             Ok(())
         }
+        "check" => {
+            let deny_warnings = args
+                .windows(2)
+                .any(|w| w[0] == "--deny" && w[1] == "warnings");
+            let json = args
+                .windows(2)
+                .any(|w| w[0] == "--format" && w[1] == "json");
+            let diags = au_lint::lint_source(&source).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", au_lint::diagnostics_to_json(&diags));
+            } else if diags.is_empty() {
+                diag(INFO, verbosity, &format!("{file}: no diagnostics"));
+            } else {
+                print!("{}", au_lint::render_all(&diags, file));
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == au_lint::Severity::Error)
+                .count();
+            if errors > 0 {
+                Err(format!("{file}: {errors} protocol error(s)"))
+            } else if deny_warnings && !diags.is_empty() {
+                Err(format!(
+                    "{file}: {} warning(s) denied by --deny warnings",
+                    diags.len()
+                ))
+            } else {
+                Ok(())
+            }
+        }
         "run" | "dot" | "features" => {
+            if args.iter().any(|a| a == "--preflight") {
+                let diags = au_lint::lint_source(&source).map_err(|e| e.to_string())?;
+                if !diags.is_empty() {
+                    eprint!("{}", au_lint::render_all(&diags, file));
+                }
+                if diags.iter().any(|d| d.severity == au_lint::Severity::Error) {
+                    return Err(format!("{file}: refusing to run (preflight errors)"));
+                }
+            }
             let mut interp = Interpreter::compile(&source).map_err(|e| e.to_string())?;
             for window in args[2..].windows(2) {
                 match (window[0].as_str(), window[1].as_str()) {

@@ -17,6 +17,7 @@
 //! | [`nn`] | `au-nn` | the from-scratch neural-network backend |
 //! | [`trace`] | `au-trace` | dynamic dependence graphs + Algorithms 1–2 |
 //! | [`lang`] | `au-lang` | AuLang: an instrumented language with the primitives |
+//! | [`lint`] | `au-lint` | span-aware static verifier for the `au_*` protocol |
 //! | [`image`] | `au-image` | image substrate (scenes, SSIM) |
 //! | [`vision`] | `au-vision` | Canny & Rothwell SL benchmarks |
 //! | [`phylo`] | `au-phylo` | Phylip-style SL benchmark |
@@ -48,12 +49,14 @@
 //! # Ok::<(), autonomizer::core::AuError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use au_core as core;
 pub use au_games as games;
 pub use au_image as image;
 pub use au_lang as lang;
+pub use au_lint as lint;
 pub use au_nn as nn;
 pub use au_phylo as phylo;
 pub use au_speech as speech;

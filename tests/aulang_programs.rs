@@ -2,7 +2,15 @@
 //! programs shaped like the paper's Fig. 2 and Fig. 11 listings.
 
 use autonomizer::lang::{Interpreter, LangError, Value};
+use autonomizer::lint::{lint_source, Severity};
 use autonomizer::trace::{extract_sl, DistanceBand};
+
+/// Every well-formed fixture must pass the static verifier with zero
+/// findings — the same bar CI holds `examples/aulang/*.au` to.
+fn assert_lints_clean(src: &str) {
+    let diags = lint_source(src).expect("fixture parses");
+    assert!(diags.is_empty(), "fixture has lint findings: {diags:#?}");
+}
 
 #[test]
 fn fig11_shaped_canny_program_traces_and_ranks() {
@@ -31,6 +39,7 @@ fn fig11_shaped_canny_program_traces_and_ranks() {
             return result;
         }
     "#;
+    assert_lints_clean(src);
     let mut interp = Interpreter::compile(src).unwrap();
     interp.run().unwrap();
     let db = interp.analysis();
@@ -81,6 +90,7 @@ fn fig2_shaped_game_loop_runs_with_checkpoint_restore() {
             return t;
         }
     "#;
+    assert_lints_clean(src);
     let mut interp = Interpreter::compile(src).unwrap();
     interp.set_tracing(false);
     interp.set_step_limit(30_000);
@@ -121,6 +131,7 @@ fn aulang_sl_pipeline_learns_scaling_factor() {
             return y;
         }
     "#;
+    assert_lints_clean(src);
     let mut interp = Interpreter::compile(src).unwrap();
     interp.set_tracing(false);
     let y = interp.run().unwrap().as_num().unwrap();
@@ -140,6 +151,7 @@ fn aulang_inputs_flow_into_analysis() {
             return out;
         }
     "#;
+    assert_lints_clean(src);
     let mut interp = Interpreter::compile(src).unwrap();
     interp.set_input("raw", Value::Num(5.0));
     let out = interp.run().unwrap().as_num().unwrap();
@@ -178,6 +190,15 @@ fn engine_errors_propagate_through_the_interpreter() {
     "#;
     let err = Interpreter::compile(src).unwrap().run().unwrap_err();
     assert!(matches!(err, LangError::Engine(_)), "got {err:?}");
+    // The static verifier catches the same mistake before any run: the
+    // never-configured model is AU001, an error-severity finding.
+    let diags = lint_source(src).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "AU001" && d.severity == Severity::Error),
+        "verifier should flag the unconfigured model: {diags:?}"
+    );
 }
 
 #[test]
@@ -282,6 +303,7 @@ fn aulang_mini_canny_pipeline() {
             return th;
         }
     "#;
+    assert_lints_clean(src);
     let mut interp = Interpreter::compile(src).unwrap();
     interp.set_tracing(false);
     interp.set_step_limit(50_000_000);

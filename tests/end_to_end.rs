@@ -279,3 +279,77 @@ fn feature_extraction_agrees_across_all_nine_benchmarks() {
     rl_check(&mut autonomizer::games::Torcs::new(1), "Torcs");
     rl_check(&mut autonomizer::games::Breakout::new(1), "Breakout");
 }
+
+#[test]
+fn static_preprune_never_changes_extraction_results() {
+    // Soundness of the static pre-pass on every benchmark: running
+    // Algorithm 1/2 behind a StaticFilter must select exactly the same
+    // features as the plain dynamic extraction. For the games the filter is
+    // built from the *skeleton* graph (record_dependences only — the static
+    // view of the program), while the dynamic db additionally holds 200
+    // frames of recorded values.
+    use autonomizer::games::Game;
+    use autonomizer::trace::{extract_sl, extract_sl_pruned, AnalysisDb, StaticFilter};
+
+    // SL benchmarks (Algorithm 1).
+    let mut sl_dbs: Vec<(&str, AnalysisDb)> = Vec::new();
+    let mut db = AnalysisDb::new();
+    autonomizer::vision::canny::record_dependences(&mut db);
+    sl_dbs.push(("Canny", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::vision::rothwell::record_dependences(&mut db);
+    sl_dbs.push(("Rothwell", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::phylo::record_dependences(&mut db);
+    sl_dbs.push(("Phylip", db));
+    let mut db = AnalysisDb::new();
+    autonomizer::speech::record_dependences(&mut db);
+    sl_dbs.push(("Sphinx", db));
+    for (name, db) in &sl_dbs {
+        let filter = StaticFilter::new(db);
+        let (pruned, stats) = extract_sl_pruned(db, &filter);
+        assert_eq!(
+            pruned,
+            extract_sl(db),
+            "{name}: pre-pruning changed Algorithm 1"
+        );
+        assert!(stats.pruned <= stats.considered, "{name}: {stats:?}");
+    }
+
+    // RL benchmarks (Algorithm 2): static skeleton vs dynamic trace.
+    fn rl_check(game: &mut (impl Game + ?Sized), name: &str) {
+        use autonomizer::trace::{
+            extract_rl_detailed, extract_rl_pruned, AnalysisDb, RlParams, StaticFilter,
+        };
+        let mut skeleton = AnalysisDb::new();
+        game.record_dependences(&mut skeleton);
+        let filter = StaticFilter::new(&skeleton);
+
+        let mut db = AnalysisDb::new();
+        game.record_dependences(&mut db);
+        for _ in 0..200 {
+            game.record_frame(&mut db);
+            let a = game.oracle_action();
+            if game.step(a).terminal {
+                game.reset();
+            }
+        }
+        let params = RlParams::default();
+        let (pruned, stats) = extract_rl_pruned(&db, &filter, params);
+        let unpruned = extract_rl_detailed(&db, params);
+        assert_eq!(pruned, unpruned, "{name}: pre-pruning changed Algorithm 2");
+        assert!(stats.pruned <= stats.considered, "{name}: {stats:?}");
+        for (&target, e) in &unpruned {
+            assert!(
+                !e.selected.is_empty(),
+                "{name}: target {} lost all features",
+                db.name(target)
+            );
+        }
+    }
+    rl_check(&mut autonomizer::games::Flappybird::new(7), "Flappybird");
+    rl_check(&mut autonomizer::games::Mario::new(7), "Mario");
+    rl_check(&mut autonomizer::games::Arkanoid::new(7), "Arkanoid");
+    rl_check(&mut autonomizer::games::Torcs::new(7), "Torcs");
+    rl_check(&mut autonomizer::games::Breakout::new(7), "Breakout");
+}

@@ -1,0 +1,92 @@
+//! The lint corpus: one deliberately-broken AuLang program per lint code
+//! under `tests/lint_corpus/`, each asserting that exactly the seeded
+//! diagnostic fires — right code, right line, and nothing else.
+
+use autonomizer::lint::{lint_source, Severity, LINTS};
+use std::path::Path;
+
+/// (corpus file, expected code, expected 1-based line of the diagnostic).
+const CORPUS: &[(&str, &str, usize)] = &[
+    ("au001_unconfigured_model.au", "AU001", 5),
+    ("au002_predict_before_extract.au", "AU002", 5),
+    ("au003_unknown_write_back_key.au", "AU003", 8),
+    ("au004_restore_without_checkpoint.au", "AU004", 8),
+    ("au005_unreachable_serialize.au", "AU005", 6),
+    ("au006_dead_extract.au", "AU006", 4),
+    ("au007_unrelated_feature.au", "AU007", 10),
+    ("au008_input_independent_target.au", "AU008", 11),
+    ("au009_unused_model.au", "AU009", 4),
+    ("au010_reconfigured_model.au", "AU010", 4),
+];
+
+fn read_corpus(file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+#[test]
+fn every_corpus_program_fires_exactly_its_seeded_diagnostic() {
+    for &(file, code, line) in CORPUS {
+        let src = read_corpus(file);
+        let diags = lint_source(&src).unwrap_or_else(|e| panic!("{file} does not parse: {e}"));
+        assert_eq!(
+            diags.len(),
+            1,
+            "{file}: expected exactly one diagnostic, got {diags:?}"
+        );
+        assert_eq!(diags[0].code, code, "{file}: wrong code: {diags:?}");
+        assert_eq!(diags[0].line, line, "{file}: wrong line: {diags:?}");
+        // The span must point inside the source and slice non-empty text.
+        assert!(diags[0].start < diags[0].end && diags[0].end <= src.len());
+        // Severity must agree with the registry.
+        let registered = LINTS
+            .iter()
+            .find(|(c, _, _)| *c == code)
+            .unwrap_or_else(|| panic!("{code} missing from LINTS"));
+        assert_eq!(diags[0].severity, registered.1, "{file}");
+    }
+}
+
+#[test]
+fn corpus_covers_every_registered_lint_exactly_once() {
+    assert_eq!(CORPUS.len(), LINTS.len());
+    for (code, _, _) in LINTS {
+        assert_eq!(
+            CORPUS.iter().filter(|(_, c, _)| c == code).count(),
+            1,
+            "{code} must appear exactly once in the corpus"
+        );
+    }
+}
+
+#[test]
+fn bundled_examples_lint_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/aulang");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/aulang exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "au") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            let diags = lint_source(&src).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(diags.is_empty(), "{path:?} has lint findings: {diags:#?}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 1, "no .au examples found in {dir:?}");
+}
+
+#[test]
+fn corpus_errors_are_errors_and_warnings_are_warnings() {
+    for &(file, code, _) in CORPUS {
+        let src = read_corpus(file);
+        let diags = lint_source(&src).unwrap();
+        let expect_error = matches!(code, "AU001" | "AU002" | "AU003" | "AU004");
+        assert_eq!(
+            diags[0].severity == Severity::Error,
+            expect_error,
+            "{file}: severity mismatch"
+        );
+    }
+}
