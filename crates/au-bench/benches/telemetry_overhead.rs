@@ -10,10 +10,12 @@
 //!    `au_extract`, the hottest primitive;
 //! 3. feature on, recorder enabled — full span/counter/histogram capture.
 //!
-//! This bench reports (2) vs (3) for `au_extract` and `au_nn`. The
-//! disabled-path numbers here stand in for (1) within measurement noise —
-//! see docs/telemetry.md for the comparison method against a
-//! `--no-default-features` build.
+//! This bench reports (2) vs (3) for `au_extract` and `au_nn`, plus a
+//! fourth leg: (3) with the au-scope observability server running but
+//! *unscraped* — the plane's accept loop parks in the kernel, so its
+//! off-path cost over (3) must stay < 2%. The disabled-path numbers here
+//! stand in for (1) within measurement noise — see docs/telemetry.md for
+//! the comparison method against a `--no-default-features` build.
 
 use au_core::{Engine, Mode, ModelConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -50,6 +52,16 @@ fn bench_extract(c: &mut Criterion) {
     group.bench_function("recorder_on", |b| {
         b.iter(|| engine.au_extract("X", black_box(&row)))
     });
+
+    let scope = au_scope::ScopeServer::builder()
+        .bind("127.0.0.1:0")
+        .start()
+        .expect("scope server");
+    let mut engine = Engine::new(Mode::Train);
+    group.bench_function("scope_unscraped", |b| {
+        b.iter(|| engine.au_extract("X", black_box(&row)))
+    });
+    scope.shutdown();
     au_telemetry::disable();
     group.finish();
 }
@@ -75,6 +87,19 @@ fn bench_au_nn(c: &mut Criterion) {
             engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")
         })
     });
+
+    let scope = au_scope::ScopeServer::builder()
+        .bind("127.0.0.1:0")
+        .start()
+        .expect("scope server");
+    let mut engine = trained_engine();
+    group.bench_function("scope_unscraped", |b| {
+        b.iter(|| {
+            engine.au_extract("SUMMARY", black_box(&row));
+            engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")
+        })
+    });
+    scope.shutdown();
     au_telemetry::disable();
     group.finish();
 }

@@ -34,7 +34,7 @@ fn main() {
     println!();
     static_vs_dynamic();
     if let Some(sink) = telemetry {
-        sink.finish();
+        au_bench::telemetry::finish_or_exit(sink);
     }
 }
 

@@ -102,7 +102,7 @@ fn main() {
     println!("Expected shape (paper): Manual learns fastest, All reaches players-level");
     println!("slightly later, Raw stays far below both within the budget.");
     if let Some(sink) = telemetry {
-        sink.finish();
+        au_bench::telemetry::finish_or_exit(sink);
     }
 }
 

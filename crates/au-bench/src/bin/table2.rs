@@ -107,6 +107,6 @@ fn main() {
     );
 
     if let Some(sink) = telemetry {
-        sink.finish();
+        au_bench::telemetry::finish_or_exit(sink);
     }
 }

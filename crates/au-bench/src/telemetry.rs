@@ -5,6 +5,10 @@
 //! [`TelemetrySink::finish`] writes a Chrome `trace_event` JSON file (open
 //! it in Perfetto or `chrome://tracing`) plus a sibling `.jsonl` event log,
 //! and prints the human-readable summary to stderr.
+//!
+//! `finish` returns the first I/O error it hit; binaries surface it and
+//! exit non-zero so a CI run asking for a trace cannot silently produce
+//! nothing (see [`finish_or_exit`]).
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -23,43 +27,70 @@ pub fn init_from_args(args: &[String]) -> Option<TelemetrySink> {
         PathBuf::from("out/trace.json")
     });
     au_telemetry::enable();
-    Some(TelemetrySink { out })
+    Some(TelemetrySink::to_path(out))
+}
+
+/// Calls [`TelemetrySink::finish`] and exits with status 1 on failure —
+/// the shared tail of every bench binary's `--telemetry` handling.
+pub fn finish_or_exit(sink: TelemetrySink) {
+    if let Err(e) = sink.finish() {
+        eprintln!("telemetry: export failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 impl TelemetrySink {
+    /// Builds a sink writing to `out` without touching the global
+    /// recorder's enablement — [`init_from_args`] is the CLI front door;
+    /// this one exists for tests that point exports at controlled paths.
+    pub fn to_path(out: PathBuf) -> Self {
+        TelemetrySink { out }
+    }
+
     /// Writes the Chrome trace (and `.jsonl` sibling) and prints the
     /// summary. Call once, after the workload.
-    pub fn finish(self) {
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error from creating or writing either output file;
+    /// both files are still attempted, and the summary still prints.
+    pub fn finish(self) -> std::io::Result<()> {
         let rec = au_telemetry::global();
+        let mut first_err: Option<std::io::Error> = None;
+        let mut note_err = |e: std::io::Error, what: &str| {
+            eprintln!("telemetry: {what} failed: {e}");
+            if first_err.is_none() {
+                first_err = Some(e);
+            }
+        };
         if let Some(parent) = self.out.parent() {
             if !parent.as_os_str().is_empty() {
                 if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("telemetry: cannot create {}: {e}", parent.display());
-                    return;
+                    note_err(e, &format!("creating {}", parent.display()));
                 }
             }
         }
         match std::fs::File::create(&self.out) {
-            Ok(mut f) => {
-                if let Err(e) = rec.write_chrome_trace(&mut f).and_then(|()| f.flush()) {
-                    eprintln!("telemetry: write {} failed: {e}", self.out.display());
-                } else {
+            Ok(mut f) => match rec.write_chrome_trace(&mut f).and_then(|()| f.flush()) {
+                Ok(()) => {
                     eprintln!("telemetry: chrome trace written to {}", self.out.display());
                 }
-            }
-            Err(e) => eprintln!("telemetry: cannot create {}: {e}", self.out.display()),
+                Err(e) => note_err(e, &format!("writing {}", self.out.display())),
+            },
+            Err(e) => note_err(e, &format!("creating {}", self.out.display())),
         }
         let jsonl = self.out.with_extension("jsonl");
         match std::fs::File::create(&jsonl) {
-            Ok(mut f) => {
-                if let Err(e) = rec.write_jsonl(&mut f).and_then(|()| f.flush()) {
-                    eprintln!("telemetry: write {} failed: {e}", jsonl.display());
-                } else {
-                    eprintln!("telemetry: event log written to {}", jsonl.display());
-                }
-            }
-            Err(e) => eprintln!("telemetry: cannot create {}: {e}", jsonl.display()),
+            Ok(mut f) => match rec.write_jsonl(&mut f).and_then(|()| f.flush()) {
+                Ok(()) => eprintln!("telemetry: event log written to {}", jsonl.display()),
+                Err(e) => note_err(e, &format!("writing {}", jsonl.display())),
+            },
+            Err(e) => note_err(e, &format!("creating {}", jsonl.display())),
         }
         eprint!("{}", rec.summary());
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }

@@ -994,6 +994,7 @@ impl EngineHandle {
     ///
     /// [`AuError::UnknownModel`] or [`AuError::ModelNotTrained`].
     pub fn predict(&self, model: &str, x: &[f64]) -> Result<Vec<f64>, AuError> {
+        let _s = t_span!("predict", model = model);
         let _t = t_time!("au_core.predict");
         t_count!("au_core.predictions_served");
         let entry = self
@@ -1023,6 +1024,7 @@ impl EngineHandle {
     /// [`AuError::InputSizeChanged`] if any row's width differs from the
     /// built network's input width.
     pub fn predict_batch(&self, model: &str, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AuError> {
+        let _s = t_span!("predict_batch", model = model, rows = xs.len());
         let _t = t_time!("au_core.predict_batch");
         if xs.is_empty() {
             return Ok(Vec::new());
@@ -1084,6 +1086,12 @@ impl EngineHandle {
         self.shared.registry.names()
     }
 
+    /// Registered-model count per registry shard, in shard order — the θ
+    /// occupancy stats the observability plane reports on `/health`.
+    pub fn registry_shard_sizes(&self) -> Vec<usize> {
+        self.shared.registry.shard_sizes()
+    }
+
     /// Human-readable report of the global telemetry recorder: every
     /// counter, gauge, and latency histogram the runtime has touched.
     /// Returns an empty-ish header until `au_telemetry::enable()` has been
@@ -1138,6 +1146,12 @@ impl EngineHandle {
     pub fn clear_degraded(&self, model: &str) {
         if let Some(m) = lock(&self.shared.monitor).monitors.get_mut(model) {
             m.clear_degraded();
+            #[cfg(feature = "telemetry")]
+            if au_telemetry::enabled() {
+                au_telemetry::global()
+                    .gauge(&format!("au_monitor.{model}.degraded"))
+                    .set(0.0);
+            }
         }
     }
 
@@ -1159,6 +1173,30 @@ impl EngineHandle {
             out.push_str(&format!("  {name}: {}\n", m.report()));
         }
         out
+    }
+
+    /// Structured monitoring reports for every observed model, in name
+    /// order — the machine-readable sibling of
+    /// [`EngineHandle::monitor_report`], consumed by the observability
+    /// plane's `/health` and `/snapshot.json` endpoints.
+    #[cfg(feature = "monitor")]
+    pub fn monitor_reports(&self) -> Vec<(String, au_monitor::MonitorReport)> {
+        let st = lock(&self.shared.monitor);
+        st.monitors
+            .iter()
+            .map(|(name, m)| (name.clone(), m.report()))
+            .collect()
+    }
+
+    /// Names of models the fallback policy has currently degraded.
+    #[cfg(feature = "monitor")]
+    pub fn degraded_models(&self) -> Vec<String> {
+        let st = lock(&self.shared.monitor);
+        st.monitors
+            .iter()
+            .filter(|(_, m)| m.is_degraded())
+            .map(|(name, _)| name.clone())
+            .collect()
     }
 
     /// Dumps a model's flight recorder to `<model>.flight.jsonl` in the
@@ -1247,6 +1285,8 @@ impl EngineHandle {
                     } else {
                         None
                     };
+                    #[cfg(feature = "telemetry")]
+                    publish_monitor_gauges(model, mon);
                     (flight, mon.is_degraded())
                 }
                 None => (None, false),
@@ -1259,6 +1299,32 @@ impl EngineHandle {
         }
         degraded
     }
+}
+
+/// Mirrors one model's monitor state into live gauges
+/// (`au_monitor.<model>.rolling_mae` / `.drift_score` / `.flight_depth` /
+/// `.degraded`) so the observability plane's `/metrics` scrape sees the
+/// current values without locking the monitor map. Gauge names are built
+/// per model, so this goes through `au_telemetry::global()` directly
+/// rather than the per-callsite-cached `t_gauge!` shim.
+#[cfg(all(feature = "monitor", feature = "telemetry"))]
+fn publish_monitor_gauges(model: &str, mon: &au_monitor::ModelMonitor) {
+    if !au_telemetry::enabled() {
+        return;
+    }
+    let rec = au_telemetry::global();
+    if let Some(mae) = mon.quality().rolling_mae() {
+        rec.gauge(&format!("au_monitor.{model}.rolling_mae"))
+            .set(mae);
+    }
+    if let Some(drift) = mon.last_drift() {
+        rec.gauge(&format!("au_monitor.{model}.drift_score"))
+            .set(drift.score);
+    }
+    rec.gauge(&format!("au_monitor.{model}.flight_depth"))
+        .set(mon.flight().len() as f64);
+    rec.gauge(&format!("au_monitor.{model}.degraded"))
+        .set(if mon.is_degraded() { 1.0 } else { 0.0 });
 }
 
 /// Mean absolute element-wise error over the overlapping prefix; `None`

@@ -133,6 +133,12 @@ impl ModelRegistry {
             .collect()
     }
 
+    /// Registered-model count per shard, in shard order — the occupancy
+    /// stats surfaced by the observability plane's `/health` endpoint.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| read(s).len()).collect()
+    }
+
     /// Whether a model is registered.
     pub fn contains(&self, name: &str) -> bool {
         read(&self.shards[Self::shard_of(name)]).contains_key(name)

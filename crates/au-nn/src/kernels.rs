@@ -132,6 +132,7 @@ pub(crate) fn gemm_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize
 /// Row partitioning never touches per-element accumulation order, so the
 /// result is bit-identical for every thread count (including 1).
 pub(crate) fn gemm_acc_par(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    let _t = t_time!("au_nn.gemm");
     if m >= 2 && m * k * n >= PAR_MIN_WORK && !au_par::in_worker() && au_par::max_threads() > 1 {
         t_count!("au_nn.gemm_parallel");
         let min_rows = (PAR_MIN_WORK / (k * n).max(1)).max(1);

@@ -24,6 +24,13 @@
 //! `AU_PAR_THREADS` environment variable (read per call, so benchmark
 //! sweeps can vary it) > [`std::thread::available_parallelism`].
 //!
+//! With the `telemetry` feature on, every parallel region captures the
+//! caller's `au_telemetry` trace context before spawning and installs it in
+//! each worker, so spans opened inside a fork/join region parent under the
+//! span that forked them — a fanned-out request exports as one causal tree
+//! instead of per-thread orphans. The feature is off by default, keeping
+//! the crate zero-dependency for standalone use.
+//!
 //! **Unsafe audit (none needed).** Work distribution hands each scoped
 //! worker an owned `Vec` slot rather than a raw pointer into shared output
 //! (the rayon trick this crate replaces); recombination moves results back
@@ -51,6 +58,41 @@ thread_local! {
     /// True while executing inside an au-par worker; used to run nested
     /// parallel regions inline instead of spawning threads under threads.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The caller's telemetry trace context, captured before fanning work out
+/// so spans opened inside workers parent under the span that forked them.
+/// With the `telemetry` feature off this is a zero-sized no-op.
+#[cfg(feature = "telemetry")]
+type ForkContext = au_telemetry::TraceContext;
+#[cfg(not(feature = "telemetry"))]
+#[derive(Clone, Copy)]
+struct NoContext;
+#[cfg(not(feature = "telemetry"))]
+type ForkContext = NoContext;
+
+#[cfg(feature = "telemetry")]
+fn capture_context() -> ForkContext {
+    au_telemetry::current_context()
+}
+#[cfg(not(feature = "telemetry"))]
+fn capture_context() -> ForkContext {
+    NoContext
+}
+
+/// Runs `f` on a worker thread with the forked context installed (and the
+/// in-worker marker set), restoring both on the way out.
+fn in_worker_with<R>(ctx: ForkContext, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "telemetry")]
+    let _ctx = au_telemetry::set_context(ctx);
+    #[cfg(not(feature = "telemetry"))]
+    let NoContext = ctx;
+    IN_WORKER.with(|w| {
+        w.set(true);
+        let out = f();
+        w.set(false);
+        out
+    })
 }
 
 /// Sets (or with `None` clears) a process-wide thread-count override that
@@ -131,25 +173,16 @@ where
         }
         return;
     }
+    let ctx = capture_context();
     thread::scope(|scope| {
         let mut iter = ranges.into_iter();
         let first = iter.next().expect("at least two ranges");
         for r in iter {
             let f = &f;
-            scope.spawn(move || {
-                IN_WORKER.with(|w| {
-                    w.set(true);
-                    f(r);
-                    w.set(false);
-                })
-            });
+            scope.spawn(move || in_worker_with(ctx, || f(r)));
         }
         // The calling thread takes the first range instead of idling.
-        IN_WORKER.with(|w| {
-            w.set(true);
-            f(first);
-            w.set(false);
-        });
+        in_worker_with(ctx, || f(first));
     });
 }
 
@@ -183,28 +216,17 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
     }
+    let ctx = capture_context();
     thread::scope(|scope| {
         let mut iter = ranges.into_iter();
         let first = iter.next().expect("at least two ranges");
         let handles: Vec<_> = iter
             .map(|r| {
                 let f = &f;
-                scope.spawn(move || {
-                    IN_WORKER.with(|w| {
-                        w.set(true);
-                        let out = f(r);
-                        w.set(false);
-                        out
-                    })
-                })
+                scope.spawn(move || in_worker_with(ctx, || f(r)))
             })
             .collect();
-        let head = IN_WORKER.with(|w| {
-            w.set(true);
-            let out = f(first);
-            w.set(false);
-            out
-        });
+        let head = in_worker_with(ctx, || f(first));
         let mut results = Vec::with_capacity(handles.len() + 1);
         results.push(head);
         for h in handles {
@@ -256,6 +278,7 @@ where
         }
         return;
     }
+    let ctx = capture_context();
     thread::scope(|scope| {
         let mut rest = data;
         let mut consumed = 0usize;
@@ -266,13 +289,7 @@ where
             consumed += chunk.len();
             let f = &f;
             let first_row = r.start;
-            scope.spawn(move || {
-                IN_WORKER.with(|w| {
-                    w.set(true);
-                    f(first_row, chunk);
-                    w.set(false);
-                })
-            });
+            scope.spawn(move || in_worker_with(ctx, || f(first_row, chunk)));
         }
     });
 }
@@ -373,6 +390,38 @@ mod tests {
         let flat: Vec<usize> = outer.into_iter().flatten().collect();
         let want: Vec<usize> = (0..40).collect();
         assert_eq!(flat, want);
+        set_thread_override(None);
+    }
+
+    /// Spans opened inside workers must parent under the caller's span —
+    /// the propagation contract au-core's batch/extraction fan-outs rely on.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn worker_spans_parent_under_the_forking_span() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let rec = au_telemetry::global();
+        au_telemetry::enable();
+        let (root_trace, root_span) = {
+            let root = rec.span("fork_root").expect("enabled");
+            let ids = (root.trace_id().0, root.span_id().0);
+            let _results = par_map(8, 1, |i| {
+                let _s = rec.span("fork_worker");
+                i
+            });
+            ids
+        };
+        au_telemetry::disable();
+        let workers: Vec<_> = rec
+            .spans()
+            .into_iter()
+            .filter(|s| s.name == "fork_worker")
+            .collect();
+        assert_eq!(workers.len(), 8);
+        for w in &workers {
+            assert_eq!(w.trace_id, root_trace, "worker joined the trace");
+            assert_eq!(w.parent_id, root_span, "worker parents under root");
+        }
         set_thread_override(None);
     }
 

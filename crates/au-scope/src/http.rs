@@ -1,0 +1,96 @@
+//! Minimal HTTP/1.1 plumbing: parse a GET request line, write a response.
+//!
+//! This is intentionally not a general HTTP implementation. The plane
+//! serves bodiless GETs to trusted operators; anything else gets a
+//! best-effort error response and the connection closes.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on request head (request line + headers). Real scrapes are
+/// a few hundred bytes; anything bigger is malformed or hostile.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// The parts of a request the router cares about.
+pub(crate) struct Request {
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+}
+
+/// Reads from the stream until the blank line ending the request head and
+/// parses the request line.
+///
+/// # Errors
+///
+/// `InvalidData` on malformed requests, `UnexpectedEof` if the client
+/// hangs up early, or any underlying socket error/timeout.
+pub(crate) fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head_complete(&head) {
+        if head.len() >= MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let text = String::from_utf8_lossy(&head);
+    let line = text.lines().next().unwrap_or_default();
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+    })
+}
+
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Writes a complete `Connection: close` response.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Cache-Control: no-store\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes just the head of a streaming (SSE) response; the body follows as
+/// the caller produces it.
+pub(crate) fn respond_stream_head(stream: &mut TcpStream, content_type: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: {content_type}\r\n\
+         Cache-Control: no-store\r\n\
+         Connection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}

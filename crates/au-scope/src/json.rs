@@ -1,0 +1,65 @@
+//! A tiny push-style JSON writer.
+//!
+//! The plane renders JSON by hand rather than pulling a serialization
+//! framework into the telemetry dependency tree: every payload here is a
+//! flat composition of objects, arrays, strings, and numbers, and the
+//! writer keeps the escaping rules in exactly one place.
+
+/// Appends `s` as a JSON string literal (with quotes) onto `out`.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `"key":` (for building objects field by field).
+pub(crate) fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+    }
+}

@@ -1,0 +1,139 @@
+//! `/events`: a Server-Sent Events stream over the recorder.
+//!
+//! The stream is poll-based: the handler thread samples the recorder every
+//! [`POLL`] and pushes whatever arrived since its saved offsets, so the hot
+//! path never knows a listener exists. Event types:
+//!
+//! * `span`    — one completed span (name, trace/span/parent ids, timing)
+//! * `alert`   — a monitoring alert ([`au_telemetry::Recorder::alert`])
+//! * `log`     — any other recorded event
+//! * `metrics` — a periodic full snapshot (same JSON as `/snapshot.json`)
+//! * `reset`   — the recorder was reset; the client should clear its state
+//!
+//! A [`au_telemetry::Recorder::reset_epoch`] bump invalidates saved
+//! offsets; the stream emits `reset` and restarts from zero.
+
+use crate::json::{push_key, push_str};
+use crate::{http, status, Plane};
+use au_telemetry::{EventRecord, SpanRecord};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Recorder sampling period.
+const POLL: Duration = Duration::from_millis(100);
+/// Polls between `metrics` snapshots (≈ once a second).
+const METRICS_EVERY: u32 = 10;
+/// Per-poll span/event burst cap; the rest follow on the next poll.
+const BURST: usize = 512;
+
+fn span_json(s: &SpanRecord) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    push_key(&mut out, "name");
+    push_str(&mut out, &s.name);
+    let _ = write!(
+        out,
+        ",\"trace\":{},\"span\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"depth\":{}",
+        s.trace_id, s.span_id, s.parent_id, s.tid, s.start_ns, s.dur_ns, s.depth
+    );
+    if !s.args.is_empty() {
+        out.push(',');
+        push_key(&mut out, "args");
+        out.push('{');
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            push_str(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+fn event_json(e: &EventRecord) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_key(&mut out, "level");
+    push_str(&mut out, e.level.as_str());
+    out.push(',');
+    push_key(&mut out, "target");
+    push_str(&mut out, &e.target);
+    out.push(',');
+    push_key(&mut out, "message");
+    push_str(&mut out, &e.message);
+    let _ = write!(out, ",\"ts_ns\":{}", e.ts_ns);
+    out.push('}');
+    out
+}
+
+fn send(stream: &mut TcpStream, event: &str, data: &str) -> io::Result<()> {
+    // SSE data lines must not embed raw newlines; the JSON writer already
+    // escapes them, so one data line per event suffices.
+    write!(stream, "event: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}
+
+/// Serves one `/events` connection until the client hangs up or the plane
+/// shuts down.
+pub(crate) fn stream_events(stream: &mut TcpStream, plane: &Plane) -> io::Result<()> {
+    http::respond_stream_head(stream, "text/event-stream")?;
+    let rec = plane.recorder;
+    let mut epoch = rec.reset_epoch();
+    // Stream activity from connection time onward; history is available
+    // via /snapshot.json.
+    let mut span_off = rec.span_count();
+    let mut event_off = rec.event_count();
+    let mut tick: u32 = 0;
+
+    send(
+        stream,
+        "hello",
+        &format!("{{\"reset_epoch\":{epoch},\"spans\":{span_off},\"events\":{event_off}}}"),
+    )?;
+
+    loop {
+        if plane.stopping() {
+            return send(stream, "bye", "{}");
+        }
+
+        let now_epoch = rec.reset_epoch();
+        if now_epoch != epoch {
+            epoch = now_epoch;
+            span_off = 0;
+            event_off = 0;
+            send(stream, "reset", &format!("{{\"reset_epoch\":{epoch}}}"))?;
+        }
+
+        let spans = rec.spans_since(span_off);
+        for s in spans.iter().take(BURST) {
+            send(stream, "span", &span_json(s))?;
+        }
+        span_off += spans.len().min(BURST);
+
+        let events = rec.events_since(event_off);
+        for e in events.iter().take(BURST) {
+            send(stream, event_kind(e), &event_json(e))?;
+        }
+        event_off += events.len().min(BURST);
+
+        tick += 1;
+        if tick.is_multiple_of(METRICS_EVERY) {
+            send(stream, "metrics", &status::snapshot_json(plane))?;
+        }
+
+        std::thread::sleep(POLL);
+    }
+}
+
+fn event_kind(e: &EventRecord) -> &'static str {
+    if e.alert {
+        "alert"
+    } else {
+        "log"
+    }
+}

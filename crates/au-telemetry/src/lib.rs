@@ -4,8 +4,15 @@
 //! The crate provides three instrument families behind one [`Recorder`]:
 //!
 //! - **Spans** — scoped timings with key/value arguments, recorded on drop
-//!   ([`span!`], [`Recorder::span_with`]). Nesting depth is tracked per
-//!   thread so exports reconstruct the call tree.
+//!   ([`span!`], [`Recorder::span_with`]). Every span carries a causal
+//!   identity: a [`TraceId`] naming the request tree it belongs to, its own
+//!   [`SpanId`], and the `SpanId` of its parent (0 for roots). Within a
+//!   thread parents are tracked automatically; across threads the caller
+//!   captures [`current_context`] and the worker installs it with
+//!   [`set_context`] (au-par does this for every fork/join worker), so an
+//!   exported trace shows one causal tree per request instead of a flat
+//!   span list. Nesting depth is still tracked per thread so exports
+//!   reconstruct the call tree.
 //! - **Metrics** — saturating monotonic counters, last-write-wins gauges,
 //!   and fixed log₂-bucket latency histograms ([`count!`], [`time!`]).
 //! - **Events** — leveled log records ([`Recorder::event`]) that echo to
@@ -274,14 +281,84 @@ impl Drop for Timer {
 // ---------------------------------------------------------------------
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide span/trace id wells. Ids start at 1 so 0 can mean "none".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static SPAN_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
     static THREAD_ID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// The calling thread's current `(trace_id, span_id)`; `(0, 0)` when no
+    /// span is open and no cross-thread context has been installed.
+    static CONTEXT: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
 }
 
 fn thread_id() -> u64 {
     THREAD_ID.with(|t| *t)
+}
+
+/// Identity of one causal tree of spans (usually: one request). Allocated
+/// when a root span opens and inherited by every descendant, including
+/// spans opened on other threads under [`set_context`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identity of a single span within a trace; unique process-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// A capturable position in a trace: the ids a child span opened *now*
+/// would inherit. `Copy + Send`, so it crosses thread boundaries freely.
+///
+/// The zero value ([`TraceContext::NONE`]) means "no active span": spans
+/// opened under it become roots of fresh traces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace the current span belongs to; 0 when no span is open.
+    pub trace_id: u64,
+    /// The currently open span; 0 when no span is open.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The empty context: no trace, no parent.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+}
+
+/// The calling thread's current trace position — capture this before
+/// handing work to another thread, then [`set_context`] it over there.
+pub fn current_context() -> TraceContext {
+    let (trace_id, span_id) = CONTEXT.with(std::cell::Cell::get);
+    TraceContext { trace_id, span_id }
+}
+
+/// Installs a captured [`TraceContext`] as the calling thread's parent
+/// context; the returned guard restores the previous context on drop.
+/// Spans opened while the guard lives are parented under `ctx.span_id`
+/// and belong to `ctx.trace_id` — this is how fork/join workers attach
+/// their spans to the caller's causal tree.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub fn set_context(ctx: TraceContext) -> ContextGuard {
+    let prev = CONTEXT.with(|c| {
+        let prev = c.get();
+        c.set((ctx.trace_id, ctx.span_id));
+        prev
+    });
+    ContextGuard { prev }
+}
+
+/// Restores the thread's previous trace context on drop; see [`set_context`].
+pub struct ContextGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev));
+    }
 }
 
 /// One completed span, as stored by the recorder.
@@ -295,6 +372,12 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Nesting depth at entry (0 = top level).
     pub depth: u32,
+    /// Causal tree this span belongs to (one per root request).
+    pub trace_id: u64,
+    /// This span's process-wide unique id.
+    pub span_id: u64,
+    /// `span_id` of the parent span; 0 for trace roots.
+    pub parent_id: u64,
 }
 
 /// One captured log event.
@@ -318,11 +401,29 @@ pub struct SpanGuard<'a> {
     start_ns: u64,
     start: Instant,
     depth: u32,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    /// The thread context to restore when this span closes.
+    prev_context: (u64, u64),
+}
+
+impl SpanGuard<'_> {
+    /// The causal tree this span belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        TraceId(self.trace_id)
+    }
+
+    /// This span's process-wide unique id.
+    pub fn span_id(&self) -> SpanId {
+        SpanId(self.span_id)
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        CONTEXT.with(|c| c.set(self.prev_context));
         self.rec.finish_span(SpanRecord {
             name: self.name.to_string(),
             args: std::mem::take(&mut self.args),
@@ -330,6 +431,9 @@ impl Drop for SpanGuard<'_> {
             dur_ns: self.start.elapsed().as_nanos() as u64,
             tid: thread_id(),
             depth: self.depth,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
         });
     }
 }
@@ -358,6 +462,10 @@ pub struct Recorder {
     events: Mutex<Vec<EventRecord>>,
     dropped: AtomicU64,
     alerts: AtomicU64,
+    /// Bumped by every [`Recorder::reset`] so incremental readers (the
+    /// scope server's SSE poller) can detect that their saved offsets
+    /// belong to a previous epoch and must restart from zero.
+    reset_epoch: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -378,6 +486,7 @@ impl Recorder {
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             alerts: AtomicU64::new(0),
+            reset_epoch: AtomicU64::new(0),
         }
     }
 
@@ -408,6 +517,12 @@ impl Recorder {
 
     /// Zeroes every metric and clears span/event buffers. Existing handles
     /// stay valid (cells are zeroed in place, not replaced).
+    ///
+    /// The reset is *epoch-consistent*: counters, gauges, histograms,
+    /// spans, events, the drop count, and the alert count all clear in one
+    /// call, and [`Recorder::reset_epoch`] is bumped last so a scraper that
+    /// snapshots the epoch before and after a read can tell whether the
+    /// data it saw mixes epochs.
     pub fn reset(&self) {
         let reg = self.registry.lock().unwrap();
         for c in reg.counters.values() {
@@ -424,6 +539,15 @@ impl Recorder {
         self.events.lock().unwrap().clear();
         self.dropped.store(0, Ordering::Relaxed);
         self.alerts.store(0, Ordering::Relaxed);
+        self.reset_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of times [`Recorder::reset`] has run. Incremental readers
+    /// compare epochs across reads and restart their offsets when the
+    /// value changed, so a scrape never silently mixes data from two
+    /// epochs.
+    pub fn reset_epoch(&self) -> u64 {
+        self.reset_epoch.load(Ordering::Acquire)
     }
 
     fn nanos_since_epoch(&self) -> u64 {
@@ -498,6 +622,22 @@ impl Recorder {
             d.set(v + 1);
             v
         });
+        // Causal identity: inherit the thread's current (trace, span) as
+        // (trace, parent); a span opened with no active context roots a
+        // fresh trace. The new span becomes the thread's context until it
+        // drops (or until a nested set_context overrides it).
+        let (cur_trace, parent_id) = CONTEXT.with(std::cell::Cell::get);
+        let trace_id = if cur_trace == 0 {
+            NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+        } else {
+            cur_trace
+        };
+        let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let prev_context = CONTEXT.with(|c| {
+            let prev = c.get();
+            c.set((trace_id, span_id));
+            prev
+        });
         Some(SpanGuard {
             rec: self,
             name,
@@ -508,6 +648,10 @@ impl Recorder {
             start_ns: self.nanos_since_epoch(),
             start: Instant::now(),
             depth,
+            trace_id,
+            span_id,
+            parent_id,
+            prev_context,
         })
     }
 
@@ -564,6 +708,17 @@ impl Recorder {
         self.alerts.load(Ordering::Relaxed)
     }
 
+    /// Number of completed spans, without cloning them — lets incremental
+    /// readers seed their offsets cheaply.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Number of captured events (see [`Recorder::span_count`]).
+    pub fn event_count(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
     /// All completed spans, in completion order.
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.spans.lock().unwrap().clone()
@@ -572,6 +727,59 @@ impl Recorder {
     /// All captured events, in order.
     pub fn events(&self) -> Vec<EventRecord> {
         self.events.lock().unwrap().clone()
+    }
+
+    /// Spans completed since index `from` (in completion order), for
+    /// incremental readers. Pair with [`Recorder::reset_epoch`]: after a
+    /// reset, restart from 0.
+    pub fn spans_since(&self, from: usize) -> Vec<SpanRecord> {
+        let spans = self.spans.lock().unwrap();
+        spans
+            .get(from..)
+            .map(<[SpanRecord]>::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Events captured since index `from`, for incremental readers.
+    pub fn events_since(&self, from: usize) -> Vec<EventRecord> {
+        let events = self.events.lock().unwrap();
+        events
+            .get(from..)
+            .map(<[EventRecord]>::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every registered counter, in name order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.registry
+            .lock()
+            .unwrap()
+            .counters
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Snapshot of every registered gauge, in name order.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.registry
+            .lock()
+            .unwrap()
+            .gauges
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect()
+    }
+
+    /// Snapshot of every registered histogram, in name order.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.registry
+            .lock()
+            .unwrap()
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
     }
 
     /// Records dropped after the [`MAX_RECORDS`] cap was hit.
@@ -683,12 +891,15 @@ impl Recorder {
                 .collect();
             writeln!(
                 w,
-                "{{\"kind\":\"span\",\"name\":{},\"start_ns\":{},\"dur_ns\":{},\"tid\":{},\"depth\":{},\"args\":{{{}}}}}",
+                "{{\"kind\":\"span\",\"name\":{},\"start_ns\":{},\"dur_ns\":{},\"tid\":{},\"depth\":{},\"trace\":{},\"span\":{},\"parent\":{},\"args\":{{{}}}}}",
                 json_str(&s.name),
                 s.start_ns,
                 s.dur_ns,
                 s.tid,
                 s.depth,
+                s.trace_id,
+                s.span_id,
+                s.parent_id,
                 args.join(",")
             )?;
         }
@@ -708,12 +919,21 @@ impl Recorder {
 
     /// Writes Chrome `trace_event` JSON (the `{"traceEvents": [...]}` form)
     /// loadable in Perfetto or `chrome://tracing`. Spans become complete
-    /// (`"X"`) events with microsecond timestamps; counters are appended as
-    /// a final `"C"` sample.
+    /// (`"X"`) events with microsecond timestamps carrying their
+    /// trace/span/parent ids in `args`; cross-thread parent→child edges are
+    /// drawn as flow events (`"s"`/`"f"` pairs) so a fanned-out request
+    /// renders as one connected tree; counters are appended as a final
+    /// `"C"` sample.
     pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(w, "{{\"traceEvents\":[")?;
         let mut first = true;
-        for s in self.spans.lock().unwrap().iter() {
+        let spans = self.spans.lock().unwrap().clone();
+        // span_id → (tid, start_ns) for resolving cross-thread edges.
+        let by_id: BTreeMap<u64, (u64, u64)> = spans
+            .iter()
+            .map(|s| (s.span_id, (s.tid, s.start_ns)))
+            .collect();
+        for s in &spans {
             if !first {
                 write!(w, ",")?;
             }
@@ -724,6 +944,9 @@ impl Recorder {
                 .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
                 .collect();
             args.push(format!("\"depth\":{}", s.depth));
+            args.push(format!("\"trace\":{}", s.trace_id));
+            args.push(format!("\"span\":{}", s.span_id));
+            args.push(format!("\"parent\":{}", s.parent_id));
             write!(
                 w,
                 "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
@@ -734,6 +957,33 @@ impl Recorder {
                 args.join(",")
             )?;
         }
+        // Parent edges that cross threads are invisible to the nesting
+        // renderer; emit them as bound flow events (id = child span id,
+        // start at the parent's slice, finish at the child's).
+        for s in &spans {
+            let Some(&(parent_tid, parent_start)) = (s.parent_id != 0)
+                .then(|| by_id.get(&s.parent_id))
+                .flatten()
+            else {
+                continue;
+            };
+            if parent_tid == s.tid {
+                continue;
+            }
+            let ts_parent = json_f64(parent_start as f64 / 1_000.0);
+            let ts_child = json_f64(s.start_ns as f64 / 1_000.0);
+            write!(
+                w,
+                ",{{\"name\":\"parent\",\"cat\":\"causal\",\"ph\":\"s\",\"pid\":1,\"tid\":{},\"ts\":{},\"id\":{}}}",
+                parent_tid, ts_parent, s.span_id
+            )?;
+            write!(
+                w,
+                ",{{\"name\":\"parent\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{},\"ts\":{},\"id\":{}}}",
+                s.tid, ts_child, s.span_id
+            )?;
+        }
+        drop(spans);
         let last_ts = self.nanos_since_epoch() as f64 / 1_000.0;
         let reg = self.registry.lock().unwrap();
         for (name, c) in &reg.counters {
@@ -1045,6 +1295,132 @@ mod tests {
                 .depth,
             0
         );
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace_and_link_parents() {
+        let rec = Recorder::new();
+        rec.enable();
+        {
+            let _outer = rec.span("outer");
+            {
+                let _mid = rec.span("mid");
+                let _inner = rec.span("inner");
+            }
+            let _sibling = rec.span("sibling");
+        }
+        let spans = rec.spans();
+        let by_name: BTreeMap<&str, &SpanRecord> =
+            spans.iter().map(|s| (s.name.as_str(), s)).collect();
+        let outer = by_name["outer"];
+        assert_eq!(outer.parent_id, 0, "root span has no parent");
+        assert_ne!(outer.trace_id, 0);
+        assert_ne!(outer.span_id, 0);
+        // One causal tree: everyone shares the root's trace id.
+        for name in ["mid", "inner", "sibling"] {
+            assert_eq!(by_name[name].trace_id, outer.trace_id, "{name}");
+        }
+        assert_eq!(by_name["mid"].parent_id, outer.span_id);
+        assert_eq!(by_name["inner"].parent_id, by_name["mid"].span_id);
+        assert_eq!(by_name["sibling"].parent_id, outer.span_id);
+        // A span opened after the tree closed roots a *new* trace.
+        {
+            let _later = rec.span("later");
+        }
+        let later = rec.spans().into_iter().find(|s| s.name == "later").unwrap();
+        assert_ne!(later.trace_id, outer.trace_id);
+        assert_eq!(later.parent_id, 0);
+    }
+
+    #[test]
+    fn captured_context_parents_spans_on_other_threads() {
+        let rec: &'static Recorder = Box::leak(Box::new(Recorder::new()));
+        rec.enable();
+        let (root_trace, root_span) = {
+            let root = rec.span("root").unwrap();
+            let ctx = current_context();
+            assert_eq!(ctx.trace_id, root.trace_id().0);
+            assert_eq!(ctx.span_id, root.span_id().0);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _g = set_context(ctx);
+                    let _w = rec.span("worker");
+                });
+                // A thread without the context roots its own trace.
+                s.spawn(move || {
+                    let _w = rec.span("stranger");
+                });
+            });
+            (root.trace_id().0, root.span_id().0)
+        };
+        let spans = rec.spans();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.trace_id, root_trace);
+        assert_eq!(worker.parent_id, root_span);
+        let stranger = spans.iter().find(|s| s.name == "stranger").unwrap();
+        assert_ne!(stranger.trace_id, root_trace);
+        assert_eq!(stranger.parent_id, 0);
+        // The guard restored this thread's context.
+        assert_eq!(current_context(), TraceContext::NONE);
+    }
+
+    #[test]
+    fn reset_clears_all_state_in_one_epoch() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.set_verbosity(Level::Error);
+        let c = rec.counter("c");
+        c.add(5);
+        rec.gauge("g").set(2.5);
+        rec.histogram("h").record(77);
+        {
+            let _s = rec.span("s");
+        }
+        rec.event(Level::Info, "t", "hello");
+        rec.alert(Level::Warn, "t", "watch out");
+        let epoch_before = rec.reset_epoch();
+        rec.reset();
+        // Spans, events, alert counter, drop counter, and every metric
+        // family clear together — a scrape after reset sees one epoch.
+        assert!(rec.spans().is_empty());
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.alert_count(), 0);
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.counter_value("c"), 0);
+        assert_eq!(rec.gauge("g").get(), 0.0);
+        assert_eq!(rec.histogram_snapshot("h").unwrap().count, 0);
+        assert_eq!(rec.reset_epoch(), epoch_before + 1);
+        // Incremental readers restart cleanly after the epoch bump.
+        assert!(rec.spans_since(0).is_empty());
+        assert!(rec.events_since(0).is_empty());
+    }
+
+    #[test]
+    fn incremental_readers_see_only_new_records() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.set_verbosity(Level::Error);
+        {
+            let _a = rec.span("a");
+        }
+        {
+            let _b = rec.span("b");
+        }
+        let first = rec.spans_since(0);
+        assert_eq!(first.len(), 2);
+        assert!(rec.spans_since(2).is_empty());
+        {
+            let _c = rec.span("c");
+        }
+        let next = rec.spans_since(2);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].name, "c");
+        // Out-of-range offsets (e.g. saved before a reset) return empty
+        // instead of panicking.
+        assert!(rec.spans_since(999).is_empty());
+        rec.event(Level::Info, "t", "one");
+        assert_eq!(rec.events_since(0).len(), 1);
+        assert!(rec.events_since(1).is_empty());
     }
 
     #[test]

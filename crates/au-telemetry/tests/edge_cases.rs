@@ -1,0 +1,106 @@
+//! Edge-case pinning for the histogram machinery: property tests that the
+//! log₂ bucket mapping round-trips across boundary values, and unit tests
+//! fixing `HistogramSnapshot::percentile`/`mean` behavior on empty and
+//! single-sample snapshots. These behaviors feed the Prometheus exposition
+//! in au-scope, so they are pinned here rather than left implied.
+
+use au_telemetry::{bucket_index, bucket_upper_bound, HistogramSnapshot, Recorder, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any value maps into a bucket whose inclusive upper bound maps back
+    /// into the same bucket, and the value never exceeds that bound
+    /// (except in the unbounded last bucket).
+    #[test]
+    fn bucket_round_trips_for_any_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let ub = bucket_upper_bound(i);
+        prop_assert_eq!(bucket_index(ub), i);
+        prop_assert!(v <= ub);
+    }
+
+    /// Bucket upper bounds are strictly increasing, and the first value of
+    /// the next bucket lies just past the previous bound.
+    #[test]
+    fn bucket_bounds_are_monotone(i in 1usize..BUCKETS - 2) {
+        let ub = bucket_upper_bound(i);
+        prop_assert!(ub < bucket_upper_bound(i + 1));
+        prop_assert_eq!(bucket_index(ub + 1), i + 1);
+    }
+
+    /// A recorded value is always counted in exactly one bucket, and the
+    /// snapshot totals agree with it.
+    #[test]
+    fn single_record_lands_in_its_bucket(v in any::<u64>()) {
+        let rec = Recorder::new();
+        let h = rec.histogram("h");
+        h.record(v);
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.sum, v);
+        prop_assert_eq!(s.min, v);
+        prop_assert_eq!(s.max, v);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), 1);
+        prop_assert_eq!(s.buckets[bucket_index(v)], 1);
+    }
+}
+
+#[test]
+fn boundary_values_pin_the_log2_mapping() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_upper_bound(0), 0);
+    // Powers of two start new buckets; their predecessors close them.
+    for shift in 1..62 {
+        let pow = 1u64 << shift;
+        assert_eq!(bucket_index(pow), bucket_index(pow - 1) + 1, "2^{shift}");
+    }
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    // The clamp bucket's bound still round-trips.
+    assert_eq!(bucket_index(bucket_upper_bound(BUCKETS - 1)), BUCKETS - 1);
+}
+
+#[test]
+fn empty_snapshot_percentile_and_mean_are_zero() {
+    let empty = HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        min: u64::MAX,
+        max: 0,
+        buckets: [0; BUCKETS],
+    };
+    assert_eq!(empty.mean(), 0.0);
+    for p in [0.0, 50.0, 99.0, 100.0] {
+        assert_eq!(empty.percentile(p), 0, "p{p}");
+    }
+}
+
+#[test]
+fn single_sample_snapshot_reports_that_sample_everywhere() {
+    let rec = Recorder::new();
+    let h = rec.histogram("h");
+    h.record(1234);
+    let s = h.snapshot();
+    assert_eq!(s.mean(), 1234.0);
+    // Every percentile of a one-sample distribution is that sample:
+    // the bucket bound estimate is clamped to the true max.
+    for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+        assert_eq!(s.percentile(p), 1234, "p{p}");
+    }
+    assert_eq!(s.min, 1234);
+    assert_eq!(s.max, 1234);
+}
+
+#[test]
+fn zero_only_histogram_stays_in_bucket_zero() {
+    let rec = Recorder::new();
+    let h = rec.histogram("h");
+    for _ in 0..5 {
+        h.record(0);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.buckets[0], 5);
+    assert_eq!(s.percentile(50.0), 0);
+    assert_eq!(s.mean(), 0.0);
+}
