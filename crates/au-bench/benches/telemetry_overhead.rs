@@ -13,12 +13,28 @@
 //! This bench reports (2) vs (3) for `au_extract` and `au_nn`, plus a
 //! fourth leg: (3) with the au-scope observability server running but
 //! *unscraped* — the plane's accept loop parks in the kernel, so its
-//! off-path cost over (3) must stay < 2%. The disabled-path numbers here
-//! stand in for (1) within measurement noise — see docs/telemetry.md for
-//! the comparison method against a `--no-default-features` build.
+//! off-path cost over (3) must stay < 2%. A fifth leg, `profiler_attached`,
+//! primes the plane's au-prof profiler with one `/profile.json` scrape and
+//! then measures with nobody scraping: the profiler only folds spans at
+//! request time, so its attached-but-idle cost over (3) must stay < 3%
+//! (the budget quoted in docs/profiling.md). The disabled-path numbers
+//! here stand in for (1) within measurement noise — see docs/telemetry.md
+//! for the comparison method against a `--no-default-features` build.
 
 use au_core::{Engine, Mode, ModelConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::{Read, Write};
+
+/// One GET against the scope server: primes the plane's profiler so the
+/// `profiler_attached` leg measures an attached (not merely constructed)
+/// profiler.
+fn prime_profiler(addr: std::net::SocketAddr) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scope");
+    write!(stream, "GET /profile.json HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+}
 
 fn trained_engine() -> Engine {
     let mut engine = Engine::new(Mode::Train);
@@ -61,6 +77,12 @@ fn bench_extract(c: &mut Criterion) {
     group.bench_function("scope_unscraped", |b| {
         b.iter(|| engine.au_extract("X", black_box(&row)))
     });
+
+    prime_profiler(scope.local_addr());
+    let mut engine = Engine::new(Mode::Train);
+    group.bench_function("profiler_attached", |b| {
+        b.iter(|| engine.au_extract("X", black_box(&row)))
+    });
     scope.shutdown();
     au_telemetry::disable();
     group.finish();
@@ -94,6 +116,15 @@ fn bench_au_nn(c: &mut Criterion) {
         .expect("scope server");
     let mut engine = trained_engine();
     group.bench_function("scope_unscraped", |b| {
+        b.iter(|| {
+            engine.au_extract("SUMMARY", black_box(&row));
+            engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")
+        })
+    });
+
+    prime_profiler(scope.local_addr());
+    let mut engine = trained_engine();
+    group.bench_function("profiler_attached", |b| {
         b.iter(|| {
             engine.au_extract("SUMMARY", black_box(&row));
             engine.au_nn("BenchNN", "SUMMARY", &["OUT"]).expect("serve")

@@ -1,0 +1,165 @@
+//! Appends one structured perf run to the bench history.
+//!
+//! A deliberately small, fast smoke suite — not the criterion benches —
+//! covering the runtime's hot layers: the gemm kernel, feature
+//! extraction, end-to-end serving, and the au-par fork/join. Each bench
+//! is timed as the median over many samples so one preempted sample
+//! cannot fake a regression, and the run lands as one JSON line in
+//! `BENCH_history.jsonl` (see `au_bench::history`).
+//!
+//! ```text
+//! bench-history [--quick] [--out BENCH_history.jsonl] [--print]
+//! ```
+//!
+//! `--quick` cuts samples ~4x for CI smoke legs; `--print` writes the
+//! line to stdout instead of appending anywhere.
+
+use au_bench::history::{append, HistoryRun};
+use au_core::{Engine, Mode, ModelConfig};
+use au_nn::Tensor;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Times `f` as median-of-samples nanoseconds per call: each sample runs
+/// `per_sample` calls and the per-call time of the middle sample wins.
+fn median_ns(samples: usize, per_sample: usize, mut f: impl FnMut()) -> f64 {
+    // Warmup: one full sample, unmeasured.
+    for _ in 0..per_sample {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / per_sample as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Deterministic pseudo-random buffer (no RNG state, reproducible).
+fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(seed);
+            ((h % 2000) as f32) / 100.0 - 10.0
+        })
+        .collect()
+}
+
+fn trained_engine() -> Engine {
+    let mut engine = Engine::new(Mode::Train);
+    engine
+        .au_config("HistNN", ModelConfig::dnn(&[16, 8]))
+        .expect("config");
+    for i in 0..16u64 {
+        let x = i as f64 / 16.0;
+        engine.au_extract("SUMMARY", &[x, 1.0 - x, x * x, 0.5]);
+        engine.au_extract("OUT", &[2.0 * x]);
+        engine
+            .au_nn("HistNN", "SUMMARY", &["OUT"])
+            .expect("train step");
+    }
+    engine.set_mode(Mode::Test);
+    engine
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_history.jsonl");
+    let mut quick = false;
+    let mut print_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--print" => print_only = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => die("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench-history [--quick] [--out BENCH_history.jsonl] [--print]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    // Benches measure the bare paths; the recorder stays disabled so the
+    // history tracks compute, not telemetry volume.
+    au_telemetry::disable();
+    let samples = if quick { 9 } else { 33 };
+
+    let mut benches = BTreeMap::new();
+
+    for n in [64usize, 128] {
+        let a = Tensor::from_vec(&[n, n], pseudo(n * n, 1));
+        let b = Tensor::from_vec(&[n, n], pseudo(n * n, 2));
+        benches.insert(
+            format!("gemm_{n}"),
+            median_ns(samples, 4, || {
+                black_box(black_box(&a).matmul(black_box(&b)));
+            }),
+        );
+    }
+
+    {
+        let mut engine = Engine::new(Mode::Train);
+        let row = [0.25f64, 0.5, 0.75, 1.0];
+        benches.insert(
+            "au_extract".to_owned(),
+            median_ns(samples, 512, || {
+                engine.au_extract("X", black_box(&row));
+            }),
+        );
+    }
+
+    {
+        let engine = trained_engine();
+        let handle = engine.handle();
+        let x = [0.25f64, 0.75, 0.125, 0.5];
+        benches.insert(
+            "predict".to_owned(),
+            median_ns(samples, 128, || {
+                black_box(handle.predict("HistNN", black_box(&x)).expect("predict"));
+            }),
+        );
+    }
+
+    benches.insert(
+        "par_map_1k".to_owned(),
+        median_ns(samples, 8, || {
+            black_box(au_par::par_map(1024, 64, |i| {
+                let x = i as f64 * 0.001;
+                x.sin().mul_add(x, x.sqrt())
+            }));
+        }),
+    );
+
+    let run = HistoryRun::now(benches);
+    for (name, ns) in &run.benches {
+        eprintln!("{name:>12}  {ns:>14.1} ns/iter");
+    }
+    if print_only {
+        println!("{}", run.to_json());
+        return;
+    }
+    if let Err(e) = append(&out, &run) {
+        die(&format!("cannot append to {}: {e}", out.display()));
+    }
+    eprintln!(
+        "appended run (commit {}, {} benches) to {}",
+        run.commit,
+        run.benches.len(),
+        out.display()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-history: {msg}");
+    std::process::exit(2);
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
 pub mod monitor;
 pub mod rl;
 pub mod sl;

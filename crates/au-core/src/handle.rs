@@ -21,6 +21,7 @@
 //! together with a model-entry lock; file I/O happens with no lock held.
 
 use crate::error::AuError;
+use crate::lockwait::pi_lock;
 use crate::model::{
     rl_step, run_model_ref, supervised_step, to_f32, Algorithm, Backend, ModelConfig,
     ModelInstance, ModelStats,
@@ -28,7 +29,9 @@ use crate::model::{
 use crate::monitoring::BaselineMeta;
 #[cfg(feature = "monitor")]
 use crate::monitoring::MonitorState;
-use crate::registry::{lock, read, write, ModelEntry, ModelRegistry};
+#[cfg(feature = "monitor")]
+use crate::registry::lock;
+use crate::registry::{read, write, ModelEntry, ModelRegistry};
 use crate::store::DbStore;
 use au_nn::rl::DqnAgent;
 use au_nn::{Adam, Network, Tensor};
@@ -211,7 +214,7 @@ impl EngineHandle {
     /// Read access to the database store π (a guard — see [`DbRef`]).
     pub fn db(&self) -> DbRef<'_> {
         DbRef {
-            guard: lock(&self.shared.db),
+            guard: pi_lock(&self.shared.db),
         }
     }
 
@@ -338,7 +341,7 @@ impl EngineHandle {
         let _t = t_time!("au_core.db_save");
         t_count!("au_core.db_saves");
         let json = {
-            let d = lock(&self.shared.db);
+            let d = pi_lock(&self.shared.db);
             let map: BTreeMap<&str, &[f64]> = d.db.iter().collect();
             serde_json::to_string(&map).expect("db serializes")
         };
@@ -363,7 +366,7 @@ impl EngineHandle {
             db.append(&name, &values);
             loaded += values.len() as u64;
         }
-        lock(&self.shared.db).db = db;
+        pi_lock(&self.shared.db).db = db;
         self.shared
             .extracted_total
             .fetch_add(loaded, Ordering::Relaxed);
@@ -380,7 +383,7 @@ impl EngineHandle {
         self.shared
             .extracted_total
             .fetch_add(values.len() as u64, Ordering::Relaxed);
-        lock(&self.shared.db).db.append(name, values);
+        pi_lock(&self.shared.db).db.append(name, values);
     }
 
     /// Lifetime count of scalars extracted through
@@ -406,7 +409,7 @@ impl EngineHandle {
     /// one.
     pub fn au_serialize(&self, names: &[&str]) -> String {
         let _t = t_time!("au_core.au_serialize");
-        let mut d = lock(&self.shared.db);
+        let mut d = pi_lock(&self.shared.db);
         let combined = d.db.serialize(names);
         for name in names {
             if **name != *combined {
@@ -438,7 +441,7 @@ impl EngineHandle {
         let _s = t_span!("au_nn", model = model);
         let _t = t_time!("au_core.au_nn");
         let mode = self.mode();
-        let input = lock(&self.shared.db).db.get(ext).to_vec();
+        let input = pi_lock(&self.shared.db).db.get(ext).to_vec();
         if input.is_empty() {
             return Err(AuError::MissingData {
                 name: ext.to_owned(),
@@ -451,7 +454,7 @@ impl EngineHandle {
         // caller's fallback path starts from a clean store.
         #[cfg(feature = "monitor")]
         if mode == Mode::Test && self.monitor_degraded(model) {
-            lock(&self.shared.db).db.clear(ext);
+            pi_lock(&self.shared.db).db.clear(ext);
             return Err(AuError::ModelDegraded(model.to_owned()));
         }
         let entry = self
@@ -467,7 +470,7 @@ impl EngineHandle {
         // it since the last au_NN call on this model, and once the output
         // split is known only the tail of each list is the label.
         let labels: Vec<Vec<f64>> = {
-            let d = lock(&self.shared.db);
+            let d = pi_lock(&self.shared.db);
             wbs.iter()
                 .enumerate()
                 .map(|(i, wb)| {
@@ -588,14 +591,14 @@ impl EngineHandle {
                         None
                     };
                 if self.monitor_observe(model, &input, &output, outcome) {
-                    lock(&self.shared.db).db.clear(ext);
+                    pi_lock(&self.shared.db).db.clear(ext);
                     return Err(AuError::ModelDegraded(model.to_owned()));
                 }
             }
         }
 
         // π[wb_i → slice of output], extName → ⊥ — one π transaction.
-        let mut d = lock(&self.shared.db);
+        let mut d = pi_lock(&self.shared.db);
         let mut offset = 0;
         for (wb, width) in wbs.iter().zip(&split) {
             d.db.put(wb, output[offset..offset + width].to_vec());
@@ -635,7 +638,7 @@ impl EngineHandle {
         let _s = t_span!("au_nn_rl", model = model);
         let _t = t_time!("au_core.au_nn_rl");
         let mode = self.mode();
-        let state = lock(&self.shared.db).db.get(ext).to_vec();
+        let state = pi_lock(&self.shared.db).db.get(ext).to_vec();
         if state.is_empty() {
             return Err(AuError::MissingData {
                 name: ext.to_owned(),
@@ -645,7 +648,7 @@ impl EngineHandle {
         }
         #[cfg(feature = "monitor")]
         if mode == Mode::Test && self.monitor_degraded(model) {
-            lock(&self.shared.db).db.clear(ext);
+            pi_lock(&self.shared.db).db.clear(ext);
             return Err(AuError::ModelDegraded(model.to_owned()));
         }
         let train = mode == Mode::Train;
@@ -707,11 +710,11 @@ impl EngineHandle {
             } else if self.monitoring_enabled()
                 && self.monitor_observe(model, &state, &one_hot, None)
             {
-                lock(&self.shared.db).db.clear(ext);
+                pi_lock(&self.shared.db).db.clear(ext);
                 return Err(AuError::ModelDegraded(model.to_owned()));
             }
         }
-        let mut d = lock(&self.shared.db);
+        let mut d = pi_lock(&self.shared.db);
         d.db.put(wb, one_hot);
         d.db.clear(ext);
         drop(d);
@@ -730,7 +733,7 @@ impl EngineHandle {
     pub fn au_write_back(&self, name: &str, dst: &mut [f64]) -> Result<(), AuError> {
         let _t = t_time!("au_core.au_write_back");
         t_count!("au_core.write_backs");
-        let d = lock(&self.shared.db);
+        let d = pi_lock(&self.shared.db);
         let src = d.db.get(name);
         if src.len() < dst.len() {
             return Err(AuError::MissingData {
@@ -762,7 +765,7 @@ impl EngineHandle {
     pub fn au_checkpoint(&self) {
         let _t = t_time!("au_core.au_checkpoint");
         t_count!("au_core.checkpoints");
-        let mut d = lock(&self.shared.db);
+        let mut d = pi_lock(&self.shared.db);
         let snap = (d.db.clone(), d.label_marks.clone());
         d.checkpoints.push(snap);
     }
@@ -778,7 +781,7 @@ impl EngineHandle {
         let _t = t_time!("au_core.au_restore");
         t_count!("au_core.restores");
         {
-            let mut d = lock(&self.shared.db);
+            let mut d = pi_lock(&self.shared.db);
             let (db, marks) = d.checkpoints.last().cloned().ok_or(AuError::NoCheckpoint)?;
             d.db = db;
             d.label_marks = marks;
@@ -789,13 +792,13 @@ impl EngineHandle {
 
     /// Discards the most recent checkpoint (a no-op on an empty stack).
     pub fn pop_checkpoint(&self) {
-        lock(&self.shared.db).checkpoints.pop();
+        pi_lock(&self.shared.db).checkpoints.pop();
     }
 
     /// Combined ⟨σ, π⟩ checkpoint: clones the host program state `S`
     /// together with π, keeping both consistent as the semantics require.
     pub fn checkpoint_with<S: Clone>(&self, program: &S) -> Checkpoint<S> {
-        let d = lock(&self.shared.db);
+        let d = pi_lock(&self.shared.db);
         Checkpoint {
             program: program.clone(),
             db: d.db.clone(),
@@ -807,7 +810,7 @@ impl EngineHandle {
     /// reinstall. θ is untouched.
     pub fn restore_with<S: Clone>(&self, ckpt: &Checkpoint<S>) -> S {
         {
-            let mut d = lock(&self.shared.db);
+            let mut d = pi_lock(&self.shared.db);
             d.db = ckpt.db.clone();
             d.label_marks = ckpt.label_marks.clone();
         }

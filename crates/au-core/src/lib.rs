@@ -48,6 +48,7 @@ mod telem;
 mod engine;
 mod error;
 mod handle;
+mod lockwait;
 mod model;
 mod monitoring;
 mod registry;

@@ -11,6 +11,7 @@
 //! holds an entry lock and the π lock at the same time.
 
 use crate::error::AuError;
+use crate::lockwait::{shard_read, shard_write};
 use crate::model::{ModelConfig, ModelInstance};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -82,7 +83,9 @@ impl ModelRegistry {
     /// Looks a model up, returning a clone of its shared entry. The shard
     /// lock is released before the caller locks the entry.
     pub fn get(&self, name: &str) -> Option<SharedEntry> {
-        read(&self.shards[Self::shard_of(name)]).get(name).cloned()
+        shard_read(&self.shards[Self::shard_of(name)])
+            .get(name)
+            .cloned()
     }
 
     /// Registers a model, treating re-registration with an *identical*
@@ -93,7 +96,7 @@ impl ModelRegistry {
     /// [`AuError::ModelExists`] if the name is taken by a different
     /// configuration.
     pub fn insert(&self, name: &str, entry: ModelEntry) -> Result<(), AuError> {
-        let mut shard = write(&self.shards[Self::shard_of(name)]);
+        let mut shard = shard_write(&self.shards[Self::shard_of(name)]);
         match shard.get(name) {
             Some(existing) => {
                 if read(existing).instance.config == entry.instance.config {
@@ -116,7 +119,7 @@ impl ModelRegistry {
     ///
     /// [`AuError::ModelExists`] if the name is taken.
     pub fn insert_new(&self, name: &str, entry: ModelEntry) -> Result<(), AuError> {
-        let mut shard = write(&self.shards[Self::shard_of(name)]);
+        let mut shard = shard_write(&self.shards[Self::shard_of(name)]);
         if shard.contains_key(name) {
             return Err(AuError::ModelExists(name.to_owned()));
         }
@@ -129,19 +132,19 @@ impl ModelRegistry {
     pub fn entries(&self) -> Vec<SharedEntry> {
         self.shards
             .iter()
-            .flat_map(|s| read(s).values().cloned().collect::<Vec<_>>())
+            .flat_map(|s| shard_read(s).values().cloned().collect::<Vec<_>>())
             .collect()
     }
 
     /// Registered-model count per shard, in shard order — the occupancy
     /// stats surfaced by the observability plane's `/health` endpoint.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| read(s).len()).collect()
+        self.shards.iter().map(|s| shard_read(s).len()).collect()
     }
 
     /// Whether a model is registered.
     pub fn contains(&self, name: &str) -> bool {
-        read(&self.shards[Self::shard_of(name)]).contains_key(name)
+        shard_read(&self.shards[Self::shard_of(name)]).contains_key(name)
     }
 
     /// All registered names in sorted order (the order the old single
@@ -150,7 +153,7 @@ impl ModelRegistry {
         let mut names: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| read(s).keys().cloned().collect::<Vec<_>>())
+            .flat_map(|s| shard_read(s).keys().cloned().collect::<Vec<_>>())
             .collect();
         names.sort();
         names

@@ -80,6 +80,127 @@ fn capture_context() -> ForkContext {
     NoContext
 }
 
+/// Fork/join observability series (all on the global recorder, handles
+/// cached per process): how many regions ran, how wide, how long each
+/// worker was busy, how long the forking thread waited at the join, and
+/// how lopsided the per-region work split was.
+#[cfg(feature = "telemetry")]
+mod metrics {
+    use std::sync::OnceLock;
+
+    pub(crate) fn region(ranges: usize, threads: usize) {
+        static REGIONS: OnceLock<au_telemetry::Counter> = OnceLock::new();
+        static RANGES: OnceLock<au_telemetry::Counter> = OnceLock::new();
+        static THREADS: OnceLock<au_telemetry::Gauge> = OnceLock::new();
+        REGIONS
+            .get_or_init(|| au_telemetry::counter("au_par.regions"))
+            .add(1);
+        RANGES
+            .get_or_init(|| au_telemetry::counter("au_par.ranges"))
+            .add(ranges as u64);
+        THREADS
+            .get_or_init(|| au_telemetry::gauge("au_par.threads"))
+            .set(threads as f64);
+    }
+
+    pub(crate) fn worker_busy(ns: u64) {
+        static H: OnceLock<au_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| au_telemetry::histogram("au_par.worker_busy"))
+            .record(ns);
+    }
+
+    pub(crate) fn join_wait(ns: u64) {
+        static H: OnceLock<au_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| au_telemetry::histogram("au_par.join_wait"))
+            .record(ns);
+    }
+
+    pub(crate) fn imbalance(ns: u64) {
+        static H: OnceLock<au_telemetry::Histogram> = OnceLock::new();
+        H.get_or_init(|| au_telemetry::histogram("au_par.region_imbalance"))
+            .record(ns);
+    }
+}
+
+/// Per-region accounting shared by every worker of one parallel region:
+/// times each chunk, folds a min/max busy envelope, and reports the
+/// region's join wait and imbalance when it finishes. With the
+/// `telemetry` feature off (or the recorder disabled) everything here is
+/// a no-op and no clock is read.
+#[cfg(feature = "telemetry")]
+struct RegionStats {
+    enabled: bool,
+    min_busy: std::sync::atomic::AtomicU64,
+    max_busy: std::sync::atomic::AtomicU64,
+}
+
+#[cfg(feature = "telemetry")]
+impl RegionStats {
+    fn new(ranges: usize) -> Self {
+        let enabled = au_telemetry::enabled();
+        if enabled {
+            metrics::region(ranges, max_threads());
+        }
+        RegionStats {
+            enabled,
+            min_busy: std::sync::atomic::AtomicU64::new(u64::MAX),
+            max_busy: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Runs one worker's chunk, recording its busy time.
+    fn measure<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        let ns = start.elapsed().as_nanos() as u64;
+        metrics::worker_busy(ns);
+        self.min_busy.fetch_min(ns, Ordering::Relaxed);
+        self.max_busy.fetch_max(ns, Ordering::Relaxed);
+        out
+    }
+
+    /// Marks the moment the forking thread starts waiting on its workers.
+    fn join_point(&self) -> Option<std::time::Instant> {
+        self.enabled.then(std::time::Instant::now)
+    }
+
+    /// Records the join wait and the busy-time spread (max − min) of the
+    /// finished region.
+    fn finish(&self, join_from: Option<std::time::Instant>) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = join_from {
+            metrics::join_wait(t.elapsed().as_nanos() as u64);
+        }
+        let min = self.min_busy.load(Ordering::Relaxed);
+        let max = self.max_busy.load(Ordering::Relaxed);
+        if min != u64::MAX {
+            metrics::imbalance(max.saturating_sub(min));
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+struct RegionStats;
+
+#[cfg(not(feature = "telemetry"))]
+impl RegionStats {
+    fn new(_ranges: usize) -> Self {
+        RegionStats
+    }
+    fn measure<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+    fn join_point(&self) -> Option<std::time::Instant> {
+        None
+    }
+    fn finish(&self, _join_from: Option<std::time::Instant>) {}
+}
+
 /// Runs `f` on a worker thread with the forked context installed (and the
 /// in-worker marker set), restoring both on the way out.
 fn in_worker_with<R>(ctx: ForkContext, f: impl FnOnce() -> R) -> R {
@@ -113,16 +234,39 @@ pub fn max_threads() -> usize {
         return forced.min(MAX_THREADS);
     }
     if let Ok(v) = std::env::var("AU_PAR_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n.min(MAX_THREADS);
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n.min(MAX_THREADS),
+            _ => warn_invalid_threads(&v),
         }
     }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(MAX_THREADS)
+}
+
+/// Surfaces a rejected `AU_PAR_THREADS` value instead of falling back
+/// silently: one leveled telemetry warning per process naming the value
+/// (echoed to stderr by the recorder's verbosity filter even when span
+/// capture is off). Without the `telemetry` feature the fallback stays
+/// silent — there is nowhere to report to.
+fn warn_invalid_threads(value: &str) {
+    #[cfg(feature = "telemetry")]
+    {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            au_telemetry::event(
+                au_telemetry::Level::Warn,
+                "au_par",
+                &format!(
+                    "ignoring invalid AU_PAR_THREADS={value:?} (want an integer >= 1); \
+                     falling back to available parallelism"
+                ),
+            );
+        });
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = value;
 }
 
 /// True while the calling thread is an au-par worker. Nested parallel
@@ -174,16 +318,22 @@ where
         return;
     }
     let ctx = capture_context();
+    let stats = RegionStats::new(ranges.len());
+    let join_from = Cell::new(None);
     thread::scope(|scope| {
         let mut iter = ranges.into_iter();
         let first = iter.next().expect("at least two ranges");
         for r in iter {
             let f = &f;
-            scope.spawn(move || in_worker_with(ctx, || f(r)));
+            let stats = &stats;
+            scope.spawn(move || in_worker_with(ctx, || stats.measure(|| f(r))));
         }
         // The calling thread takes the first range instead of idling.
-        in_worker_with(ctx, || f(first));
+        in_worker_with(ctx, || stats.measure(|| f(first)));
+        // Everything past this point is the implicit scope join.
+        join_from.set(stats.join_point());
     });
+    stats.finish(join_from.get());
 }
 
 /// Order-preserving parallel map: returns `[f(0), f(1), …, f(len-1)]`.
@@ -217,21 +367,25 @@ where
         return ranges.into_iter().map(f).collect();
     }
     let ctx = capture_context();
+    let stats = RegionStats::new(ranges.len());
     thread::scope(|scope| {
         let mut iter = ranges.into_iter();
         let first = iter.next().expect("at least two ranges");
         let handles: Vec<_> = iter
             .map(|r| {
                 let f = &f;
-                scope.spawn(move || in_worker_with(ctx, || f(r)))
+                let stats = &stats;
+                scope.spawn(move || in_worker_with(ctx, || stats.measure(|| f(r))))
             })
             .collect();
-        let head = in_worker_with(ctx, || f(first));
+        let head = in_worker_with(ctx, || stats.measure(|| f(first)));
+        let join_from = stats.join_point();
         let mut results = Vec::with_capacity(handles.len() + 1);
         results.push(head);
         for h in handles {
             results.push(h.join().expect("au-par worker panicked"));
         }
+        stats.finish(join_from);
         results
     })
 }
@@ -279,6 +433,8 @@ where
         return;
     }
     let ctx = capture_context();
+    let stats = RegionStats::new(ranges.len());
+    let join_from = Cell::new(None);
     thread::scope(|scope| {
         let mut rest = data;
         let mut consumed = 0usize;
@@ -288,10 +444,14 @@ where
             debug_assert_eq!(consumed, r.start * row_len);
             consumed += chunk.len();
             let f = &f;
+            let stats = &stats;
             let first_row = r.start;
-            scope.spawn(move || in_worker_with(ctx, || f(first_row, chunk)));
+            scope.spawn(move || in_worker_with(ctx, || stats.measure(|| f(first_row, chunk))));
         }
+        // The forking thread idles for the whole region here.
+        join_from.set(stats.join_point());
     });
+    stats.finish(join_from.get());
 }
 
 #[cfg(test)]
@@ -423,6 +583,79 @@ mod tests {
             assert_eq!(w.parent_id, root_span, "worker parents under root");
         }
         set_thread_override(None);
+    }
+
+    /// A nested region runs inline on its worker (the suppression path),
+    /// so spans it opens must stay on the worker's thread, inside the
+    /// caller's trace, parented under the worker's own span — not under a
+    /// second-generation fork context.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn nested_spawn_spans_inherit_the_outer_trace() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(4));
+        let rec = au_telemetry::global();
+        au_telemetry::enable();
+        let before = rec.span_count();
+        let (root_trace, root_span) = {
+            let root = rec.span("nested_root").expect("enabled");
+            let ids = (root.trace_id().0, root.span_id().0);
+            let _ = par_map(4, 1, |i| {
+                let outer = rec.span("nested_outer").expect("enabled");
+                let _ = (outer.trace_id(), i);
+                let inner: Vec<usize> = par_map(3, 1, |j| {
+                    let _s = rec.span("nested_inner");
+                    j
+                });
+                inner.into_iter().sum::<usize>()
+            });
+            ids
+        };
+        au_telemetry::disable();
+        let spans = rec.spans_since(before);
+        let outers: Vec<_> = spans.iter().filter(|s| s.name == "nested_outer").collect();
+        let inners: Vec<_> = spans.iter().filter(|s| s.name == "nested_inner").collect();
+        assert_eq!(outers.len(), 4);
+        assert_eq!(inners.len(), 12);
+        for o in &outers {
+            assert_eq!(o.trace_id, root_trace, "worker span joins the trace");
+            assert_eq!(o.parent_id, root_span, "worker span parents under root");
+        }
+        for i in &inners {
+            assert_eq!(i.trace_id, root_trace, "inner span stays in the trace");
+            let parent = outers
+                .iter()
+                .find(|o| o.span_id == i.parent_id)
+                .expect("inner span parents under one of the worker spans");
+            assert_eq!(i.tid, parent.tid, "nested region ran inline, same thread");
+        }
+        set_thread_override(None);
+    }
+
+    /// A junk `AU_PAR_THREADS` must fall back *and* say so — once.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn invalid_au_par_threads_warns_once_and_falls_back() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(None);
+        let rec = au_telemetry::global();
+        au_telemetry::enable();
+        let before = rec.event_count();
+        std::env::set_var("AU_PAR_THREADS", "banana");
+        assert!(max_threads() >= 1, "falls back to available parallelism");
+        let _ = max_threads(); // the warning must not repeat
+        std::env::remove_var("AU_PAR_THREADS");
+        au_telemetry::disable();
+        let warnings: Vec<_> = rec
+            .events_since(before)
+            .into_iter()
+            .filter(|e| {
+                e.level == au_telemetry::Level::Warn
+                    && e.target == "au_par"
+                    && e.message.contains("AU_PAR_THREADS=\"banana\"")
+            })
+            .collect();
+        assert_eq!(warnings.len(), 1, "exactly one warning naming the value");
     }
 
     #[test]

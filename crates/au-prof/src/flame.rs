@@ -1,0 +1,172 @@
+//! Self-contained SVG flamegraph rendering of a [`Profile`].
+//!
+//! Icicle layout (roots on top, callees below), widths proportional to
+//! clamped exclusive+descendant time, hover details via `<title>` — no
+//! JavaScript, no external assets, byte-identical for a given profile.
+
+use crate::Profile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 1200.0;
+const ROW: f64 = 17.0;
+const BOX_H: f64 = 16.0;
+const HEADER: f64 = 28.0;
+/// Boxes narrower than this many pixels are culled (invisible anyway).
+const MIN_W: f64 = 0.3;
+/// Approximate glyph advance of the 11px monospace label font.
+const CHAR_W: f64 = 6.6;
+
+#[derive(Default)]
+struct Node {
+    self_ns: u64,
+    total_ns: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn insert(&mut self, path: &str, self_ns: u64) {
+        let mut node = self;
+        for seg in path.split(';') {
+            node = node.children.entry(seg.to_owned()).or_default();
+        }
+        node.self_ns += self_ns;
+    }
+
+    fn compute_totals(&mut self) -> u64 {
+        let kids: u64 = self.children.values_mut().map(Node::compute_totals).sum();
+        self.total_ns = self.self_ns + kids;
+        self.total_ns
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Warm flamegraph palette, deterministic per name (FNV-1a).
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let r = 205 + (h % 50);
+    let g = 60 + ((h >> 8) % 120);
+    let b = (h >> 16) % 50;
+    format!("rgb({r},{g},{b})")
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn emit_box(out: &mut String, name: &str, node: &Node, x: f64, depth: usize, grand_total: u64) {
+    let w = node.total_ns as f64 / grand_total as f64 * WIDTH;
+    if w < MIN_W {
+        return;
+    }
+    let y = HEADER + depth as f64 * ROW;
+    let pct = node.total_ns as f64 / grand_total as f64 * 100.0;
+    let title = format!(
+        "{} — {} total ({:.2}%), {} self",
+        escape(name),
+        fmt_ns(node.total_ns),
+        pct,
+        fmt_ns(node.self_ns),
+    );
+    let _ = write!(
+        out,
+        "<g><title>{title}</title>\
+         <rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{BOX_H}\" \
+         fill=\"{}\" rx=\"1\"/>",
+        color(name)
+    );
+    let max_chars = ((w - 6.0) / CHAR_W) as usize;
+    if max_chars >= 3 {
+        let label = if name.chars().count() > max_chars {
+            let cut: String = name.chars().take(max_chars.saturating_sub(2)).collect();
+            format!("{cut}..")
+        } else {
+            name.to_owned()
+        };
+        let _ = write!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.1}\" class=\"f\">{}</text>",
+            x + 3.0,
+            y + 12.0,
+            escape(&label)
+        );
+    }
+    out.push_str("</g>\n");
+    let mut cx = x;
+    for (cname, child) in &node.children {
+        emit_box(out, cname, child, cx, depth + 1, grand_total);
+        cx += child.total_ns as f64 / grand_total as f64 * WIDTH;
+    }
+}
+
+pub(crate) fn render(profile: &Profile) -> String {
+    let mut root = Node::default();
+    for (path, stat) in profile.stacks() {
+        root.insert(path, u64::try_from(stat.exclusive_ns.max(0)).unwrap_or(0));
+    }
+    root.compute_totals();
+
+    let depth = root.depth().saturating_sub(1).max(1);
+    let height = HEADER + depth as f64 * ROW + 8.0;
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" \
+         height=\"{height}\" viewBox=\"0 0 {WIDTH} {height}\" \
+         font-family=\"monospace\">\n\
+         <style>text{{font-size:11px;fill:#111}}.h{{font-size:12px;fill:#555}}\
+         .f{{pointer-events:none}}rect:hover{{stroke:#000;stroke-width:0.5}}</style>\n"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"6\" y=\"17\" class=\"h\">au-prof flamegraph — {} traces, {} spans, {} attributed \
+         (exclusive time, negatives clamped; widths proportional)</text>",
+        profile.traces(),
+        profile.spans(),
+        fmt_ns(root.total_ns),
+    );
+    if root.total_ns == 0 {
+        let _ = writeln!(
+            out,
+            "<text x=\"6\" y=\"{:.1}\">no completed traces yet</text>",
+            HEADER + 12.0
+        );
+    } else {
+        let mut x = 0.0;
+        for (name, child) in &root.children {
+            emit_box(&mut out, name, child, x, 0, root.total_ns);
+            x += child.total_ns as f64 / root.total_ns as f64 * WIDTH;
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}

@@ -13,6 +13,8 @@
 //! | `/health`        | engine mode, degraded models, registry shard occupancy |
 //! | `/snapshot.json` | one-shot JSON dump of the full recorder state          |
 //! | `/events`        | Server-Sent Events stream: spans, alerts, metric ticks |
+//! | `/profile.json`  | au-prof self-time attribution: per-name inclusive/exclusive, collapsed stacks, per-trace totals |
+//! | `/flamegraph`    | self-contained SVG flamegraph over the same profile   |
 //!
 //! The server is deliberately austere: a [`std::net::TcpListener`] accept
 //! loop plus one short-lived thread per connection, sharing nothing heavier
@@ -34,6 +36,7 @@
 
 mod http;
 mod json;
+mod profile;
 mod prometheus;
 mod sse;
 mod status;
@@ -42,7 +45,7 @@ use au_telemetry::Recorder;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -53,8 +56,9 @@ use au_core::EngineHandle;
 /// has no runtime file dependencies.
 const DASHBOARD_HTML: &str = include_str!("../assets/dashboard.html");
 
-/// Per-connection socket timeout: a stalled or half-open client must not
-/// pin a handler thread (SSE writers poll the stop flag instead).
+/// Default per-connection socket timeout: a stalled or half-open client
+/// must not pin a handler thread (SSE writers poll the stop flag
+/// instead). Override per server with [`ScopeBuilder::io_timeout`].
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Everything a handler thread needs, shared behind one `Arc`.
@@ -64,6 +68,11 @@ pub(crate) struct Plane {
     pub engine: Option<EngineHandle>,
     pub started: Instant,
     pub stop: AtomicBool,
+    /// Folds the recorder's span stream into self-time attribution.
+    /// Polled only while serving `/profile.json` or `/flamegraph`, so an
+    /// attached-but-unqueried profiler costs the hot path nothing.
+    pub profiler: Mutex<au_prof::Profiler>,
+    pub io_timeout: Duration,
 }
 
 impl Plane {
@@ -78,6 +87,7 @@ pub struct ScopeBuilder {
     #[cfg(feature = "engine")]
     engine: Option<EngineHandle>,
     addr: String,
+    io_timeout: Duration,
 }
 
 impl ScopeBuilder {
@@ -107,6 +117,16 @@ impl ScopeBuilder {
         self
     }
 
+    /// Per-connection socket read/write timeout (default 5 s): how long a
+    /// handler thread may block on one stalled client before the
+    /// connection is abandoned. Mainly for tests that exercise the
+    /// slow-client path without waiting out the default.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
     /// Binds the listener and spawns the accept loop.
     ///
     /// # Errors
@@ -121,6 +141,8 @@ impl ScopeBuilder {
             engine: self.engine,
             started: Instant::now(),
             stop: AtomicBool::new(false),
+            profiler: Mutex::new(au_prof::Profiler::new()),
+            io_timeout: self.io_timeout,
         });
         let accept_plane = Arc::clone(&plane);
         let accept = thread::Builder::new()
@@ -150,6 +172,7 @@ impl ScopeServer {
             #[cfg(feature = "engine")]
             engine: None,
             addr: "127.0.0.1:0".to_owned(),
+            io_timeout: IO_TIMEOUT,
         }
     }
 
@@ -196,8 +219,8 @@ fn accept_loop(listener: &TcpListener, plane: &Arc<Plane>) {
 }
 
 fn handle_connection(mut stream: TcpStream, plane: &Arc<Plane>) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(plane.io_timeout));
+    let _ = stream.set_write_timeout(Some(plane.io_timeout));
     let Ok(req) = http::read_request(&mut stream) else {
         return;
     };
@@ -241,12 +264,26 @@ fn handle_connection(mut stream: TcpStream, plane: &Arc<Plane>) {
             status::snapshot_json(plane).as_bytes(),
         ),
         "/events" => sse::stream_events(&mut stream, plane),
+        "/profile.json" => http::respond(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            profile::profile_json(plane).as_bytes(),
+        ),
+        "/flamegraph" => http::respond(
+            &mut stream,
+            200,
+            "OK",
+            "image/svg+xml; charset=utf-8",
+            profile::flamegraph_svg(plane).as_bytes(),
+        ),
         _ => http::respond(
             &mut stream,
             404,
             "Not Found",
             "text/plain; charset=utf-8",
-            b"unknown endpoint; try /, /metrics, /health, /snapshot.json, /events\n",
+            b"unknown endpoint; try /, /metrics, /health, /snapshot.json, /events, /profile.json, /flamegraph\n",
         ),
     };
     let _ = result;

@@ -1,0 +1,99 @@
+//! `/profile.json` and `/flamegraph`: the au-prof self-time view.
+//!
+//! Both endpoints poll the plane's [`au_prof::Profiler`] at request time —
+//! the profiler drains whatever the recorder captured since the previous
+//! request and folds completed traces, so repeated scrapes are
+//! incremental and an idle (attached-but-unqueried) profiler costs the
+//! hot path nothing.
+
+use crate::json::{push_key, push_str};
+use crate::Plane;
+use au_prof::Profiler;
+use std::fmt::Write as _;
+use std::sync::MutexGuard;
+
+fn polled(plane: &Plane) -> MutexGuard<'_, Profiler> {
+    let mut prof = plane
+        .profiler
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    prof.poll(plane.recorder);
+    prof
+}
+
+/// The full attribution dump: per-name stats, collapsed stacks, and
+/// per-trace inclusive/exclusive totals for the most recent traces.
+pub(crate) fn profile_json(plane: &Plane) -> String {
+    let prof = polled(plane);
+    let p = prof.profile();
+    let mut out = String::with_capacity(4096);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"traces\":{},\"spans\":{},\"dropped_spans\":{},\"pending_spans\":{}",
+        p.traces(),
+        p.spans(),
+        p.dropped_spans(),
+        prof.pending_spans()
+    );
+
+    out.push(',');
+    push_key(&mut out, "names");
+    out.push('{');
+    for (i, (name, s)) in p.names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, name);
+        let _ = write!(
+            out,
+            "{{\"calls\":{},\"inclusive_ns\":{},\"exclusive_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            s.calls, s.inclusive_ns, s.exclusive_ns, s.min_ns, s.max_ns
+        );
+    }
+    out.push('}');
+
+    out.push(',');
+    push_key(&mut out, "stacks");
+    out.push('[');
+    for (i, (path, s)) in p.stacks().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_key(&mut out, "stack");
+        push_str(&mut out, path);
+        let _ = write!(
+            out,
+            ",\"exclusive_ns\":{},\"count\":{}}}",
+            s.exclusive_ns, s.count
+        );
+    }
+    out.push(']');
+
+    out.push(',');
+    push_key(&mut out, "recent_traces");
+    out.push('[');
+    for (i, t) in p.recent_traces().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let _ = write!(out, "\"trace\":{},", t.trace_id);
+        push_key(&mut out, "root");
+        push_str(&mut out, &t.root);
+        let _ = write!(
+            out,
+            ",\"inclusive_ns\":{},\"exclusive_sum_ns\":{},\"spans\":{}}}",
+            t.inclusive_ns, t.exclusive_sum_ns, t.spans
+        );
+    }
+    out.push(']');
+    out.push('}');
+    out
+}
+
+/// The same profile rendered as a self-contained SVG flamegraph.
+pub(crate) fn flamegraph_svg(plane: &Plane) -> String {
+    polled(plane).profile().flamegraph_svg()
+}

@@ -1,0 +1,137 @@
+//! A stalled SSE client must not wedge the plane. The `/events` writer
+//! buffers at most one burst in process and relies on the per-connection
+//! socket timeout to abandon a client that stops reading: while one
+//! connection is stalled with full socket buffers, every other endpoint
+//! keeps answering, and the stalled connection itself is closed once a
+//! write blocks past the configured timeout rather than pinned forever.
+
+use au_telemetry::Recorder;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spans carry a fat payload so each SSE burst moves megabytes: the
+/// kernel will happily autotune loopback buffers into the tens of MB, so
+/// a stalled client only blocks the writer once that much has been
+/// queued. The flood thread resets the recorder each cycle to keep the
+/// process-side span buffer bounded while the stream keeps producing.
+const PAD_BYTES: usize = 4096;
+const SPANS_PER_CYCLE: usize = 512;
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+fn leaked_recorder() -> &'static Recorder {
+    let rec: &'static Recorder = Box::leak(Box::new(Recorder::new()));
+    rec.enable();
+    rec
+}
+
+#[test]
+fn stalled_sse_client_does_not_wedge_the_plane() {
+    let rec = leaked_recorder();
+    let server = au_scope::ScopeServer::builder()
+        .recorder(rec)
+        .io_timeout(Duration::from_millis(250))
+        .bind("127.0.0.1:0")
+        .start()
+        .expect("start scope server");
+    let addr = server.local_addr();
+
+    // Open an SSE stream, read just the response head + hello frame, then
+    // stop reading entirely — the classic stuck downstream.
+    let mut stalled = TcpStream::connect(addr).expect("connect sse");
+    write!(stalled, "GET /events HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut head = [0u8; 256];
+    let n = stalled.read(&mut head).expect("read hello");
+    assert!(n > 0, "no hello frame");
+    assert!(
+        std::str::from_utf8(&head[..n])
+            .unwrap_or("")
+            .starts_with("HTTP/1.1 200"),
+        "sse stream refused"
+    );
+
+    // Keep the recorder producing faster than the stream can drain for as
+    // long as the test runs, so the writer is guaranteed to fill both
+    // kernel socket buffers and block. Memory stays bounded: each cycle
+    // is ~2 MB of spans and the reset drops the previous cycle.
+    let stop_flood = Arc::new(AtomicBool::new(false));
+    let flood = {
+        let stop = Arc::clone(&stop_flood);
+        std::thread::spawn(move || {
+            let pad = "x".repeat(PAD_BYTES);
+            while !stop.load(Ordering::Relaxed) {
+                // Reset FIRST, then record, then sleep past the stream's
+                // poll interval: the buffer sits full while the writer
+                // samples it, so every poll moves a whole burst.
+                rec.reset();
+                for _ in 0..SPANS_PER_CYCLE {
+                    let _g = rec.span_with("flood", &[("pad", pad.clone())]);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+
+    // While the stalled connection jams up, the plane must keep serving:
+    // each scrape runs on its own handler thread and shares nothing
+    // blocking with the SSE writer.
+    for _ in 0..5 {
+        let started = Instant::now();
+        let resp = get(addr, "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "metrics scrape took {:?} behind a stalled client",
+            started.elapsed()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Leave the client stalled long enough for the buffers to fill at
+    // stream rate and the 250 ms write timeout to trip.
+    std::thread::sleep(Duration::from_secs(4));
+
+    // Now drain. If the server abandoned the connection, only the bytes
+    // already queued in the kernel arrive, ending in EOF or a reset. If
+    // the timeout path were broken the revived stream would keep feeding
+    // the flood forever and the deadline below would expire.
+    stalled
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut sink = [0u8; 64 * 1024];
+    let closed = loop {
+        if Instant::now() > deadline {
+            break false;
+        }
+        match stalled.read(&mut sink) {
+            Ok(0) => break true,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break true, // reset/aborted both mean "abandoned"
+        }
+    };
+    assert!(closed, "server never abandoned the stalled SSE connection");
+
+    // And the plane is still healthy afterwards.
+    stop_flood.store(true, Ordering::Relaxed);
+    flood.join().expect("flood thread");
+    let resp = get(addr, "/metrics");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    server.shutdown();
+}

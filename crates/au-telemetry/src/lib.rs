@@ -740,6 +740,16 @@ impl Recorder {
             .unwrap_or_default()
     }
 
+    /// Zero-copy variant of [`Recorder::spans_since`]: runs `f` over the
+    /// spans recorded since index `from` while the span buffer is locked,
+    /// so incremental consumers (the au-prof profiler) can fold a burst of
+    /// records without cloning the backlog first. Keep `f` short — the
+    /// hot path blocks on the same lock while it runs.
+    pub fn tap_spans_since<R>(&self, from: usize, f: impl FnOnce(&[SpanRecord]) -> R) -> R {
+        let spans = self.spans.lock().unwrap();
+        f(spans.get(from..).unwrap_or(&[]))
+    }
+
     /// Events captured since index `from`, for incremental readers.
     pub fn events_since(&self, from: usize) -> Vec<EventRecord> {
         let events = self.events.lock().unwrap();
