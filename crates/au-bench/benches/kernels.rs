@@ -180,11 +180,36 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The small-region workload for the pool-vs-scoped comparison: ~1k cheap
+/// elements, the regime where per-call thread spawning dominated.
+fn small_region_work(i: usize) -> f64 {
+    let x = i as f64 * 0.001;
+    x.sin().mul_add(x, x.sqrt())
+}
+
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_vs_scoped_1k");
+    for threads in [2usize, 4] {
+        group.bench_function(format!("scoped/{threads}"), |bch| {
+            au_par::set_thread_override(Some(threads));
+            bch.iter(|| black_box(au_par::par_map(1024, 64, small_region_work)));
+            au_par::set_thread_override(None);
+        });
+        group.bench_function(format!("pooled/{threads}"), |bch| {
+            au_par::set_thread_override(Some(threads));
+            bch.iter(|| black_box(au_par::pool_map(1024, 64, small_region_work)));
+            au_par::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul_sweep,
     bench_conv_forward,
-    bench_thread_sweep
+    bench_thread_sweep,
+    bench_pool_vs_scoped
 );
 
 // ---------------------------------------------------------------------
@@ -298,6 +323,71 @@ fn write_json(path: &str) {
         write!(sweep, "\"{threads}\": {:.0}", t * 1e9).expect("format");
     }
 
+    // Persistent pool vs per-call scoped spawning, same workload and the
+    // same thread count — the small-region regime the pool exists for.
+    let mut pool_vs_scoped = String::new();
+    for threads in [2usize, 4] {
+        au_par::set_thread_override(Some(threads));
+        let scoped = measure(
+            || {
+                black_box(au_par::par_map(1024, 64, small_region_work));
+            },
+            samples,
+        );
+        let pooled = measure(
+            || {
+                black_box(au_par::pool_map(1024, 64, small_region_work));
+            },
+            samples,
+        );
+        au_par::set_thread_override(None);
+        if !pool_vs_scoped.is_empty() {
+            pool_vs_scoped.push_str(",\n");
+        }
+        write!(
+            pool_vs_scoped,
+            "    \"{threads}\": {{ \"scoped_ns\": {:.0}, \"pooled_ns\": {:.0}, \"speedup\": {:.2} }}",
+            scoped * 1e9,
+            pooled * 1e9,
+            scoped / pooled,
+        )
+        .expect("format");
+    }
+
+    // Scalar serving on the reference 64→256→256→4 model: the f64
+    // boundary path vs the native-f32 allocation-free path.
+    let (serve_f64, serve_f32) = {
+        use au_core::{Engine, Mode, ModelConfig};
+        au_nn::set_init_seed(11);
+        let mut e = Engine::new(Mode::Train);
+        e.au_config("M", ModelConfig::dnn(&[256, 256])).unwrap();
+        let xs: Vec<Vec<f64>> = (0..8)
+            .map(|i| (0..64).map(|j| ((i + j) % 16) as f64 / 16.0).collect())
+            .collect();
+        let ys: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0; 4]).collect();
+        e.train_supervised("M", &xs, &ys, 1).unwrap();
+        e.set_mode(Mode::Test);
+        let h = e.handle();
+        let x: Vec<f64> = (0..64).map(|j| (j % 64) as f64 / 64.0).collect();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let f64_ns = measure(
+            || {
+                black_box(h.predict("M", &x).unwrap());
+            },
+            samples,
+        );
+        let mut out = Vec::with_capacity(4);
+        let f32_ns = measure(
+            || {
+                out.clear();
+                h.predict_f32_into("M", &x32, &mut out).unwrap();
+                black_box(&out);
+            },
+            samples,
+        );
+        (f64_ns, f32_ns)
+    };
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = format!(
         "{{\n\
@@ -311,11 +401,20 @@ fn write_json(path: &str) {
          \x20   \"speedup\": {:.2}\n\
          \x20 }},\n\
          \x20 \"thread_sweep_matmul_256_ns\": {{ {sweep} }},\n\
-         \x20 \"note\": \"naive_* are the pre-overhaul kernels; speedups are single-thread (AU_PAR_THREADS=1). The thread sweep is measured on whatever cores the host exposes - on a single-core container extra workers only oversubscribe the core, so the sweep bounds the fan-out overhead rather than showing a speedup.\"\n\
+         \x20 \"pool_vs_scoped_1k\": {{\n{pool_vs_scoped}\n  }},\n\
+         \x20 \"serving_dnn_64_256_256_4\": {{\n\
+         \x20   \"predict_f64_ns\": {:.0},\n\
+         \x20   \"predict_f32_ns\": {:.0},\n\
+         \x20   \"speedup\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"note\": \"naive_* are the pre-overhaul kernels; speedups are single-thread (AU_PAR_THREADS=1). The thread sweep is measured on whatever cores the host exposes - on a single-core container extra workers only oversubscribe the core, so the sweep bounds the fan-out overhead rather than showing a speedup. pool_vs_scoped_1k compares per-call scoped spawning against the persistent worker pool on a ~1k-element region at the same thread count; serving_dnn_64_256_256_4 compares the f64 boundary path against native-f32 scalar serving.\"\n\
          }}\n",
         conv_naive * 1e9,
         conv_im2col * 1e9,
         conv_naive / conv_im2col,
+        serve_f64 * 1e9,
+        serve_f32 * 1e9,
+        serve_f64 / serve_f32,
     );
     std::fs::write(path, doc).expect("write bench json");
     println!("wrote {path}");

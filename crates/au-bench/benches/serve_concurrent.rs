@@ -98,6 +98,39 @@ fn bench_serve_concurrent(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Native f32 serving for contrast with the scalar f64 rows above: the
+    // same requests pre-narrowed once, served through `predict_f32_into`
+    // (no per-call f64→f32 conversion, no output allocation).
+    let inputs32: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| x.iter().map(|&v| v as f32).collect())
+        .collect();
+    let mut group = c.benchmark_group("serve_concurrent/dnn_256x256_f32");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                let per_thread = TOTAL_PREDICTIONS / threads;
+                thread::scope(|scope| {
+                    for t in 0..threads {
+                        let h = handle.clone();
+                        let inputs32 = &inputs32;
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(4);
+                            for i in 0..per_thread {
+                                let x = &inputs32[(t * per_thread + i) % inputs32.len()];
+                                out.clear();
+                                h.predict_f32_into("M", x, &mut out).unwrap();
+                                black_box(&out);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_serve_concurrent);

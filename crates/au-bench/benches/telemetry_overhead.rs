@@ -135,5 +135,42 @@ fn bench_au_nn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extract, bench_au_nn);
+/// The native-f32 serving path (`predict_f32_into`): its telemetry sites
+/// (`predict_f32` span + time series) must stay as cheap as the f64
+/// path's, and the pooled batch path rides the same recorder toggles.
+fn bench_predict_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead/predict_f32");
+    let row32 = [0.25f32, 0.5, 0.75, 1.0];
+    let mut out = Vec::with_capacity(8);
+
+    au_telemetry::disable();
+    let engine = trained_engine();
+    let handle = engine.handle();
+    group.bench_function("recorder_off", |b| {
+        b.iter(|| {
+            out.clear();
+            handle
+                .predict_f32_into("BenchNN", black_box(&row32), &mut out)
+                .expect("serve");
+            black_box(&out);
+        })
+    });
+
+    au_telemetry::enable();
+    let engine = trained_engine();
+    let handle = engine.handle();
+    group.bench_function("recorder_on", |b| {
+        b.iter(|| {
+            out.clear();
+            handle
+                .predict_f32_into("BenchNN", black_box(&row32), &mut out)
+                .expect("serve");
+            black_box(&out);
+        })
+    });
+    au_telemetry::disable();
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract, bench_au_nn, bench_predict_f32);
 criterion_main!(benches);

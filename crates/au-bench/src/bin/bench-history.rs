@@ -128,12 +128,34 @@ fn main() {
                 black_box(handle.predict("HistNN", black_box(&x)).expect("predict"));
             }),
         );
+        let x32 = [0.25f32, 0.75, 0.125, 0.5];
+        let mut out32 = Vec::with_capacity(8);
+        benches.insert(
+            "predict_f32".to_owned(),
+            median_ns(samples, 128, || {
+                out32.clear();
+                handle
+                    .predict_f32_into("HistNN", black_box(&x32), &mut out32)
+                    .expect("predict_f32");
+                black_box(&out32);
+            }),
+        );
     }
 
     benches.insert(
         "par_map_1k".to_owned(),
         median_ns(samples, 8, || {
             black_box(au_par::par_map(1024, 64, |i| {
+                let x = i as f64 * 0.001;
+                x.sin().mul_add(x, x.sqrt())
+            }));
+        }),
+    );
+
+    benches.insert(
+        "pool_map_1k".to_owned(),
+        median_ns(samples, 8, || {
+            black_box(au_par::pool_map(1024, 64, |i| {
                 let x = i as f64 * 0.001;
                 x.sin().mul_add(x, x.sqrt())
             }));

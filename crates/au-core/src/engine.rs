@@ -121,6 +121,18 @@ impl Engine {
         self.handle.au_extract(name, values);
     }
 
+    /// `@au_extract` for native-`f32` feature vectors — see
+    /// [`EngineHandle::au_extract_f32`].
+    pub fn au_extract_f32(&mut self, name: &str, values: &[f32]) {
+        self.handle.au_extract_f32(name, values);
+    }
+
+    /// Extracts a staged [`crate::FeatureBuffer`] under `name` and clears
+    /// the buffer, keeping its allocation for the next frame.
+    pub fn au_extract_buffer(&mut self, name: &str, buf: &mut crate::FeatureBuffer) {
+        self.handle.au_extract_buffer(name, buf);
+    }
+
     /// Lifetime count of scalars extracted through [`Engine::au_extract`]
     /// (the paper's Table 2 trace-size metric; survives restores).
     pub fn total_extracted(&self) -> u64 {
@@ -273,6 +285,40 @@ impl Engine {
         xs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, AuError> {
         self.handle.predict_batch(model, xs)
+    }
+
+    /// Native-`f32` [`Engine::predict`] — no `f64` boundary conversions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EngineHandle::predict_f32_into`].
+    pub fn predict_f32(&mut self, model: &str, x: &[f32]) -> Result<Vec<f32>, AuError> {
+        self.handle.predict_f32(model, x)
+    }
+
+    /// Allocation-free native-`f32` prediction — see
+    /// [`EngineHandle::predict_f32_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EngineHandle::predict_f32_into`].
+    pub fn predict_f32_into(
+        &mut self,
+        model: &str,
+        x: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), AuError> {
+        self.handle.predict_f32_into(model, x, out)
+    }
+
+    /// Native-`f32` [`Engine::predict_batch`] over a flat row-major matrix
+    /// — see [`EngineHandle::predict_batch_f32`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EngineHandle::predict_batch_f32`].
+    pub fn predict_batch_f32(&mut self, model: &str, xs: &[f32]) -> Result<Vec<f32>, AuError> {
+        self.handle.predict_batch_f32(model, xs)
     }
 
     /// Size/training statistics for a built model (Table 2's model size).

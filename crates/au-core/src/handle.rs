@@ -23,8 +23,8 @@
 use crate::error::AuError;
 use crate::lockwait::pi_lock;
 use crate::model::{
-    rl_step, run_model_ref, supervised_step, to_f32, Algorithm, Backend, ModelConfig,
-    ModelInstance, ModelStats,
+    net_mut, rl_step, run_model_f32_into, run_model_ref, supervised_step, to_f32, Algorithm,
+    Backend, ModelConfig, ModelInstance, ModelStats,
 };
 use crate::monitoring::BaselineMeta;
 #[cfg(feature = "monitor")]
@@ -66,6 +66,11 @@ impl Mode {
         }
     }
 }
+
+/// Minimum rows per parallel range in the batched prediction paths: below
+/// this, per-range tensor setup dominates the forward pass and the region
+/// runs inline.
+const PREDICT_MIN_ROWS: usize = 8;
 
 /// Per (model, wb-name) append-counter marks distinguishing fresh labels
 /// from stale predictions in `au_nn`.
@@ -254,7 +259,7 @@ impl EngineHandle {
             );
             entry.instance.backend = Some(match entry.instance.config.algorithm {
                 Algorithm::AdamOpt => Backend::Supervised {
-                    net,
+                    net: Arc::new(net),
                     opt: Adam::new(entry.instance.config.learning_rate),
                     train_steps: 0,
                 },
@@ -307,7 +312,7 @@ impl EngineHandle {
         let mut entry = ModelEntry::new(ModelInstance::new(config));
         entry.instance.backend = Some(match algorithm {
             Algorithm::AdamOpt => Backend::Supervised {
-                net: network,
+                net: Arc::new(network),
                 opt: Adam::new(1e-3),
                 train_steps: 0,
             },
@@ -384,6 +389,28 @@ impl EngineHandle {
             .extracted_total
             .fetch_add(values.len() as u64, Ordering::Relaxed);
         pi_lock(&self.shared.db).db.append(name, values);
+    }
+
+    /// `@au_extract` for native-`f32` feature vectors — the hot-path twin
+    /// of [`EngineHandle::au_extract`]. Each value is widened exactly
+    /// (every `f32` is representable as an `f64`) straight into π with no
+    /// intermediate buffer, so extract→serve loops built on
+    /// [`FeatureBuffer`] and [`EngineHandle::predict_f32_into`] never
+    /// convert through `f64` on their own account.
+    pub fn au_extract_f32(&self, name: &str, values: &[f32]) {
+        let _t = t_time!("au_core.au_extract");
+        t_count!("au_core.extract_rows", values.len() as u64);
+        self.shared
+            .extracted_total
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
+        pi_lock(&self.shared.db).db.append_f32(name, values);
+    }
+
+    /// Extracts a staged [`FeatureBuffer`] under `name` and clears the
+    /// buffer for the next frame, keeping its capacity.
+    pub fn au_extract_buffer(&self, name: &str, buf: &mut FeatureBuffer) {
+        self.au_extract_f32(name, buf.as_slice());
+        buf.clear();
     }
 
     /// Lifetime count of scalars extracted through
@@ -555,7 +582,7 @@ impl EngineHandle {
                         train_steps,
                     } => {
                         if have_labels {
-                            let loss = supervised_step(net, opt, &input, &label_flat);
+                            let loss = supervised_step(net_mut(net), opt, &input, &label_flat);
                             t_count!("au_core.rows_trained");
                             t_gauge!("au_core.last_loss", f64::from(loss));
                             *train_steps += 1;
@@ -955,6 +982,9 @@ impl EngineHandle {
                     opt,
                     train_steps,
                 } => {
+                    // One copy-on-write unshare for the whole training run,
+                    // not one per gradient step.
+                    let net = net_mut(net);
                     let mut last_epoch_loss = 0.0f64;
                     for _ in 0..epochs {
                         let _e = t_time!("au_core.train_epoch");
@@ -1038,30 +1068,54 @@ impl EngineHandle {
             .get(model)
             .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
         let g = read(&entry);
-        let net = match g.instance.backend.as_ref() {
-            Some(Backend::Supervised { net, .. }) => net,
-            Some(Backend::Reinforcement { agent, .. }) => agent.network(),
+        // Supervised models share an `Arc<Network>`: clone the handle and
+        // release the read lock, so the batch runs on the persistent pool
+        // (jobs are `'static`) without holding the model entry.
+        let pooled = match g.instance.backend.as_ref() {
+            Some(Backend::Supervised { net, .. }) => Some(Arc::clone(net)),
+            Some(Backend::Reinforcement { .. }) => None,
             None => return Err(AuError::ModelNotTrained(model.to_owned())),
         };
-        let width = net.in_features();
-        for x in xs {
-            if x.len() != width {
-                return Err(AuError::InputSizeChanged {
-                    model: model.to_owned(),
-                    built: width,
-                    got: x.len(),
-                });
+        if let Some(net) = pooled {
+            drop(g);
+            let width = net.in_features();
+            check_batch_widths(model, xs, width)?;
+            // One f64→f32 conversion pass over the whole batch; pool jobs
+            // slice it read-only. Per-range tensor contents are exactly
+            // what the old borrowed path built, and every kernel preserves
+            // per-element accumulation order, so the result is bit-identical
+            // to one full-batch forward pass for every thread count. Inside
+            // a worker the kernels themselves stay serial (nested-region
+            // suppression); with a single range this runs inline and the
+            // kernels may parallelize instead.
+            let mut flat = Vec::with_capacity(xs.len() * width);
+            for x in xs {
+                flat.extend(x.iter().map(|&v| v as f32));
             }
+            let flat = Arc::new(flat);
+            let chunks = au_par::pool_map_ranges(xs.len(), PREDICT_MIN_ROWS, move |r| {
+                let rows = r.len();
+                let batch = Tensor::from_vec(
+                    &[rows, width],
+                    flat[r.start * width..r.end * width].to_vec(),
+                );
+                let out = net.infer(&batch);
+                (0..rows)
+                    .map(|i| out.row_slice(i).iter().map(|&v| f64::from(v)).collect())
+                    .collect::<Vec<Vec<f64>>>()
+            });
+            t_count!("au_core.predictions_served", xs.len() as u64);
+            return Ok(chunks.into_iter().flatten().collect());
         }
-        // Fan the batch out across au-par workers in row order. Each row's
-        // output depends only on that row, and every kernel preserves
-        // per-element accumulation order, so the result is bit-identical to
-        // one full-batch forward pass for every thread count. Inside a
-        // worker the kernels themselves stay serial (nested-spawn guard);
-        // with a single range this runs inline and the kernels may
-        // parallelize instead.
-        const MIN_ROWS: usize = 8;
-        let chunks = au_par::par_map_ranges(xs.len(), MIN_ROWS, |r| {
+        // RL agents expose only a borrowed view of their network, so the
+        // batch fans out on the borrowing scoped path under the read lock.
+        let net = match g.instance.backend.as_ref() {
+            Some(Backend::Reinforcement { agent, .. }) => agent.network(),
+            _ => unreachable!("checked above"),
+        };
+        let width = net.in_features();
+        check_batch_widths(model, xs, width)?;
+        let chunks = au_par::par_map_ranges(xs.len(), PREDICT_MIN_ROWS, |r| {
             let rows = &xs[r];
             let mut flat = Vec::with_capacity(rows.len() * width);
             for x in rows {
@@ -1075,6 +1129,132 @@ impl EngineHandle {
         });
         t_count!("au_core.predictions_served", xs.len() as u64);
         Ok(chunks.into_iter().flatten().collect())
+    }
+
+    /// Native-`f32` [`EngineHandle::predict`]: no `f64` boundary
+    /// conversions at all. See [`EngineHandle::predict_f32_into`] for the
+    /// allocation-free form.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EngineHandle::predict_f32_into`].
+    pub fn predict_f32(&self, model: &str, x: &[f32]) -> Result<Vec<f32>, AuError> {
+        let mut out = Vec::new();
+        self.predict_f32_into(model, x, &mut out)?;
+        Ok(out)
+    }
+
+    /// The hot serving path: runs the model on one `f32` feature row,
+    /// appending the outputs to `out`. All intermediate buffers come from
+    /// per-thread scratch, so the steady state performs **zero** heap
+    /// allocations and zero `f64`↔`f32` conversions. Runs entirely under
+    /// the model's read lock; cloned handles serve concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`], [`AuError::ModelNotTrained`], or
+    /// [`AuError::InputSizeChanged`] if `x`'s width differs from the built
+    /// network's input width.
+    pub fn predict_f32_into(
+        &self,
+        model: &str,
+        x: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), AuError> {
+        let _s = t_span!("predict_f32", model = model);
+        let _t = t_time!("au_core.predict_f32");
+        t_count!("au_core.predictions_served");
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        let g = read(&entry);
+        match g.instance.backend.as_ref() {
+            Some(Backend::Supervised { net, .. }) => {
+                if net.in_features() != x.len() {
+                    return Err(AuError::InputSizeChanged {
+                        model: model.to_owned(),
+                        built: net.in_features(),
+                        got: x.len(),
+                    });
+                }
+                run_model_f32_into(net, x, out);
+                Ok(())
+            }
+            Some(Backend::Reinforcement { agent, .. }) => {
+                if agent.state_dim() != x.len() {
+                    return Err(AuError::InputSizeChanged {
+                        model: model.to_owned(),
+                        built: agent.state_dim(),
+                        got: x.len(),
+                    });
+                }
+                out.extend(agent.q_values_ref(x));
+                Ok(())
+            }
+            None => Err(AuError::ModelNotTrained(model.to_owned())),
+        }
+    }
+
+    /// Native-`f32` [`EngineHandle::predict_batch`] over a flat row-major
+    /// matrix: `xs.len()` must be a multiple of the model's input width,
+    /// and the result is the flat row-major `[rows × out_width]` output.
+    /// Supervised batches fan out across the persistent worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`AuError::UnknownModel`], [`AuError::ModelNotTrained`], or
+    /// [`AuError::InputSizeChanged`] if `xs.len()` is not a multiple of the
+    /// built network's input width.
+    pub fn predict_batch_f32(&self, model: &str, xs: &[f32]) -> Result<Vec<f32>, AuError> {
+        let _t = t_time!("au_core.predict_batch");
+        if xs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| AuError::UnknownModel(model.to_owned()))?;
+        let g = read(&entry);
+        let pooled = match g.instance.backend.as_ref() {
+            Some(Backend::Supervised { net, .. }) => Some(Arc::clone(net)),
+            Some(Backend::Reinforcement { .. }) => None,
+            None => return Err(AuError::ModelNotTrained(model.to_owned())),
+        };
+        let infer_chunk = |net: &Network, chunk: &[f32], width: usize| {
+            let rows = chunk.len() / width;
+            let batch = Tensor::from_vec(&[rows, width], chunk.to_vec());
+            net.infer(&batch).into_vec()
+        };
+        if let Some(net) = pooled {
+            drop(g);
+            let width = net.in_features();
+            let rows = check_flat_width(model, xs, width)?;
+            t_count!("au_core.predictions_served", rows as u64);
+            if rows <= PREDICT_MIN_ROWS {
+                // A batch this small is always a single range: skip the
+                // shared-`Arc` copy and feed the caller's rows directly.
+                return Ok(infer_chunk(&net, xs, width));
+            }
+            let flat: Arc<Vec<f32>> = Arc::new(xs.to_vec());
+            let chunks = au_par::pool_map_ranges(rows, PREDICT_MIN_ROWS, move |r| {
+                infer_chunk(&net, &flat[r.start * width..r.end * width], width)
+            });
+            return Ok(chunks.concat());
+        }
+        let net = match g.instance.backend.as_ref() {
+            Some(Backend::Reinforcement { agent, .. }) => agent.network(),
+            _ => unreachable!("checked above"),
+        };
+        let width = net.in_features();
+        let rows = check_flat_width(model, xs, width)?;
+        t_count!("au_core.predictions_served", rows as u64);
+        let chunks = au_par::par_map_ranges(rows, PREDICT_MIN_ROWS, |r| {
+            infer_chunk(net, &xs[r.start * width..r.end * width], width)
+        });
+        Ok(chunks.concat())
     }
 
     /// Size/training statistics for a built model (Table 2's model size).
@@ -1328,6 +1508,87 @@ fn publish_monitor_gauges(model: &str, mon: &au_monitor::ModelMonitor) {
         .set(mon.flight().len() as f64);
     rec.gauge(&format!("au_monitor.{model}.degraded"))
         .set(if mon.is_degraded() { 1.0 } else { 0.0 });
+}
+
+/// A reusable `f32` feature-vector staging buffer for the native-`f32`
+/// serving path: host code pushes the frame's features, hands the buffer
+/// to [`EngineHandle::au_extract_buffer`] (or reads it back with
+/// [`FeatureBuffer::as_slice`] for [`EngineHandle::predict_f32_into`]),
+/// and reuses the allocation every frame.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureBuffer {
+    values: Vec<f32>,
+}
+
+impl FeatureBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FeatureBuffer::default()
+    }
+
+    /// An empty buffer with room for `cap` features.
+    pub fn with_capacity(cap: usize) -> Self {
+        FeatureBuffer {
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Stages one feature value.
+    pub fn push(&mut self, value: f32) {
+        self.values.push(value);
+    }
+
+    /// Stages a slice of feature values.
+    pub fn extend_from_slice(&mut self, values: &[f32]) {
+        self.values.extend_from_slice(values);
+    }
+
+    /// The staged features, in push order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of staged features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Clears the staged features, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+/// Checks every row of a nested batch against the built input width.
+fn check_batch_widths(model: &str, xs: &[Vec<f64>], width: usize) -> Result<(), AuError> {
+    for x in xs {
+        if x.len() != width {
+            return Err(AuError::InputSizeChanged {
+                model: model.to_owned(),
+                built: width,
+                got: x.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a flat row-major batch divides evenly into `width`-wide rows,
+/// returning the row count.
+fn check_flat_width(model: &str, xs: &[f32], width: usize) -> Result<usize, AuError> {
+    if width == 0 || !xs.len().is_multiple_of(width) {
+        return Err(AuError::InputSizeChanged {
+            model: model.to_owned(),
+            built: width,
+            got: xs.len(),
+        });
+    }
+    Ok(xs.len() / width)
 }
 
 /// Mean absolute element-wise error over the overlapping prefix; `None`

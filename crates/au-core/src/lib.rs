@@ -59,7 +59,7 @@ pub use engine::Engine;
 pub use error::AuError;
 #[cfg(feature = "monitor")]
 pub use handle::MonitorRef;
-pub use handle::{Checkpoint, DbRef, EngineHandle, Mode};
+pub use handle::{Checkpoint, DbRef, EngineHandle, FeatureBuffer, Mode};
 pub use model::{Algorithm, ModelConfig, ModelKind, ModelStats};
 #[cfg(feature = "monitor")]
 pub use monitoring::set_default_monitor_config;

@@ -2,7 +2,9 @@
 
 use crate::error::AuError;
 use au_nn::rl::{DqnAgent, DqnConfig, Transition};
-use au_nn::{Activation, Adam, Loss, Network, Tensor};
+use au_nn::{Activation, Adam, InferScratch, Loss, Network, Tensor};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Model architecture family (`ModelType δ` in Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,10 +155,15 @@ pub struct ModelStats {
 }
 
 /// A live model instance: either a supervised regressor or a DQN agent.
+///
+/// The supervised network sits behind an `Arc` so the serving paths
+/// (`predict_batch`'s pool jobs, snapshot readers) can clone a handle out
+/// of the registry lock in O(1); training goes through [`net_mut`], which
+/// rebuilds the network copy-on-write only when a snapshot is still alive.
 #[derive(Debug)]
 pub(crate) enum Backend {
     Supervised {
-        net: Network,
+        net: Arc<Network>,
         opt: Adam,
         train_steps: u64,
     },
@@ -199,7 +206,7 @@ impl ModelInstance {
             });
         }
         if self.backend.is_none() {
-            let net = self.config.build_network(inputs, outputs);
+            let net = Arc::new(self.config.build_network(inputs, outputs));
             let opt = Adam::new(self.config.learning_rate);
             self.backend = Some(Backend::Supervised {
                 net,
@@ -288,11 +295,14 @@ impl ModelInstance {
         match self.backend.as_mut()? {
             Backend::Supervised {
                 net, train_steps, ..
-            } => Some(ModelStats {
-                param_count: net.param_count(),
-                model_bytes: net.param_count() * 4,
-                train_steps: *train_steps,
-            }),
+            } => {
+                let n = net_mut(net).param_count();
+                Some(ModelStats {
+                    param_count: n,
+                    model_bytes: n * 4,
+                    train_steps: *train_steps,
+                })
+            }
             Backend::Reinforcement {
                 agent, train_steps, ..
             } => {
@@ -312,11 +322,24 @@ impl ModelInstance {
     /// would silently poison later backward passes.
     pub fn invalidate_cached_weights(&mut self) {
         match self.backend.as_mut() {
-            Some(Backend::Supervised { net, .. }) => net.invalidate_cached_weights(),
+            Some(Backend::Supervised { net, .. }) => net_mut(net).invalidate_cached_weights(),
             Some(Backend::Reinforcement { agent, .. }) => agent.invalidate_cached_weights(),
             None => {}
         }
     }
+}
+
+/// Unique access to a shared supervised network, copy-on-write.
+///
+/// Training mutates the network in place when no inference snapshot holds
+/// a second `Arc`; if serving overlaps training, the network is rebuilt
+/// once (via `deep_clone`) and the snapshot keeps the old weights — the
+/// same isolation the paper gets from its separate TR/TS processes.
+pub(crate) fn net_mut(net: &mut Arc<Network>) -> &mut Network {
+    if Arc::get_mut(net).is_none() {
+        *net = Arc::new(net.deep_clone());
+    }
+    Arc::get_mut(net).expect("unique after copy-on-write rebuild")
 }
 
 /// Runs one supervised gradient step: trains `net` to map `input` to
@@ -332,16 +355,43 @@ pub(crate) fn supervised_step(
     net.train_batch(&x, &y, Loss::Mse, opt)
 }
 
+thread_local! {
+    /// Per-thread single-row inference scratch: the input row tensor, the
+    /// layer-output ping-pong buffers, and the f64→f32 conversion buffer.
+    /// Reusing them makes the steady-state serve path allocation-free.
+    static ROW_SCRATCH: RefCell<(Tensor, InferScratch, Vec<f32>)> =
+        RefCell::new((Tensor::default(), InferScratch::default(), Vec::new()));
+}
+
+/// The native-`f32` serving core: runs the model on one feature row,
+/// appending the outputs to `out`. All buffers come from thread-local
+/// scratch, so the steady state performs zero heap allocations.
+pub(crate) fn run_model_f32_into(net: &Network, input: &[f32], out: &mut Vec<f32>) {
+    ROW_SCRATCH.with(|cell| {
+        let (row, scratch, _) = &mut *cell.borrow_mut();
+        row.set_row(input);
+        let y = net.infer_reusing(row, scratch);
+        out.extend_from_slice(y.data());
+    });
+}
+
 /// Runs the model on `input` (Fig. 8's `runModel` statement). Uses the
 /// pure `&self` inference path so deployment-mode callers can share the
 /// network behind a read lock.
+///
+/// Runs the same scratch-buffer `f32` core as [`run_model_f32_into`] with
+/// exactly one narrowing conversion on the way in and one (exact) widening
+/// on the way out — the same two conversions the old all-allocating path
+/// performed, so results are bit-identical to it.
 pub(crate) fn run_model_ref(net: &Network, input: &[f64]) -> Vec<f64> {
-    let x = Tensor::row(&to_f32(input));
-    net.infer(&x)
-        .into_vec()
-        .into_iter()
-        .map(f64::from)
-        .collect()
+    ROW_SCRATCH.with(|cell| {
+        let (row, scratch, conv) = &mut *cell.borrow_mut();
+        conv.clear();
+        conv.extend(input.iter().map(|&v| v as f32));
+        row.set_row(conv);
+        let y = net.infer_reusing(row, scratch);
+        y.data().iter().map(|&v| f64::from(v)).collect()
+    })
 }
 
 /// Feeds one RL step to the agent: completes the pending transition with

@@ -155,6 +155,19 @@ impl DbStore {
         list.values.extend_from_slice(values);
     }
 
+    /// Rule EXTRACT for `f32` feature vectors: widens each value exactly
+    /// (every `f32` is representable as an `f64`) straight into the list,
+    /// with no intermediate `f64` buffer.
+    pub fn append_f32(&mut self, name: &str, values: &[f32]) {
+        self.appended += values.len() as u64;
+        let list = match self.lists.get_mut(name) {
+            Some(list) => list,
+            None => self.lists.entry(name.to_owned()).or_default(),
+        };
+        list.appends += 1;
+        list.values.extend(values.iter().map(|&v| f64::from(v)));
+    }
+
     /// How many times [`DbStore::append`] has run for `name`. Survives
     /// [`DbStore::clear`] — label freshness tracking depends on it being
     /// monotonic for the store's lifetime.

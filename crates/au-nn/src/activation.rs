@@ -95,6 +95,13 @@ impl Layer for ActivationLayer {
         input.map(|x| self.kind.apply(x))
     }
 
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        out.copy_from(input);
+        for v in out.data_mut() {
+            *v = self.kind.apply(*v);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let out = self
             .cached_output

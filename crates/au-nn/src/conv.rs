@@ -230,6 +230,12 @@ impl Layer for Conv2d {
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(
             input.row_len(),
             self.in_len(),
@@ -240,7 +246,7 @@ impl Layer for Conv2d {
         let batch = input.batch();
         let col_len = self.fan_in() * self.out_h() * self.out_w();
         let out_len = self.out_len();
-        let mut out = Tensor::zeros(&[batch, out_len]);
+        out.resize_zeroed(&[batch, out_len]);
         // Batch rows are independent; fan them out across au-par workers
         // with one reusable im2col buffer per worker. Row partitioning
         // keeps per-element accumulation order fixed, so the output is
@@ -252,7 +258,6 @@ impl Layer for Conv2d {
                 self.forward_row(&col, out_row);
             }
         });
-        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -533,6 +538,12 @@ impl Layer for MaxPool2d {
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(
             input.row_len(),
             self.in_len(),
@@ -540,7 +551,7 @@ impl Layer for MaxPool2d {
         );
         let (oh, ow) = (self.out_h(), self.out_w());
         let w = self.window;
-        let mut out = Tensor::zeros(&[input.batch(), self.out_len()]);
+        out.resize_zeroed(&[input.batch(), self.out_len()]);
         for b in 0..input.batch() {
             let row = input.row_slice(b);
             for c in 0..self.channels {
@@ -563,7 +574,6 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -621,6 +631,11 @@ impl Layer for Flatten {
     fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.row_len(), self.features, "flatten size mismatch");
         input.clone()
+    }
+
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.row_len(), self.features, "flatten size mismatch");
+        out.copy_from(input);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

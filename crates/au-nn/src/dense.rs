@@ -78,6 +78,12 @@ impl Layer for Dense {
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(
             input.row_len(),
             self.in_features,
@@ -85,16 +91,28 @@ impl Layer for Dense {
             self.in_features,
             input.row_len()
         );
-        let mut out = input.matmul(&self.weight.value);
+        // Zero-init + GEMM + separate bias row-add: the same operation
+        // sequence as `matmul` followed by the bias loop, so the result is
+        // bit-identical to the allocating path (a fused bias pre-fill would
+        // change the per-element accumulation order).
+        let batch = input.batch();
+        let n = self.out_features;
+        out.resize_zeroed(&[batch, n]);
+        crate::kernels::gemm_acc_par(
+            out.data_mut(),
+            input.data(),
+            self.weight.value.data(),
+            batch,
+            self.in_features,
+            n,
+        );
         let bias = self.bias.value.data();
-        for i in 0..out.batch() {
-            let n = self.out_features;
+        for i in 0..batch {
             let row = &mut out.data_mut()[i * n..(i + 1) * n];
             for (o, b) in row.iter_mut().zip(bias) {
                 *o += b;
             }
         }
-        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -80,6 +80,10 @@ impl Layer for Dropout {
         input.clone()
     }
 
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        out.copy_from(input);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.mask {
             Some(mask) => {

@@ -68,6 +68,18 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// serve many threads at once. Must not touch any backward-pass cache.
     fn infer(&self, input: &Tensor) -> Tensor;
 
+    /// [`Layer::infer`] writing into a caller-owned scratch tensor instead
+    /// of allocating the output — the building block of the allocation-free
+    /// serving path ([`crate::Network::infer_reusing`]).
+    ///
+    /// `out` is reshaped (any prior shape/contents are discarded; its
+    /// allocation is reused). Implementations must produce **bit-identical
+    /// values** to [`Layer::infer`]: same operations, same per-element
+    /// accumulation order, only the destination buffer differs.
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        *out = self.infer(input);
+    }
+
     /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
     /// parameter gradients along the way.
     ///

@@ -120,6 +120,29 @@ impl Network {
         x
     }
 
+    /// [`Network::infer`] through caller-owned ping-pong buffers: after the
+    /// first call on a given [`InferScratch`], repeated inference on
+    /// same-shaped inputs performs **zero heap allocations** — the core of
+    /// the f32 serving fast path.
+    ///
+    /// Bit-identical to [`Network::infer`]: every layer's
+    /// [`Layer::infer_into`] runs the same operations in the same order,
+    /// only the destination buffers are reused. Returns a borrow of the
+    /// scratch buffer holding the output (copy it out if it must outlive
+    /// the next call).
+    pub fn infer_reusing<'s>(&self, input: &Tensor, scratch: &'s mut InferScratch) -> &'s Tensor {
+        let _t = t_time!("au_nn.forward");
+        let InferScratch { ping, pong } = scratch;
+        ping.copy_from(input);
+        let mut src: &mut Tensor = ping;
+        let mut dst: &mut Tensor = pong;
+        for layer in &self.layers {
+            layer.infer_into(src, dst);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
     fn forward_mode(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
@@ -187,9 +210,6 @@ impl Network {
         }
         let _t = t_time!("au_nn.train_batch");
         let scale = |r: &std::ops::Range<usize>| (r.end - r.start) as f32 / batch as f32;
-        // One weight-sharing replica per extra chunk; chunk 0 runs on the
-        // calling thread through `self`.
-        let mut replicas: Vec<Network> = ranges[1..].iter().map(|_| self.replicate()).collect();
         let row_len = input.row_len();
         let target_len = target.row_len();
         let chunk_of = |t: &Tensor, len: usize, r: &std::ops::Range<usize>| {
@@ -198,32 +218,33 @@ impl Network {
                 t.data()[r.start * len..r.end * len].to_vec(),
             )
         };
-        let run_chunk = |net: &mut Network, r: &std::ops::Range<usize>| -> f32 {
+        // Chunks 1.. go to the persistent pool, each owning a weight-sharing
+        // replica and its chunk tensors; chunk 0 runs on the calling thread
+        // through `self` (same merge structure as the scoped version this
+        // replaced — chunk tensors, replica construction, and merge order
+        // are unchanged, so results are too).
+        let mut fork: au_par::Fork<(Network, f32)> = au_par::Fork::new();
+        for r in &ranges[1..] {
+            let mut replica = self.deep_clone();
             let x = chunk_of(input, row_len, r);
             let y = chunk_of(target, target_len, r);
-            let output = net.forward_mode(&x, true);
-            let value = loss.value(&output, &y);
-            // The chunk gradient normalizes by chunk rows; rescale so the
-            // merged sum equals the full-batch gradient.
-            let mut grad = loss.gradient(&output, &y).scale(scale(r));
-            for layer in net.layers.iter_mut().rev() {
-                grad = layer.backward(&grad);
-            }
-            value
-        };
+            let s = scale(r);
+            fork.submit(move || {
+                let value = run_minibatch_chunk(&mut replica, &x, &y, loss, s);
+                (replica, value)
+            });
+        }
         let mut chunk_losses = vec![0.0f32; ranges.len()];
-        std::thread::scope(|scope| {
-            let run_chunk = &run_chunk;
-            let handles: Vec<_> = replicas
-                .iter_mut()
-                .zip(&ranges[1..])
-                .map(|(net, r)| scope.spawn(move || run_chunk(net, r)))
-                .collect();
-            chunk_losses[0] = run_chunk(self, &ranges[0]);
-            for (slot, h) in chunk_losses[1..].iter_mut().zip(handles) {
-                *slot = h.join().expect("minibatch worker panicked");
-            }
-        });
+        {
+            let x = chunk_of(input, row_len, &ranges[0]);
+            let y = chunk_of(target, target_len, &ranges[0]);
+            chunk_losses[0] = run_minibatch_chunk(self, &x, &y, loss, scale(&ranges[0]));
+        }
+        let mut replicas: Vec<Network> = Vec::with_capacity(ranges.len() - 1);
+        for (slot, (replica, value)) in chunk_losses[1..].iter_mut().zip(fork.join()) {
+            *slot = value;
+            replicas.push(replica);
+        }
         // Merge replica gradients into the main network in chunk order,
         // then take one optimizer step — identical step sequence to
         // `train_batch`.
@@ -256,7 +277,11 @@ impl Network {
 
     /// Clones the architecture and current weights into an independent
     /// network (training caches start empty; dropout replicas reseed).
-    fn replicate(&self) -> Network {
+    ///
+    /// Used for minibatch worker replicas and by the engine's
+    /// copy-on-write model snapshots (training while an `Arc`'d network is
+    /// still serving).
+    pub fn deep_clone(&self) -> Network {
         Network {
             in_features: self.in_features,
             layers: self
@@ -383,6 +408,29 @@ impl Network {
     pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
         &mut self.layers
     }
+}
+
+/// Forward/backward over one minibatch chunk, leaving gradients accumulated
+/// in `net`; returns the chunk loss (before rescaling). The loss gradient
+/// is rescaled by `scale` (`chunk_rows / batch_rows`) so the merged
+/// chunk-gradient sum equals the full-batch gradient.
+fn run_minibatch_chunk(net: &mut Network, x: &Tensor, y: &Tensor, loss: Loss, scale: f32) -> f32 {
+    let output = net.forward_mode(x, true);
+    let value = loss.value(&output, y);
+    let mut grad = loss.gradient(&output, y).scale(scale);
+    for layer in net.layers.iter_mut().rev() {
+        grad = layer.backward(&grad);
+    }
+    value
+}
+
+/// Reusable ping-pong buffers for [`Network::infer_reusing`]: one
+/// `InferScratch` per serving thread turns repeated same-shape inference
+/// into a zero-allocation loop.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    ping: Tensor,
+    pong: Tensor,
 }
 
 fn build_layer(spec: LayerSpec) -> Result<Box<dyn Layer>, NnError> {
@@ -579,6 +627,47 @@ mod tests {
         let by_ref = net.infer(&x);
         let by_mut = net.forward(&x);
         assert_eq!(by_ref, by_mut, "infer must be bit-identical to forward");
+    }
+
+    /// The allocation-free serving path must be bit-identical to `infer`
+    /// across every layer kind, and stay correct when the scratch is
+    /// reused across different networks and input shapes.
+    #[test]
+    fn infer_reusing_is_bit_identical_to_infer() {
+        crate::init::set_init_seed(41);
+        let net = Network::builder(8 * 8)
+            .conv2d(1, 8, 8, 2, 3, 1)
+            .activation(Activation::Relu)
+            .max_pool2d(2, 6, 6, 2)
+            .flatten()
+            .dense(8)
+            .activation(Activation::Tanh)
+            .dropout(0.2)
+            .dense(3)
+            .build();
+        let mut scratch = InferScratch::default();
+        let x = Tensor::from_rows(&[&[0.3; 64], &[0.7; 64]]);
+        for _ in 0..3 {
+            let fresh = net.infer(&x);
+            let reused = net.infer_reusing(&x, &mut scratch);
+            assert_eq!(&fresh, reused, "scratch path must match infer exactly");
+        }
+        // Same scratch, different network and shape: buffers re-adapt.
+        crate::init::set_init_seed(42);
+        let other = dnn(5, &[16], 2);
+        let x2 = Tensor::from_rows(&[&[0.1, -0.2, 0.3, -0.4, 0.5]]);
+        let fresh = other.infer(&x2);
+        let reused = other.infer_reusing(&x2, &mut scratch);
+        assert_eq!(&fresh, reused);
+    }
+
+    /// A network with no layers degenerates to the identity on both paths.
+    #[test]
+    fn infer_reusing_identity_on_empty_network() {
+        let net = Network::builder(3).build();
+        let mut scratch = InferScratch::default();
+        let x = Tensor::row(&[1.0, 2.0, 3.0]);
+        assert_eq!(net.infer_reusing(&x, &mut scratch), &net.infer(&x));
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// A one-element placeholder, meant to be overwritten via
+    /// [`Tensor::resize_zeroed`] / [`Tensor::copy_from`] /
+    /// [`Tensor::set_row`] before use — the seed value for reusable
+    /// scratch buffers like [`crate::InferScratch`].
+    fn default() -> Self {
+        Tensor {
+            shape: vec![1],
+            data: vec![0.0],
+        }
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
@@ -238,6 +251,41 @@ impl Tensor {
         self.data.iter().sum()
     }
 
+    /// Reshapes this tensor in place to `shape` with all elements zero,
+    /// reusing the existing allocation when capacity allows. The
+    /// allocation-free twin of [`Tensor::zeros`] for scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn resize_zeroed(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let len = shape.iter().product();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Makes this tensor an exact copy of `src` (shape and data), reusing
+    /// the existing allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Makes this tensor a `[1, n]` single-sample batch of `values`,
+    /// reusing the existing allocation — the in-place twin of
+    /// [`Tensor::row`].
+    pub fn set_row(&mut self, values: &[f32]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&[1, values.len()]);
+        self.data.clear();
+        self.data.extend_from_slice(values);
+    }
+
     /// Index of the maximum element in batch row `i`.
     ///
     /// Ties resolve to the lowest index. Returns `0` for an empty row.
@@ -337,5 +385,26 @@ mod tests {
     fn debug_is_never_empty() {
         let s = format!("{:?}", Tensor::zeros(&[1, 1]));
         assert!(s.contains("Tensor"));
+    }
+
+    #[test]
+    fn resize_zeroed_matches_zeros_and_reuses_capacity() {
+        let mut t = Tensor::from_vec(&[2, 3], vec![1.0; 6]);
+        let cap_ptr = t.data().as_ptr();
+        t.resize_zeroed(&[1, 4]);
+        assert_eq!(t, Tensor::zeros(&[1, 4]));
+        assert_eq!(t.data().as_ptr(), cap_ptr, "shrinking reuses the buffer");
+        t.resize_zeroed(&[3, 3]);
+        assert_eq!(t, Tensor::zeros(&[3, 3]));
+    }
+
+    #[test]
+    fn copy_from_and_set_row_overwrite_in_place() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Tensor::default();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.set_row(&[9.0, 8.0, 7.0]);
+        assert_eq!(dst, Tensor::row(&[9.0, 8.0, 7.0]));
     }
 }

@@ -1,9 +1,22 @@
-//! Zero-dependency scoped-thread parallel runtime.
+//! Zero-dependency parallel runtime: a persistent worker pool plus scoped
+//! fork/join helpers.
 //!
 //! The workspace builds offline from `vendor/`, so this crate provides the
 //! small slice of rayon the Autonomizer runtime actually needs — a
 //! parallel-for and an order-preserving map over chunked index ranges —
-//! using nothing but `std::thread::scope`.
+//! using nothing but `std` threads.
+//!
+//! Two execution backends share one range-splitting policy:
+//!
+//! - the **persistent pool** ([`pool_map_ranges`], [`pool_map`], [`Fork`])
+//!   keeps parked workers alive across regions, so small regions pay a
+//!   queue push + condvar wake instead of a thread spawn. Jobs must own
+//!   their data (`'static`); the hot engine paths share inputs via `Arc`.
+//! - the **scoped helpers** ([`par_map_ranges`], [`par_map`],
+//!   [`par_ranges`], [`par_row_chunks_mut`]) spawn per region via
+//!   `std::thread::scope` and accept borrowing closures — still the right
+//!   tool for big borrowed slices (e.g. the blocked GEMM's row partition,
+//!   which is gated on a work threshold that amortizes the spawns).
 //!
 //! Design rules, in priority order:
 //!
@@ -46,6 +59,10 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+mod pool;
+
+pub use pool::{pool_map, pool_map_ranges, pool_worker_count, shutdown_pool, Fork};
 
 /// Upper bound on the resolved thread count; a safety valve against
 /// misconfigured overrides, far above any machine this targets.
@@ -119,6 +136,23 @@ mod metrics {
         static H: OnceLock<au_telemetry::Histogram> = OnceLock::new();
         H.get_or_init(|| au_telemetry::histogram("au_par.region_imbalance"))
             .record(ns);
+    }
+
+    pub(crate) fn region_inline() {
+        static C: OnceLock<au_telemetry::Counter> = OnceLock::new();
+        C.get_or_init(|| au_telemetry::counter("au_par.region_inline_total"))
+            .add(1);
+    }
+}
+
+/// Counts a region that ran inline (one range / one thread / nested) so
+/// the pool's profitability threshold is observable: a high
+/// `au_par.region_inline_total` relative to `au_par.regions` means most
+/// call sites fall under the `min_chunk` split or run nested.
+fn note_inline_region() {
+    #[cfg(feature = "telemetry")]
+    if au_telemetry::enabled() {
+        metrics::region_inline();
     }
 }
 
@@ -312,6 +346,7 @@ where
 {
     let ranges = split_ranges(len, min_chunk);
     if ranges.len() <= 1 {
+        note_inline_region();
         for r in ranges {
             f(r);
         }
@@ -364,6 +399,7 @@ where
 {
     let ranges = split_ranges(len, min_chunk);
     if ranges.len() <= 1 {
+        note_inline_region();
         return ranges.into_iter().map(f).collect();
     }
     let ctx = capture_context();
@@ -427,6 +463,7 @@ where
     let rows = data.len() / row_len;
     let ranges = split_ranges(rows, min_rows);
     if ranges.len() <= 1 {
+        note_inline_region();
         for r in ranges {
             f(r.start, &mut data[r.start * row_len..r.end * row_len]);
         }
@@ -459,8 +496,9 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// Serializes tests that mutate the process-wide override.
-    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+    /// Serializes tests that mutate the process-wide override (shared
+    /// with the pool module's tests).
+    pub(crate) static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn split_covers_exactly_in_order() {

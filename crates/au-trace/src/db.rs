@@ -1,6 +1,7 @@
 //! The analysis database: dependence graph + traces + usage map.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// An interned program variable.
 ///
@@ -21,8 +22,19 @@ impl VarId {
 /// the dynamic dependence graph `GDep`, per-variable runtime value traces,
 /// the `UseFunc` map (variable → functions in which it is used), and the
 /// input (`In`) and target (`Trg`) variable sets consumed by Algorithms 1–2.
+///
+/// The facts live behind an `Arc` with copy-on-write mutation
+/// (`Arc::make_mut`): [`AnalysisDb::snapshot`] / `clone()` are O(1) and
+/// share storage, which lets the extraction algorithms hand owned handles
+/// to persistent-pool workers without deep-copying traces. A later
+/// `record_*` on a still-shared database transparently unshares it first.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisDb {
+    core: Arc<DbCore>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct DbCore {
     names: Vec<String>,
     index: HashMap<String, VarId>,
     /// `forward[a]` = variables with a direct dependence edge `a → b`
@@ -40,23 +52,39 @@ impl AnalysisDb {
         AnalysisDb::default()
     }
 
+    /// An O(1) copy-on-write handle to the same facts: reads see identical
+    /// data; a write to either side unshares first. This is what the
+    /// pooled extraction loops move into their `'static` worker closures.
+    pub fn snapshot(&self) -> AnalysisDb {
+        AnalysisDb {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The copy-on-write mutation point: unshares the core if any
+    /// snapshot is still alive, then hands out the unique reference.
+    fn core_mut(&mut self) -> &mut DbCore {
+        Arc::make_mut(&mut self.core)
+    }
+
     /// Interns `name`, returning its stable id.
     pub fn var(&mut self, name: &str) -> VarId {
-        if let Some(&id) = self.index.get(name) {
+        let core = self.core_mut();
+        if let Some(&id) = core.index.get(name) {
             return id;
         }
-        let id = VarId(self.names.len());
-        self.names.push(name.to_owned());
-        self.index.insert(name.to_owned(), id);
-        self.forward.push(BTreeSet::new());
-        self.traces.push(Vec::new());
-        self.use_funcs.push(BTreeSet::new());
+        let id = VarId(core.names.len());
+        core.names.push(name.to_owned());
+        core.index.insert(name.to_owned(), id);
+        core.forward.push(BTreeSet::new());
+        core.traces.push(Vec::new());
+        core.use_funcs.push(BTreeSet::new());
         id
     }
 
     /// Looks up an already-interned variable.
     pub fn id(&self, name: &str) -> Option<VarId> {
-        self.index.get(name).copied()
+        self.core.index.get(name).copied()
     }
 
     /// The variable's source name.
@@ -65,17 +93,17 @@ impl AnalysisDb {
     ///
     /// Panics if `id` came from a different database.
     pub fn name(&self, id: VarId) -> &str {
-        &self.names[id.0]
+        &self.core.names[id.0]
     }
 
     /// Number of distinct variables recorded.
     pub fn var_count(&self) -> usize {
-        self.names.len()
+        self.core.names.len()
     }
 
     /// All variables, in interning order — the paper's `ProgVar` set.
     pub fn all_vars(&self) -> impl Iterator<Item = VarId> + '_ {
-        (0..self.names.len()).map(VarId)
+        (0..self.core.names.len()).map(VarId)
     }
 
     /// Records a dynamic assignment `dst := f(srcs…)` executed inside
@@ -86,17 +114,18 @@ impl AnalysisDb {
     pub fn record_assign(&mut self, dst: &str, srcs: &[&str], value: Option<f64>, func: &str) {
         t_count!("au_trace.records");
         let d = self.var(dst);
-        for src in srcs {
-            let s = self.var(src);
+        let src_ids: Vec<VarId> = srcs.iter().map(|src| self.var(src)).collect();
+        let core = self.core_mut();
+        for s in src_ids {
             if s != d {
-                self.forward[s.0].insert(d);
+                core.forward[s.0].insert(d);
             }
-            self.use_funcs[s.0].insert(func.to_owned());
+            core.use_funcs[s.0].insert(func.to_owned());
         }
         if let Some(v) = value {
-            self.traces[d.0].push(v);
+            core.traces[d.0].push(v);
         }
-        self.use_funcs[d.0].insert(func.to_owned());
+        core.use_funcs[d.0].insert(func.to_owned());
     }
 
     /// Adds a bare dependence edge `src → dst` without touching traces or
@@ -105,8 +134,9 @@ impl AnalysisDb {
     pub fn record_edge(&mut self, src: &str, dst: &str) {
         let s = self.var(src);
         let d = self.var(dst);
+        let core = self.core_mut();
         if s != d {
-            self.forward[s.0].insert(d);
+            core.forward[s.0].insert(d);
         }
     }
 
@@ -115,60 +145,61 @@ impl AnalysisDb {
     pub fn record_value(&mut self, var: &str, value: f64) {
         t_count!("au_trace.records");
         let v = self.var(var);
-        self.traces[v.0].push(value);
+        self.core_mut().traces[v.0].push(value);
     }
 
     /// Notes that `var` is used inside `func` without recording dataflow.
     pub fn record_use(&mut self, var: &str, func: &str) {
         let v = self.var(var);
-        self.use_funcs[v.0].insert(func.to_owned());
+        self.core_mut().use_funcs[v.0].insert(func.to_owned());
     }
 
     /// Marks a variable as a program input (`In` in Algorithm 1).
     pub fn mark_input(&mut self, name: &str) {
         let v = self.var(name);
-        self.inputs.insert(v);
+        self.core_mut().inputs.insert(v);
     }
 
     /// Marks a variable as a prediction target (`Trg`).
     pub fn mark_target(&mut self, name: &str) {
         let v = self.var(name);
-        self.targets.insert(v);
+        self.core_mut().targets.insert(v);
     }
 
     /// The input variable set.
     pub fn inputs(&self) -> &BTreeSet<VarId> {
-        &self.inputs
+        &self.core.inputs
     }
 
     /// The target variable set.
     pub fn targets(&self) -> &BTreeSet<VarId> {
-        &self.targets
+        &self.core.targets
     }
 
     /// The recorded runtime trace of `var` (possibly empty).
     pub fn trace(&self, var: VarId) -> &[f64] {
-        &self.traces[var.0]
+        &self.core.traces[var.0]
     }
 
     /// Functions in which `var` is used.
     pub fn use_funcs(&self, var: VarId) -> &BTreeSet<String> {
-        &self.use_funcs[var.0]
+        &self.core.use_funcs[var.0]
     }
 
     /// Direct dependents of `var` (one dependence edge away).
     pub fn direct_dependents(&self, var: VarId) -> &BTreeSet<VarId> {
-        &self.forward[var.0]
+        &self.core.forward[var.0]
     }
 
     /// The paper's `dep(v)`: all variables transitively computed from `v`
     /// (excluding `v` itself unless it is on a dependence cycle).
     pub fn dependents(&self, var: VarId) -> BTreeSet<VarId> {
+        let forward = &self.core.forward;
         let mut seen = BTreeSet::new();
-        let mut queue: VecDeque<VarId> = self.forward[var.0].iter().copied().collect();
+        let mut queue: VecDeque<VarId> = forward[var.0].iter().copied().collect();
         while let Some(v) = queue.pop_front() {
             if seen.insert(v) {
-                queue.extend(self.forward[v.0].iter().copied());
+                queue.extend(forward[v.0].iter().copied());
             }
         }
         seen
@@ -195,7 +226,7 @@ impl AnalysisDb {
         queue.push_back(from);
         while let Some(v) = queue.pop_front() {
             let d = dist[&v];
-            for &next in &self.forward[v.0] {
+            for &next in &self.core.forward[v.0] {
                 if next == to {
                     return Some(d + 1);
                 }
@@ -244,7 +275,7 @@ impl AnalysisDb {
         seen.insert(from);
         queue.push_back((from, 0usize));
         while let Some((v, d)) = queue.pop_front() {
-            for &next in &self.forward[v.0] {
+            for &next in &self.core.forward[v.0] {
                 if goals.contains(&next) {
                     return Some(d + 1);
                 }

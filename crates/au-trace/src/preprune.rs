@@ -57,7 +57,16 @@ impl PrepruneStats {
 /// Precomputed reachability over a static dependence graph (from
 /// `au_lang::static_analysis::analyze`, or any [`AnalysisDb`] built from
 /// program text rather than a run).
+///
+/// The closures live behind an `Arc`, so `clone()` is O(1) — the pooled
+/// extraction loops hand each `'static` worker job its own handle without
+/// recomputing or deep-copying the reachability sets.
+#[derive(Clone)]
 pub struct StaticFilter {
+    core: std::sync::Arc<FilterCore>,
+}
+
+struct FilterCore {
     index: BTreeMap<String, VarId>,
     deps: BTreeMap<VarId, BTreeSet<VarId>>,
 }
@@ -73,18 +82,21 @@ impl StaticFilter {
             index.insert(static_db.name(v).to_owned(), v);
             deps.insert(v, static_db.dependents(v));
         }
-        StaticFilter { index, deps }
+        StaticFilter {
+            core: std::sync::Arc::new(FilterCore { index, deps }),
+        }
     }
 
     /// True when the static graph *proves* `w` and `v` share no dependent.
     /// Unknown names prove nothing (rule 2): the candidate is kept.
     pub fn proves_unrelated(&self, w: &str, v: &str) -> bool {
-        match (self.index.get(w), self.index.get(v)) {
+        let core = &*self.core;
+        match (core.index.get(w), core.index.get(v)) {
             (Some(wi), Some(vi)) => {
                 wi != vi
-                    && !self.deps[wi].contains(vi)
-                    && !self.deps[vi].contains(wi)
-                    && self.deps[wi].is_disjoint(&self.deps[vi])
+                    && !core.deps[wi].contains(vi)
+                    && !core.deps[vi].contains(wi)
+                    && core.deps[wi].is_disjoint(&core.deps[vi])
             }
             _ => false,
         }
@@ -101,8 +113,12 @@ pub fn extract_sl_pruned(
     let mut candidates = db.inputs().clone();
     candidates.extend(db.dependents_of_set(db.inputs()));
 
+    // Pooled like `extract_sl`: each `'static` job owns cheap Arc handles
+    // to the database snapshot and the precomputed static filter.
     let targets: Vec<VarId> = db.targets().iter().copied().collect();
-    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+    let db = db.snapshot();
+    let filter = filter.clone();
+    let per_target = au_par::pool_map(targets.len(), 1, move |ti| {
         let v = targets[ti];
         let dep_v = db.dependents(v);
         let mut ranked = Vec::new();
@@ -154,8 +170,12 @@ pub fn extract_rl_pruned(
     params: RlParams,
 ) -> (BTreeMap<VarId, RlExtraction>, PrepruneStats) {
     let _t = t_time!("au_trace.extract_rl_pruned");
+    // Pooled like `extract_rl_detailed`; the inner ε₁ `par_map` runs inline
+    // inside pool workers (nested-region suppression).
     let targets: Vec<VarId> = db.targets().iter().copied().collect();
-    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+    let db = db.snapshot();
+    let filter = filter.clone();
+    let per_target = au_par::pool_map(targets.len(), 1, move |ti| {
         let v = targets[ti];
         let dep_v = db.dependents(v);
         let mut dep_funcs: BTreeSet<&str> = BTreeSet::new();

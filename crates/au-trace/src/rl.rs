@@ -69,10 +69,14 @@ pub fn extract_rl_detailed(db: &AnalysisDb, params: RlParams) -> BTreeMap<VarId,
     let _t = t_time!("au_trace.extract_rl");
     t_count!("au_trace.rl_extractions");
     // Targets are extracted independently (immutable reads of the db), so
-    // fan the per-target loop out across au-par workers and recombine in
-    // target order — the result is identical for every thread count.
+    // fan the per-target loop out across the persistent au-par pool. The
+    // closure owns an O(1) copy-on-write snapshot of the database (pool
+    // jobs are `'static`), and results recombine in target order — the
+    // result is identical for every thread count. The inner ε₁ `par_map`
+    // below runs inline inside pool workers (nested-region suppression).
     let targets: Vec<VarId> = db.targets().iter().copied().collect();
-    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+    let db = db.snapshot();
+    let per_target = au_par::pool_map(targets.len(), 1, move |ti| {
         let v = targets[ti];
         let dep_v = db.dependents(v);
         // UseFunc[dep(v)]: union of usage functions over v's dependents.

@@ -48,11 +48,14 @@ pub fn extract_sl(db: &AnalysisDb) -> BTreeMap<VarId, Vec<RankedFeature>> {
     candidates.extend(db.dependents_of_set(db.inputs()));
 
     // Each target's ranking reads the database immutably and is independent
-    // of every other target's, so the per-target loop fans out across au-par
-    // workers. Results are recombined in target order, so the returned map
-    // is identical for every thread count.
+    // of every other target's, so the per-target loop fans out across the
+    // persistent au-par pool. The closure owns an O(1) copy-on-write
+    // snapshot of the database (the pool needs `'static` jobs), and results
+    // recombine in target order, so the returned map is identical for every
+    // thread count.
     let targets: Vec<VarId> = db.targets().iter().copied().collect();
-    let per_target = au_par::par_map(targets.len(), 1, |ti| {
+    let db = db.snapshot();
+    let per_target = au_par::pool_map(targets.len(), 1, move |ti| {
         let v = targets[ti];
         let dep_v = db.dependents(v);
         let mut ranked = Vec::new();

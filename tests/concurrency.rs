@@ -217,6 +217,65 @@ fn parallel_training_single_worker_is_bit_identical() {
     std::env::remove_var("AU_PAR_THREADS");
 }
 
+/// A panic inside a pool job propagates to the submitter — and the pool
+/// survives it: the very next region runs normally on the same workers.
+#[test]
+fn pool_panic_propagates_and_pool_stays_usable() {
+    let _g = par_guard();
+    au_par::set_thread_override(Some(4));
+    let boom = std::panic::catch_unwind(|| {
+        au_par::pool_map(64, 1, |i| {
+            if i == 37 {
+                panic!("job 37 exploded");
+            }
+            i * 2
+        })
+    });
+    assert!(boom.is_err(), "pool swallowed a job panic");
+
+    let after = au_par::pool_map(64, 1, |i| i * 2);
+    assert_eq!(after, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    au_par::set_thread_override(None);
+}
+
+/// `shutdown_pool` joins every worker; the next pooled region lazily
+/// respawns the pool and still returns order-preserving results.
+#[test]
+fn pool_shutdown_joins_workers_and_restarts_lazily() {
+    let _g = par_guard();
+    au_par::set_thread_override(Some(4));
+    // Force the pool up, then tear it down.
+    let warm = au_par::pool_map(16, 1, |i| i + 1);
+    assert_eq!(warm.len(), 16);
+    au_par::shutdown_pool();
+    assert_eq!(au_par::pool_worker_count(), 0, "shutdown left workers");
+
+    // Lazy restart: the next region brings the pool back transparently.
+    let reborn = au_par::pool_map(32, 1, |i| i * i);
+    assert_eq!(reborn, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    assert!(au_par::pool_worker_count() > 0, "pool did not respawn");
+    au_par::set_thread_override(None);
+}
+
+/// The f32 batch path fans out over the same persistent pool; like its f64
+/// twin it must serve bit-identical values at every worker count.
+#[test]
+fn predict_batch_f32_is_invariant_to_thread_count() {
+    let _g = par_guard();
+    let engine = deployed_engine();
+    let handle = engine.handle();
+    let flat: Vec<f32> = (0..96).map(|i| (i % 64) as f32 / 64.0).collect();
+
+    au_par::set_thread_override(Some(1));
+    let reference = handle.predict_batch_f32("serve", &flat).expect("batch");
+    for threads in [2usize, 4, 8] {
+        au_par::set_thread_override(Some(threads));
+        let got = handle.predict_batch_f32("serve", &flat).expect("batch");
+        assert_eq!(got, reference, "threads={threads} changed served f32 bits");
+    }
+    au_par::set_thread_override(None);
+}
+
 /// At N workers the minibatch trainer regroups f32 additions at chunk
 /// boundaries, so it only promises closeness, not bit-identity: losses
 /// within 1e-4 and trained predictions within 1e-3 of the serial run (the
