@@ -142,6 +142,45 @@ fn main() {
         );
     }
 
+    {
+        // AuLang execution tiers on the canny corpus program: traced
+        // interpreter (status quo), untraced bytecode VM, selectively
+        // traced bytecode VM. Whole-program medians, like the
+        // aulang_exec Criterion bench but sized for the history gate.
+        use au_lang::{compile_program, corpus, parse, Interpreter, TraceMode, Vm};
+        let p = corpus::all()[0];
+        let program = parse(p.src).expect("corpus parses");
+        let vm_off = compile_program(&program, TraceMode::Off);
+        let vm_sel = compile_program(&program, TraceMode::Selective);
+        benches.insert(
+            "aulang_interp".to_owned(),
+            median_ns(samples, 1, || {
+                au_nn::set_init_seed(p.nn_seed);
+                let mut interp = Interpreter::with_program(program.clone());
+                interp.set_seed(7);
+                let _ = black_box(interp.run());
+            }),
+        );
+        benches.insert(
+            "aulang_vm".to_owned(),
+            median_ns(samples, 1, || {
+                au_nn::set_init_seed(p.nn_seed);
+                let mut vm = Vm::from_compiled(vm_off.clone());
+                vm.set_seed(7);
+                let _ = black_box(vm.run());
+            }),
+        );
+        benches.insert(
+            "aulang_vm_traced".to_owned(),
+            median_ns(samples, 1, || {
+                au_nn::set_init_seed(p.nn_seed);
+                let mut vm = Vm::from_compiled(vm_sel.clone());
+                vm.set_seed(7);
+                let _ = black_box(vm.run());
+            }),
+        );
+    }
+
     benches.insert(
         "par_map_1k".to_owned(),
         median_ns(samples, 8, || {

@@ -1,0 +1,867 @@
+//! The AuLang AST → bytecode compiler.
+//!
+//! Lowers a parsed [`Program`] into a [`CompiledProgram`] for the VM in
+//! `vm.rs`. The compiler resolves every variable reference to a
+//! frame-relative slot at compile time (lexical scoping matches the
+//! interpreter's innermost-first `HashMap` chain exactly, because block
+//! control flow is strictly sequential), pre-formats every statically
+//! determined error message, and — in traced modes — decides *per site*
+//! whether to emit trace opcodes.
+//!
+//! In [`TraceMode::Selective`] the decision consults the static dependence
+//! graph: a site is instrumented only if the assigned variable (or, for
+//! condition/use sites, some possibly-read variable) cannot be proven
+//! unrelated to every prediction target by [`StaticFilter`]. Programs that
+//! defeat the static analysis (computed `input` / `mark_input` /
+//! `mark_target` names) fall back to [`TraceMode::Full`] so dynamic
+//! extraction never silently loses facts.
+
+use crate::ast::{BinOp, Expr, ExprKind, Function, Program, Stmt, StmtKind};
+use crate::bytecode::{CompiledProgram, FuncInfo, MathFn, Op, TraceKind, TraceMode};
+use crate::static_analysis;
+use crate::value::Value;
+use au_trace::StaticFilter;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Compiles `program` under the requested trace mode.
+///
+/// Compilation is infallible: statically detectable runtime errors
+/// (undefined variables, unknown functions, arity mismatches) compile to
+/// `Fail` opcodes that reproduce the interpreter's error message at the
+/// same execution point, preserving lazy error semantics.
+pub fn compile_program(program: &Program, requested: TraceMode) -> CompiledProgram {
+    let _t = t_time!("au_lang.vm.compile");
+    let effective = match requested {
+        TraceMode::Selective if selective_defeated(program) => TraceMode::Full,
+        mode => mode,
+    };
+    let selective = match effective {
+        TraceMode::Selective => {
+            let static_db = static_analysis::analyze(program);
+            let targets = static_db
+                .targets()
+                .iter()
+                .map(|&t| static_db.name(t).to_owned())
+                .collect();
+            Some(SelectiveCtx {
+                filter: StaticFilter::new(&static_db),
+                targets,
+                summaries: static_analysis::return_summaries(program),
+                memo: HashMap::new(),
+            })
+        }
+        _ => None,
+    };
+    let mut c = Compiler {
+        program,
+        mode: effective,
+        selective,
+        ops: Vec::new(),
+        consts: Vec::new(),
+        names: Vec::new(),
+        name_ids: HashMap::new(),
+        msgs: Vec::new(),
+        msg_ids: HashMap::new(),
+        live_sets: vec![Vec::new()], // id 0 = the empty live set
+        funcs: Vec::new(),
+        func_ids: HashMap::new(),
+        compiling_name: 0,
+    };
+    // Pass 1: register every function (first definition wins, matching
+    // `Program::function`) so calls can resolve forward references.
+    for f in &program.functions {
+        if !c.func_ids.contains_key(&f.name) {
+            let idx = c.funcs.len() as u16;
+            c.func_ids.insert(f.name.clone(), idx);
+            let name = c.name_id(&f.name);
+            c.funcs.push(FuncInfo {
+                name,
+                params: Vec::new(),
+                entry: 0,
+                nlocals: 0,
+                slot_names: Vec::new(),
+            });
+        }
+    }
+    // Pass 2: compile each registered body.
+    let mut compiled: Vec<bool> = vec![false; c.funcs.len()];
+    for f in &program.functions {
+        let idx = c.func_ids[&f.name];
+        if compiled[idx as usize] {
+            continue; // duplicate definition is unreachable, skip
+        }
+        compiled[idx as usize] = true;
+        c.compile_function(f, idx);
+    }
+    let main_func = c.func_ids["main"];
+    let relevant = {
+        let names: Vec<String> = c.names.clone();
+        names
+            .iter()
+            .map(|n| match c.selective.as_mut() {
+                Some(sel) => sel.is_relevant(n),
+                None => true,
+            })
+            .collect()
+    };
+    CompiledProgram {
+        ops: c.ops,
+        consts: c.consts,
+        names: c.names,
+        msgs: c.msgs,
+        funcs: c.funcs,
+        live_sets: c.live_sets,
+        main_func,
+        requested,
+        effective,
+        relevant,
+    }
+}
+
+/// True when the program uses a computed (non-literal) name in `input`,
+/// `mark_input`, or `mark_target` — the static target/input sets can then
+/// under-approximate the dynamic ones, so Selective must fall back to Full.
+fn selective_defeated(program: &Program) -> bool {
+    fn expr_defeats(expr: &Expr) -> bool {
+        match &expr.kind {
+            ExprKind::Num(_) | ExprKind::Bool(_) | ExprKind::Str(_) | ExprKind::Var(_) => false,
+            ExprKind::Array(items) => items.iter().any(expr_defeats),
+            ExprKind::Index(a, b) => expr_defeats(a) || expr_defeats(b),
+            ExprKind::Unary { expr, .. } => expr_defeats(expr),
+            ExprKind::Binary { lhs, rhs, .. } => expr_defeats(lhs) || expr_defeats(rhs),
+            ExprKind::Call { name, args } => {
+                if matches!(name.as_str(), "input" | "mark_input" | "mark_target")
+                    && !matches!(args.first().map(|a| &a.kind), Some(ExprKind::Str(_)))
+                {
+                    return true;
+                }
+                args.iter().any(expr_defeats)
+            }
+        }
+    }
+    fn stmt_defeats(stmt: &Stmt) -> bool {
+        match &stmt.kind {
+            StmtKind::Let { init: e, .. }
+            | StmtKind::Assign { value: e, .. }
+            | StmtKind::Expr(e)
+            | StmtKind::Return(Some(e)) => expr_defeats(e),
+            StmtKind::AssignIndex { index, value, .. } => {
+                expr_defeats(index) || expr_defeats(value)
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_defeats(cond)
+                    || then_body.iter().any(stmt_defeats)
+                    || else_body.iter().any(stmt_defeats)
+            }
+            StmtKind::While { cond, body } => expr_defeats(cond) || body.iter().any(stmt_defeats),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => false,
+        }
+    }
+    program
+        .functions
+        .iter()
+        .any(|f| f.body.iter().any(stmt_defeats))
+}
+
+/// Static-filter context for Selective compiles.
+struct SelectiveCtx {
+    filter: StaticFilter,
+    targets: Vec<String>,
+    summaries: BTreeMap<String, BTreeSet<String>>,
+    memo: HashMap<String, bool>,
+}
+
+impl SelectiveCtx {
+    /// A name is relevant unless the filter proves it unrelated to *every*
+    /// prediction target (unknown names are conservatively relevant).
+    fn is_relevant(&mut self, name: &str) -> bool {
+        if let Some(&v) = self.memo.get(name) {
+            return v;
+        }
+        let v = self
+            .targets
+            .iter()
+            .any(|t| !self.filter.proves_unrelated(name, t));
+        self.memo.insert(name.to_owned(), v);
+        v
+    }
+
+    fn any_relevant(&mut self, names: &BTreeSet<String>) -> bool {
+        names.iter().any(|n| {
+            if let Some(&v) = self.memo.get(n.as_str()) {
+                return v;
+            }
+            let v = self
+                .targets
+                .iter()
+                .any(|t| !self.filter.proves_unrelated(n, t));
+            self.memo.insert(n.clone(), v);
+            v
+        })
+    }
+}
+
+/// Per-function compile state: the lexical scope stack and loop labels.
+struct FnCtx {
+    /// Scope stack; each scope is `(name, slot)` in declaration order with
+    /// same-name redeclaration replacing the earlier entry.
+    scopes: Vec<Vec<(String, u16)>>,
+    slot_names: Vec<String>,
+    loops: Vec<LoopCtx>,
+}
+
+struct LoopCtx {
+    start: u32,
+    breaks: Vec<usize>,
+}
+
+impl FnCtx {
+    fn new() -> Self {
+        FnCtx {
+            scopes: vec![Vec::new()],
+            slot_names: Vec::new(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh slot for `name` in the innermost scope.
+    fn declare(&mut self, name: &str) -> u16 {
+        let slot = self.slot_names.len() as u16;
+        self.slot_names.push(name.to_owned());
+        let scope = self.scopes.last_mut().expect("scope");
+        match scope.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = slot,
+            None => scope.push((name.to_owned(), slot)),
+        }
+        slot
+    }
+
+    /// Innermost-first lookup, mirroring the interpreter's scope chain.
+    fn resolve(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().find(|(n, _)| n == name).map(|&(_, slot)| slot))
+    }
+}
+
+struct Compiler<'p> {
+    program: &'p Program,
+    mode: TraceMode,
+    selective: Option<SelectiveCtx>,
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    msgs: Vec<String>,
+    msg_ids: HashMap<String, u32>,
+    live_sets: Vec<Vec<(u16, u32)>>,
+    funcs: Vec<FuncInfo>,
+    func_ids: HashMap<String, u16>,
+    /// Name id of the function currently being compiled (for `break` /
+    /// `continue` error messages).
+    compiling_name: u32,
+}
+
+impl<'p> Compiler<'p> {
+    // -- pools ----------------------------------------------------------
+
+    fn name_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.name_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    fn msg_id(&mut self, msg: &str) -> u32 {
+        if let Some(&id) = self.msg_ids.get(msg) {
+            return id;
+        }
+        let id = self.msgs.len() as u32;
+        self.msgs.push(msg.to_owned());
+        self.msg_ids.insert(msg.to_owned(), id);
+        id
+    }
+
+    fn const_id(&mut self, v: Value) -> u32 {
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    /// Captures the variables currently in scope as a live set (for
+    /// checkpoint snapshots at this site). Outer-to-inner order, so
+    /// name-based flattening picks the innermost binding.
+    fn live_id(&mut self, ctx: &FnCtx) -> u32 {
+        let mut entries: Vec<(u16, u32)> = Vec::new();
+        for scope in &ctx.scopes {
+            for (name, slot) in scope {
+                let id = self.name_id(name);
+                entries.push((*slot, id));
+            }
+        }
+        if entries.is_empty() {
+            return 0;
+        }
+        self.live_sets.push(entries);
+        (self.live_sets.len() - 1) as u32
+    }
+
+    // -- emission helpers ----------------------------------------------
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        match &mut self.ops[at] {
+            Op::Jump(t) => *t = target,
+            Op::BranchFalse { target: t, .. } => *t = target,
+            Op::ShortCircuit { skip, .. } => *skip = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn fail(&mut self, msg: &str) {
+        let m = self.msg_id(msg);
+        self.emit(Op::Fail(m));
+    }
+
+    fn ensure_str(&mut self, builtin: &str) {
+        let m = self.msg_id(&format!("`{builtin}` expects a string literal argument"));
+        self.emit(Op::EnsureStr(m));
+    }
+
+    // -- trace-site decisions ------------------------------------------
+
+    fn may_deps(&self, expr: &Expr) -> BTreeSet<String> {
+        let sel = self.selective.as_ref().expect("selective mode");
+        static_analysis::expr_may_deps(expr, self.program, &sel.summaries)
+    }
+
+    /// How to instrument an assignment of `rhs` into `dst`.
+    fn assign_trace_kind(
+        &mut self,
+        dst: &str,
+        may: impl FnOnce(&Self) -> BTreeSet<String>,
+    ) -> TraceKind {
+        match self.mode {
+            TraceMode::Off => TraceKind::None,
+            TraceMode::Full => TraceKind::Assign,
+            TraceMode::Selective => {
+                if self.selective.as_mut().expect("selective").is_relevant(dst) {
+                    TraceKind::Assign
+                } else {
+                    let names = may(self);
+                    if self
+                        .selective
+                        .as_mut()
+                        .expect("selective")
+                        .any_relevant(&names)
+                    {
+                        TraceKind::Uses
+                    } else {
+                        TraceKind::None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits the trace prologue for a `let`/`assign` site (after the RHS
+    /// value is on the stack, before the store — the interpreter's order).
+    fn emit_assign_trace(&mut self, dst: &str, rhs: &Expr) {
+        let kind = self.assign_trace_kind(dst, |c| c.may_deps(rhs));
+        match kind {
+            TraceKind::None => {}
+            TraceKind::Assign => {
+                if is_write_back_call(rhs) {
+                    let id = self.name_id(dst);
+                    self.emit(Op::MarkTargetName(id));
+                }
+                let id = self.name_id(dst);
+                self.emit(Op::TraceAssign { name: id });
+            }
+            TraceKind::Uses => {
+                self.emit(Op::NoteUses);
+            }
+        }
+    }
+
+    /// Emits a use-note for a condition expression when the mode calls for
+    /// it (the dep set is on top of the dep stack).
+    fn emit_cond_note(&mut self, cond: &Expr) {
+        match self.mode {
+            TraceMode::Off => {}
+            TraceMode::Full => {
+                self.emit(Op::NoteUses);
+            }
+            TraceMode::Selective => {
+                let may = self.may_deps(cond);
+                if self
+                    .selective
+                    .as_mut()
+                    .expect("selective")
+                    .any_relevant(&may)
+                {
+                    self.emit(Op::NoteUses);
+                }
+            }
+        }
+    }
+
+    // -- functions ------------------------------------------------------
+
+    fn compile_function(&mut self, f: &Function, idx: u16) {
+        self.compiling_name = self.funcs[idx as usize].name;
+        let entry = self.here();
+        let mut ctx = FnCtx::new();
+        let mut params = Vec::with_capacity(f.params.len());
+        for p in &f.params {
+            ctx.declare(p);
+            params.push(self.name_id(p));
+        }
+        self.compile_block(&f.body, &mut ctx);
+        self.emit(Op::RetUnit);
+        let slot_names = ctx
+            .slot_names
+            .iter()
+            .map(|n| self.name_id(n))
+            .collect::<Vec<_>>();
+        let fi = &mut self.funcs[idx as usize];
+        fi.params = params;
+        fi.entry = entry;
+        fi.nlocals = ctx.slot_names.len() as u16;
+        fi.slot_names = slot_names;
+    }
+
+    fn compile_block(&mut self, stmts: &[Stmt], ctx: &mut FnCtx) {
+        ctx.scopes.push(Vec::new());
+        for stmt in stmts {
+            self.compile_stmt(stmt, ctx);
+        }
+        ctx.scopes.pop();
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt, ctx: &mut FnCtx) {
+        self.emit(Op::Step);
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
+                self.compile_expr(init, ctx);
+                self.emit_assign_trace(name, init);
+                let slot = ctx.declare(name);
+                self.emit(Op::Store(slot));
+            }
+            StmtKind::Assign { name, value } => {
+                self.compile_expr(value, ctx);
+                self.emit_assign_trace(name, value);
+                match ctx.resolve(name) {
+                    Some(slot) => {
+                        self.emit(Op::Store(slot));
+                    }
+                    None => self.fail(&format!("assignment to undefined variable `{name}`")),
+                }
+            }
+            StmtKind::AssignIndex { name, index, value } => {
+                self.compile_expr(index, ctx);
+                self.compile_expr(value, ctx);
+                let trace = self.assign_trace_kind(name, |c| {
+                    let mut may = c.may_deps(index);
+                    may.extend(c.may_deps(value));
+                    may.insert(name.clone());
+                    may
+                });
+                let nid = self.name_id(name);
+                match ctx.resolve(name) {
+                    Some(slot) => self.emit(Op::StoreIndex {
+                        slot,
+                        name: nid,
+                        trace,
+                    }),
+                    None => self.emit(Op::StoreIndexUndef { name: nid, trace }),
+                };
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.compile_expr(cond, ctx);
+                self.emit_cond_note(cond);
+                let msg = self.msg_id("if condition must be boolean");
+                let bf = self.emit(Op::BranchFalse { target: 0, msg });
+                self.compile_block(then_body, ctx);
+                let j = self.emit(Op::Jump(0));
+                self.patch(bf);
+                self.compile_block(else_body, ctx);
+                self.patch(j);
+            }
+            StmtKind::While { cond, body } => {
+                let start = self.here();
+                self.compile_expr(cond, ctx);
+                self.emit_cond_note(cond);
+                let msg = self.msg_id("while condition must be boolean");
+                let bf = self.emit(Op::BranchFalse { target: 0, msg });
+                ctx.loops.push(LoopCtx {
+                    start,
+                    breaks: Vec::new(),
+                });
+                self.compile_block(body, ctx);
+                self.emit(Op::Jump(start));
+                let done = ctx.loops.pop().expect("loop ctx");
+                self.patch(bf);
+                for b in done.breaks {
+                    self.patch(b);
+                }
+            }
+            StmtKind::Return(Some(e)) => {
+                self.compile_expr(e, ctx);
+                self.emit(Op::Ret);
+            }
+            StmtKind::Return(None) => {
+                self.emit(Op::RetUnit);
+            }
+            StmtKind::Break => {
+                if ctx.loops.is_empty() {
+                    let fname = self.current_fn_name(ctx);
+                    self.fail(&format!(
+                        "`break`/`continue` outside a loop in function `{fname}`"
+                    ));
+                } else {
+                    let j = self.emit(Op::Jump(0));
+                    ctx.loops.last_mut().expect("loop").breaks.push(j);
+                }
+            }
+            StmtKind::Continue => {
+                if ctx.loops.is_empty() {
+                    let fname = self.current_fn_name(ctx);
+                    self.fail(&format!(
+                        "`break`/`continue` outside a loop in function `{fname}`"
+                    ));
+                } else {
+                    let start = ctx.loops.last().expect("loop").start;
+                    self.emit(Op::Jump(start));
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.compile_expr(e, ctx);
+                self.emit(Op::Pop);
+            }
+        }
+    }
+
+    /// Name of the function currently being compiled (for error messages).
+    fn current_fn_name(&self, _ctx: &FnCtx) -> String {
+        self.names[self.compiling_name as usize].clone()
+    }
+
+    // -- expressions ----------------------------------------------------
+
+    fn compile_expr(&mut self, expr: &Expr, ctx: &mut FnCtx) {
+        match &expr.kind {
+            ExprKind::Num(n) => {
+                let c = self.const_id(Value::Num(*n));
+                self.emit(Op::Const(c));
+            }
+            ExprKind::Bool(b) => {
+                let c = self.const_id(Value::Bool(*b));
+                self.emit(Op::Const(c));
+            }
+            ExprKind::Str(s) => {
+                let c = self.const_id(Value::Str(s.clone()));
+                self.emit(Op::Const(c));
+            }
+            ExprKind::Var(name) => match ctx.resolve(name) {
+                Some(slot) => {
+                    self.emit(Op::Load(slot));
+                }
+                None => self.fail(&format!("undefined variable `{name}`")),
+            },
+            ExprKind::Array(items) => {
+                for item in items {
+                    self.compile_expr(item, ctx);
+                }
+                self.emit(Op::MakeArray(items.len() as u16));
+            }
+            ExprKind::Index(target, index) => {
+                self.compile_expr(target, ctx);
+                self.compile_expr(index, ctx);
+                self.emit(Op::IndexGet);
+            }
+            ExprKind::Unary { op, expr } => {
+                self.compile_expr(expr, ctx);
+                self.emit(match op {
+                    crate::ast::UnOp::Neg => Op::Neg,
+                    crate::ast::UnOp::Not => Op::Not,
+                });
+            }
+            ExprKind::Binary { op, lhs, rhs } => match op {
+                BinOp::And | BinOp::Or => {
+                    self.compile_expr(lhs, ctx);
+                    let probe = self.emit(Op::ShortCircuit {
+                        is_and: *op == BinOp::And,
+                        skip: 0,
+                    });
+                    self.compile_expr(rhs, ctx);
+                    self.emit(Op::LogicalRhs);
+                    self.patch(probe);
+                }
+                _ => {
+                    self.compile_expr(lhs, ctx);
+                    self.compile_expr(rhs, ctx);
+                    self.emit(Op::Bin(*op));
+                }
+            },
+            ExprKind::Call { name, args } => self.compile_call(name, args, ctx),
+        }
+    }
+
+    fn compile_call(&mut self, name: &str, args: &[Expr], ctx: &mut FnCtx) {
+        if !name.starts_with("au_") {
+            if let Some(&fidx) = self.func_ids.get(name) {
+                for arg in args {
+                    self.compile_expr(arg, ctx);
+                }
+                let arity = self
+                    .program
+                    .function(name)
+                    .expect("registered function")
+                    .params
+                    .len();
+                if args.len() != arity {
+                    self.fail(&format!(
+                        "function `{name}` expects {arity} arguments, got {}",
+                        args.len()
+                    ));
+                } else {
+                    let live = self.live_id(ctx);
+                    self.emit(Op::Call { func: fidx, live });
+                }
+                return;
+            }
+        }
+        self.compile_builtin(name, args, ctx);
+    }
+
+    /// Emits the interpreter's fixed-arity check: the error fires *before*
+    /// any argument is evaluated, so it compiles to a bare `Fail`.
+    fn check_arity(&mut self, name: &str, args: &[Expr], n: usize) -> bool {
+        if args.len() == n {
+            true
+        } else {
+            self.fail(&format!(
+                "`{name}` expects {n} arguments, got {}",
+                args.len()
+            ));
+            false
+        }
+    }
+
+    fn compile_builtin(&mut self, name: &str, args: &[Expr], ctx: &mut FnCtx) {
+        match name {
+            "au_config" => {
+                if args.len() < 4 {
+                    self.fail("`au_config` needs model, type, algorithm, layer count");
+                    return;
+                }
+                for arg in &args[..3] {
+                    self.compile_expr(arg, ctx);
+                    self.ensure_str("au_config");
+                }
+                self.compile_expr(&args[3], ctx);
+                self.emit(Op::AuConfigCheck {
+                    argc: args.len() as u16,
+                });
+                let layer_msg = self.msg_id("layer size must be a number");
+                for arg in &args[4..] {
+                    self.compile_expr(arg, ctx);
+                    self.emit(Op::EnsureNum(layer_msg));
+                }
+                self.emit(Op::AuConfig {
+                    layers: (args.len() - 4) as u16,
+                });
+            }
+            "au_extract" => {
+                if !self.check_arity(name, args, 2) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[1], ctx);
+                self.emit(Op::AuExtract);
+            }
+            "au_serialize" => {
+                for arg in args {
+                    self.compile_expr(arg, ctx);
+                    self.ensure_str(name);
+                }
+                self.emit(Op::AuSerialize {
+                    argc: args.len() as u16,
+                });
+            }
+            "au_nn" => {
+                if args.len() < 3 {
+                    self.fail("`au_nn` needs model, ext, and at least one wb name");
+                    return;
+                }
+                for arg in args {
+                    self.compile_expr(arg, ctx);
+                    self.ensure_str(name);
+                }
+                self.emit(Op::AuNn {
+                    argc: args.len() as u16,
+                });
+            }
+            "au_nn_rl" => {
+                if !self.check_arity(name, args, 6) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[1], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[2], ctx);
+                self.compile_expr(&args[3], ctx);
+                self.compile_expr(&args[4], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[5], ctx);
+                self.emit(Op::AuNnRl);
+            }
+            "au_write_back" => {
+                if !self.check_arity(name, args, 1) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.emit(Op::AuWriteBack);
+            }
+            "au_write_back_n" => {
+                if !self.check_arity(name, args, 2) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[1], ctx);
+                self.emit(Op::AuWriteBackN);
+            }
+            "au_checkpoint" => {
+                if !self.check_arity(name, args, 0) {
+                    return;
+                }
+                let live = self.live_id(ctx);
+                self.emit(Op::AuCheckpoint { live });
+            }
+            "au_restore" => {
+                if !self.check_arity(name, args, 0) {
+                    return;
+                }
+                let live = self.live_id(ctx);
+                self.emit(Op::AuRestore { live });
+            }
+            "mark_input" => {
+                if !self.check_arity(name, args, 1) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.emit(Op::MarkInput);
+            }
+            "mark_target" => {
+                if !self.check_arity(name, args, 1) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.emit(Op::MarkTarget);
+            }
+            "input" => {
+                if !self.check_arity(name, args, 2) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.ensure_str(name);
+                self.compile_expr(&args[1], ctx);
+                // Pre-intern literal keys so traced runs use a pooled id
+                // with a precomputed relevance bit.
+                if let ExprKind::Str(key) = &args[0].kind {
+                    self.name_id(key);
+                }
+                self.emit(Op::Input);
+            }
+            "print" => {
+                for arg in args {
+                    self.compile_expr(arg, ctx);
+                }
+                self.emit(Op::Print(args.len() as u16));
+            }
+            "len" => {
+                if !self.check_arity(name, args, 1) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.emit(Op::Len);
+            }
+            "append" => {
+                if !self.check_arity(name, args, 2) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.compile_expr(&args[1], ctx);
+                self.emit(Op::Append);
+            }
+            "floor" | "abs" | "sqrt" | "sin" | "cos" | "exp" => {
+                if !self.check_arity(name, args, 1) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                let f = match name {
+                    "floor" => MathFn::Floor,
+                    "abs" => MathFn::Abs,
+                    "sqrt" => MathFn::Sqrt,
+                    "sin" => MathFn::Sin,
+                    "cos" => MathFn::Cos,
+                    _ => MathFn::Exp,
+                };
+                self.emit(Op::Math1(f));
+            }
+            "min" | "max" => {
+                if !self.check_arity(name, args, 2) {
+                    return;
+                }
+                self.compile_expr(&args[0], ctx);
+                self.compile_expr(&args[1], ctx);
+                self.emit(Op::Math2 {
+                    is_min: name == "min",
+                });
+            }
+            "rand" => {
+                if !self.check_arity(name, args, 0) {
+                    return;
+                }
+                self.emit(Op::Rand);
+            }
+            other => self.fail(&format!("unknown function `{other}`")),
+        }
+    }
+}
+
+/// True for RHS calls that designate their destination as a target.
+fn is_write_back_call(rhs: &Expr) -> bool {
+    matches!(
+        &rhs.kind,
+        ExprKind::Call { name, .. }
+            if name == "au_write_back" || name == "au_write_back_n" || name == "au_nn_rl"
+    )
+}

@@ -1,0 +1,545 @@
+//! The nine paper benchmark programs, written in AuLang.
+//!
+//! The paper evaluates autonomization on nine programs — four supervised
+//! (Canny, Rothwell, Phylip, Sphinx) and five reinforcement-style game
+//! loops (Flappy, Mario, Arkanoid, TORCS, Breakout). This module carries
+//! compact AuLang renditions of all nine, shaped like the paper's Fig. 2 /
+//! Fig. 11 listings: compute-heavy scalar/array loops around sparse `au_*`
+//! protocol calls with tiny models, so engine time stays negligible and
+//! execution-tier comparisons (interpreter vs. bytecode VM, traced vs.
+//! untraced) measure the language runtime itself.
+//!
+//! Every program passes `au-lint` with zero findings, terminates (or is
+//! bounded by the entry's [`step_limit`](CorpusProgram::step_limit) — the
+//! checkpoint/restore training loops are endless by design, like the
+//! paper's), and is deterministic: `rand()` is seeded by the host, and
+//! model behaviour is pinned by `au_nn::set_init_seed`.
+//!
+//! Used by the differential test suite (`tests/aulang_vm_differential.rs`)
+//! and the `aulang_exec` Criterion bench.
+
+/// One corpus entry.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusProgram {
+    /// Benchmark name, matching the paper's Table 1.
+    pub name: &'static str,
+    /// AuLang source.
+    pub src: &'static str,
+    /// Step budget for the endless checkpoint/restore training loops
+    /// (`None` = the program terminates on its own).
+    pub step_limit: Option<u64>,
+    /// Suggested `au_nn::set_init_seed` value for reproducible runs.
+    pub nn_seed: u64,
+}
+
+/// Canny edge detection: smooth, differentiate, histogram; the model
+/// predicts the hysteresis threshold from the magnitude histogram.
+pub const CANNY: &str = r#"
+    fn smooth(signal, n) {
+        let out = [];
+        for (let i = 0; i < n; i = i + 1) {
+            let lo = max(i - 1, 0);
+            let hi = min(i + 1, n - 1);
+            out = append(out, (signal[lo] + signal[i] + signal[hi]) / 3.0);
+        }
+        return out;
+    }
+
+    fn gradient(s, n) {
+        let out = [];
+        for (let i = 0; i < n - 1; i = i + 1) {
+            out = append(out, abs(s[i + 1] - s[i]));
+        }
+        return out;
+    }
+
+    fn histogram(mag, n) {
+        let hist = [0, 0, 0, 0];
+        for (let i = 0; i < n; i = i + 1) {
+            let bin = floor(min(mag[i], 0.99) * 4);
+            hist[bin] = hist[bin] + 1;
+        }
+        return hist;
+    }
+
+    fn main() {
+        au_config("ThNN", "DNN", "AdamOpt", 1, 8);
+        let round = 0;
+        while (round < 40) {
+            let height = 0.2 + 0.6 * ((round % 10) / 10.0);
+            let signal = [];
+            for (let i = 0; i < 16; i = i + 1) {
+                let base = 0;
+                if (i >= 8) { base = height; }
+                signal = append(signal, base + 0.02 * sin(i * 3.0));
+            }
+            let s = smooth(signal, 16);
+            let mag = gradient(s, 16);
+            let hist = histogram(mag, 15);
+            au_extract("HIST", hist);
+            au_extract("TH", height / 2.0);
+            au_nn("ThNN", "HIST", "TH");
+            round = round + 1;
+        }
+        let height = 0.55;
+        let signal = [];
+        for (let i = 0; i < 16; i = i + 1) {
+            let base = 0;
+            if (i >= 8) { base = height; }
+            signal = append(signal, base + 0.02 * sin(i * 3.0));
+        }
+        let s = smooth(signal, 16);
+        let mag = gradient(s, 16);
+        let hist = histogram(mag, 15);
+        au_extract("HIST", hist);
+        au_nn("ThNN", "HIST", "TH");
+        let th = 0;
+        th = au_write_back("TH");
+        return th;
+    }
+"#;
+
+/// Rothwell straight-line detection: fit residuals over a point set; the
+/// model predicts the corner-acceptance threshold `alpha`.
+pub const ROTHWELL: &str = r#"
+    fn residuals(pts, n, slope) {
+        let out = [];
+        for (let i = 0; i < n; i = i + 1) {
+            out = append(out, abs(pts[i] - slope * i));
+        }
+        return out;
+    }
+
+    fn spread(res, n) {
+        let mean = 0;
+        for (let i = 0; i < n; i = i + 1) { mean = mean + res[i]; }
+        mean = mean / n;
+        let dev = 0;
+        for (let i = 0; i < n; i = i + 1) { dev = dev + abs(res[i] - mean); }
+        return [mean, dev / n];
+    }
+
+    fn main() {
+        au_config("AlphaNN", "DNN", "AdamOpt", 1, 8);
+        let trial = 0;
+        while (trial < 60) {
+            let noise = 0.05 + 0.3 * ((trial % 12) / 12.0);
+            let pts = [];
+            for (let i = 0; i < 20; i = i + 1) {
+                pts = append(pts, 0.7 * i + noise * sin(i * 5.0));
+            }
+            let res = residuals(pts, 20, 0.7);
+            let stats = spread(res, 20);
+            au_extract("RES", stats);
+            au_extract("ALPHA", noise * 2.0);
+            au_nn("AlphaNN", "RES", "ALPHA");
+            trial = trial + 1;
+        }
+        let pts = [];
+        for (let i = 0; i < 20; i = i + 1) {
+            pts = append(pts, 0.7 * i + 0.2 * sin(i * 5.0));
+        }
+        let res = residuals(pts, 20, 0.7);
+        let stats = spread(res, 20);
+        au_extract("RES", stats);
+        au_nn("AlphaNN", "RES", "ALPHA");
+        let alpha = 0;
+        alpha = au_write_back("ALPHA");
+        return alpha;
+    }
+"#;
+
+/// Phylip DNA penny: pairwise distance matrix over encoded sequences; the
+/// model predicts a tree-score bound used to prune the branch search.
+pub const PHYLIP: &str = r#"
+    fn pair_distance(a, b, len) {
+        let d = 0;
+        for (let k = 0; k < len; k = k + 1) {
+            if (a[k] == b[k]) { d = d + 0; } else { d = d + 1; }
+        }
+        return d / len;
+    }
+
+    fn main() {
+        au_config("BoundNN", "DNN", "AdamOpt", 1, 8);
+        let case = 0;
+        while (case < 30) {
+            let drift = (case % 6) / 6.0;
+            let seqs = [];
+            for (let s = 0; s < 4; s = s + 1) {
+                let seq = [];
+                for (let k = 0; k < 12; k = k + 1) {
+                    let site = (s * 7 + k * 3) % 4;
+                    if ((k % 6) / 6.0 < drift) { site = (site + s) % 4; }
+                    seq = append(seq, site);
+                }
+                seqs = append(seqs, seq);
+            }
+            let total = 0;
+            let pairs = 0;
+            for (let i = 0; i < 4; i = i + 1) {
+                for (let j = 0; j < 4; j = j + 1) {
+                    if (i < j) {
+                        total = total + pair_distance(seqs[i], seqs[j], 12);
+                        pairs = pairs + 1;
+                    }
+                }
+            }
+            let meand = total / pairs;
+            au_extract("DIST", [meand, drift]);
+            au_extract("BOUND", meand * 1.5);
+            au_nn("BoundNN", "DIST", "BOUND");
+            case = case + 1;
+        }
+        au_extract("DIST", [0.4, 0.5]);
+        au_nn("BoundNN", "DIST", "BOUND");
+        let bound = 0;
+        bound = au_write_back("BOUND");
+        return bound;
+    }
+"#;
+
+/// Sphinx speech decoding: frame-energy bands over a synthetic signal;
+/// the model predicts the beam-pruning threshold.
+pub const SPHINX: &str = r#"
+    fn band_energies(frame, n) {
+        let bands = [0, 0, 0, 0];
+        for (let i = 0; i < n; i = i + 1) {
+            let b = floor((i / n) * 4);
+            bands[b] = bands[b] + frame[i] * frame[i];
+        }
+        return bands;
+    }
+
+    fn main() {
+        au_config("BeamNN", "DNN", "AdamOpt", 1, 8);
+        let utt = 0;
+        while (utt < 50) {
+            let pitch = 0.3 + 0.5 * ((utt % 8) / 8.0);
+            let frame = [];
+            for (let i = 0; i < 24; i = i + 1) {
+                frame = append(frame, sin(i * pitch) + 0.3 * cos(i * 2.0 * pitch));
+            }
+            let bands = band_energies(frame, 24);
+            au_extract("BANDS", bands);
+            au_extract("BEAM", pitch * 0.8);
+            au_nn("BeamNN", "BANDS", "BEAM");
+            utt = utt + 1;
+        }
+        let frame = [];
+        for (let i = 0; i < 24; i = i + 1) {
+            frame = append(frame, sin(i * 0.55) + 0.3 * cos(i * 1.1));
+        }
+        let bands = band_energies(frame, 24);
+        au_extract("BANDS", bands);
+        au_nn("BeamNN", "BANDS", "BEAM");
+        let beam = 0;
+        beam = au_write_back("BEAM");
+        return beam;
+    }
+"#;
+
+/// Flappy Bird: the Fig. 2 shape — checkpoint at the top, Q-learning on
+/// (height, gap) state, restore on death. Endless by design; run under a
+/// step budget.
+pub const FLAPPY: &str = r#"
+    fn draw_scanlines(seed, w, h) {
+        let acc = 0;
+        for (let ry = 0; ry < h; ry = ry + 1) {
+            for (let rx = 0; rx < w; rx = rx + 1) {
+                let shade = (rx * 7 + ry * 13 + seed) % 9;
+                if (shade > 4) { acc = acc + shade; } else { acc = acc + 1; }
+            }
+        }
+        return acc;
+    }
+
+    fn main() {
+        au_config("Bird", "DNN", "QLearn", 1, 8);
+        let height = 5;
+        let vel = 0;
+        let gap = 5;
+        let t = 0;
+        let reward = 0;
+        let hud = 0;
+        au_checkpoint();
+        while (t < 500) {
+            // Per-frame rendering: heavy, and provably unrelated to the
+            // extraction pair, so the selective tier compiles it untraced.
+            hud = hud + draw_scanlines(t, 8, 8);
+            au_extract("S", [height, vel, gap]);
+            let a = au_nn_rl("Bird", "S", reward, false, "act", 2);
+            if (a == 1) { vel = 2; } else { vel = vel - 1; }
+            height = height + vel;
+            if (vel < 0 - 3) { vel = 0 - 3; }
+            gap = 3 + (t * 7) % 5;
+            reward = 1;
+            if (abs(height - gap) > 4) {
+                au_extract("S", [height, vel, gap]);
+                let b = au_nn_rl("Bird", "S", 0 - 10, true, "act", 2);
+                au_restore();
+            }
+            t = t + 1;
+        }
+        return t + hud % 3;
+    }
+"#;
+
+/// Super Mario: the paper's Fig. 2 listing, lightly fleshed out — position
+/// advance vs. obstacles, checkpoint/restore on death.
+pub const MARIO: &str = r#"
+    fn scroll_tiles(cam, w, h) {
+        let sum = 0;
+        for (let ty = 0; ty < h; ty = ty + 1) {
+            for (let tx = 0; tx < w; tx = tx + 1) {
+                let tile = (tx * 5 + ty * 11 + cam) % 8;
+                if (tile > 3) { sum = sum + tile; } else { sum = sum - 1; }
+            }
+        }
+        return sum;
+    }
+
+    fn main() {
+        au_config("Mario", "DNN", "QLearn", 1, 8);
+        let px = 0;
+        let py = 0;
+        let t = 0;
+        let reward = 0;
+        let backdrop = 0;
+        au_checkpoint();
+        while (t < 400) {
+            backdrop = backdrop + scroll_tiles(t, 8, 8);
+            let obstacle = (t * 13) % 7;
+            au_extract("S", [px, py, obstacle]);
+            let a = au_nn_rl("Mario", "S", reward, false, "act", 3);
+            if (a == 1) { py = 3; } else { if (py > 0) { py = py - 1; } }
+            if (a == 2) { px = px + 2; reward = 2; } else { px = px + 1; reward = 1; }
+            let dead = 0;
+            if (obstacle == 3) { if (py == 0) { dead = 1; } }
+            if (dead == 1) {
+                au_extract("S", [px, py, obstacle]);
+                let b = au_nn_rl("Mario", "S", 0 - 10, true, "act", 3);
+                au_restore();
+            }
+            t = t + 1;
+        }
+        return px + backdrop % 3;
+    }
+"#;
+
+/// Arkanoid: paddle tracking a deterministic ball; episodic Q-learning
+/// with terminal frames, no restore — terminates on its own.
+pub const ARKANOID: &str = r#"
+    fn blit_field(tick, w, h) {
+        let px = 0;
+        for (let by = 0; by < h; by = by + 1) {
+            for (let bx = 0; bx < w; bx = bx + 1) {
+                let cell = (bx * 3 + by * 17 + tick) % 10;
+                if (cell > 5) { px = px + cell; } else { px = px + 2; }
+            }
+        }
+        return px;
+    }
+
+    fn main() {
+        au_config("Pad", "DNN", "QLearn", 1, 8);
+        let episode = 0;
+        let score = 0;
+        let vram = 0;
+        while (episode < 15) {
+            let ball = 0;
+            let dir = 1;
+            let paddle = 4;
+            let frame = 0;
+            let reward = 0;
+            while (frame < 24) {
+                vram = vram + blit_field(frame, 8, 8);
+                au_extract("S", [ball, dir, paddle]);
+                let last = 0;
+                if (frame == 23) { last = 1; }
+                let a = au_nn_rl("Pad", "S", reward, last, "act", 3);
+                if (a == 1) { if (paddle > 0) { paddle = paddle - 1; } }
+                if (a == 2) { if (paddle < 8) { paddle = paddle + 1; } }
+                ball = ball + dir;
+                if (ball >= 8) { dir = 0 - 1; }
+                if (ball <= 0) { dir = 1; }
+                if (abs(ball - paddle) < 2) { reward = 1; score = score + 1; } else { reward = 0 - 1; }
+                frame = frame + 1;
+            }
+            episode = episode + 1;
+        }
+        return score + vram % 3;
+    }
+"#;
+
+/// TORCS driving: steer from a curvature lookahead; episodic, terminates.
+pub const TORCS: &str = r#"
+    fn lookahead(track, pos, n) {
+        let ahead = [];
+        for (let k = 0; k < 3; k = k + 1) {
+            ahead = append(ahead, track[(pos + k) % n]);
+        }
+        return ahead;
+    }
+
+    fn dash_gauges(rpm, w, h) {
+        let glow = 0;
+        for (let gy = 0; gy < h; gy = gy + 1) {
+            for (let gx = 0; gx < w; gx = gx + 1) {
+                let needle = (gx * 9 + gy * 7 + rpm) % 11;
+                if (needle > 5) { glow = glow + needle; } else { glow = glow + 1; }
+            }
+        }
+        return glow;
+    }
+
+    fn main() {
+        au_config("Drv", "DNN", "QLearn", 1, 8);
+        let track = [];
+        for (let i = 0; i < 16; i = i + 1) {
+            track = append(track, sin(i * 0.8));
+        }
+        let lap = 0;
+        let offroad = 0;
+        let dash = 0;
+        while (lap < 14) {
+            let pos = 0;
+            let heading = 0;
+            let reward = 0;
+            while (pos < 16) {
+                dash = dash + dash_gauges(pos, 8, 8);
+                let ahead = lookahead(track, pos, 16);
+                au_extract("S", [heading, ahead[0], ahead[1], ahead[2]]);
+                let last = 0;
+                if (pos == 15) { last = 1; }
+                let a = au_nn_rl("Drv", "S", reward, last, "act", 3);
+                if (a == 1) { heading = heading - 0.5; }
+                if (a == 2) { heading = heading + 0.5; }
+                let err = abs(heading - track[pos]);
+                if (err < 0.6) { reward = 1; } else { reward = 0 - 1; offroad = offroad + 1; }
+                pos = pos + 1;
+            }
+            lap = lap + 1;
+        }
+        return offroad + dash % 3;
+    }
+"#;
+
+/// Breakout: brick rows cleared by a deterministic ball, paddle learned;
+/// episodic, terminates.
+pub const BREAKOUT: &str = r#"
+    fn flash_border(pulse, w, h) {
+        let lit = 0;
+        for (let fy = 0; fy < h; fy = fy + 1) {
+            for (let fx = 0; fx < w; fx = fx + 1) {
+                let lum = (fx * 11 + fy * 3 + pulse) % 7;
+                if (lum > 3) { lit = lit + lum; } else { lit = lit + 1; }
+            }
+        }
+        return lit;
+    }
+
+    fn main() {
+        au_config("Brk", "DNN", "QLearn", 1, 8);
+        let game = 0;
+        let cleared = 0;
+        let fx2 = 0;
+        while (game < 12) {
+            let bricks = [1, 1, 1, 1, 1, 1];
+            let left = 6;
+            let bx = 0;
+            let bdir = 1;
+            let paddle = 3;
+            let frame = 0;
+            let reward = 0;
+            while (frame < 30) {
+                fx2 = fx2 + flash_border(frame, 8, 8);
+                au_extract("S", [bx, bdir, paddle, left]);
+                let last = 0;
+                if (frame == 29) { last = 1; }
+                if (left == 0) { last = 1; }
+                let a = au_nn_rl("Brk", "S", reward, last, "act", 3);
+                if (last == 1) { break; }
+                if (a == 1) { if (paddle > 0) { paddle = paddle - 1; } }
+                if (a == 2) { if (paddle < 5) { paddle = paddle + 1; } }
+                bx = bx + bdir;
+                if (bx >= 5) { bdir = 0 - 1; }
+                if (bx <= 0) { bdir = 1; }
+                reward = 0;
+                if (abs(bx - paddle) < 2) {
+                    if (bricks[bx] == 1) {
+                        bricks[bx] = 0;
+                        left = left - 1;
+                        cleared = cleared + 1;
+                        reward = 2;
+                    }
+                } else {
+                    reward = 0 - 1;
+                }
+                frame = frame + 1;
+            }
+            game = game + 1;
+        }
+        return cleared + fx2 % 3;
+    }
+"#;
+
+/// All nine paper programs, SL first, in the paper's Table 1 order.
+pub fn all() -> [CorpusProgram; 9] {
+    [
+        CorpusProgram {
+            name: "canny",
+            src: CANNY,
+            step_limit: None,
+            nn_seed: 71,
+        },
+        CorpusProgram {
+            name: "rothwell",
+            src: ROTHWELL,
+            step_limit: None,
+            nn_seed: 72,
+        },
+        CorpusProgram {
+            name: "phylip",
+            src: PHYLIP,
+            step_limit: None,
+            nn_seed: 73,
+        },
+        CorpusProgram {
+            name: "sphinx",
+            src: SPHINX,
+            step_limit: None,
+            nn_seed: 74,
+        },
+        CorpusProgram {
+            name: "flappy",
+            src: FLAPPY,
+            step_limit: Some(60_000),
+            nn_seed: 75,
+        },
+        CorpusProgram {
+            name: "mario",
+            src: MARIO,
+            step_limit: Some(60_000),
+            nn_seed: 76,
+        },
+        CorpusProgram {
+            name: "arkanoid",
+            src: ARKANOID,
+            step_limit: None,
+            nn_seed: 77,
+        },
+        CorpusProgram {
+            name: "torcs",
+            src: TORCS,
+            step_limit: None,
+            nn_seed: 78,
+        },
+        CorpusProgram {
+            name: "breakout",
+            src: BREAKOUT,
+            step_limit: None,
+            nn_seed: 79,
+        },
+    ]
+}

@@ -48,18 +48,25 @@
 mod telem;
 
 mod ast;
+mod bytecode;
+mod compile;
+pub mod corpus;
 mod interp;
 mod lexer;
 mod parser;
 pub mod pretty;
 pub mod static_analysis;
 mod value;
+mod vm;
 
 pub use ast::{BinOp, Expr, ExprKind, Function, Program, Span, Stmt, StmtKind, UnOp};
+pub use bytecode::{CompiledProgram, TraceMode};
+pub use compile::compile_program;
 pub use interp::{Interpreter, RunStats};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::parse;
 pub use value::Value;
+pub use vm::Vm;
 
 use std::error::Error;
 use std::fmt;

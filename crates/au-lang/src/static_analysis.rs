@@ -12,17 +12,18 @@
 
 use crate::ast::{Expr, ExprKind, Program, Stmt, StmtKind};
 use au_trace::AnalysisDb;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds a static over-approximated dependence graph for `program`.
 ///
 /// Edges use the same variable-name space as the dynamic tracer, so the
 /// result can be fed to the same extraction algorithms. Function-call
 /// dataflow is resolved by connecting argument variables to parameter
-/// names and every variable mentioned in any `return` of the callee to the
-/// assignment target.
+/// names and the callee's return-dependence summary (see
+/// [`return_summaries`]) to the call result.
 pub fn analyze(program: &Program) -> AnalysisDb {
     let mut db = AnalysisDb::new();
+    let summaries = return_summaries(program);
     // Iterate to a fixpoint: call-return summaries can feed one another
     // (recursion, out-of-order definitions). The edge set is monotone and
     // bounded by |vars|², so this terminates.
@@ -30,6 +31,7 @@ pub fn analyze(program: &Program) -> AnalysisDb {
     let mut analyzer = StaticAnalyzer {
         db: &mut db,
         program,
+        summaries: &summaries,
     };
     for _ in 0..program.functions.len() + 2 {
         for func in &program.functions {
@@ -44,9 +46,127 @@ pub fn analyze(program: &Program) -> AnalysisDb {
     db
 }
 
+/// Per-function *return-dependence summaries*: for every function, the set
+/// of variable names the dynamic tracer could report as the dependences of
+/// a call's result. The summary must cover nested calls — `fn f(p) {
+/// return g(p); }` dynamically yields the deps of `g`'s executed return
+/// expression (variables in *`g`'s* scope), so `summary(f) ⊇ summary(g)`.
+/// A syntactic `return_vars` walk misses exactly that case, which would
+/// break the dyn ⊆ static containment the pre-pruning filter and the VM's
+/// selective tracing rely on. Computed as a monotone fixpoint, so
+/// recursion and out-of-order definitions converge.
+pub fn return_summaries(program: &Program) -> BTreeMap<String, BTreeSet<String>> {
+    let mut summaries: BTreeMap<String, BTreeSet<String>> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), BTreeSet::new()))
+        .collect();
+    for _ in 0..program.functions.len() + 2 {
+        let mut changed = false;
+        for func in &program.functions {
+            let mut acc = BTreeSet::new();
+            summary_of_block(&func.body, program, &summaries, &mut acc);
+            let entry = summaries.get_mut(&func.name).expect("seeded above");
+            let before = entry.len();
+            entry.extend(acc);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+fn summary_of_block(
+    stmts: &[Stmt],
+    program: &Program,
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+    out: &mut BTreeSet<String>,
+) {
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Return(Some(e)) => summary_expr_deps(e, program, summaries, out),
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                summary_of_block(then_body, program, summaries, out);
+                summary_of_block(else_body, program, summaries, out);
+            }
+            StmtKind::While { body, .. } => summary_of_block(body, program, summaries, out),
+            _ => {}
+        }
+    }
+}
+
+/// The names an expression's *value* may dynamically depend on, given the
+/// current summaries. Call arguments are included conservatively (the
+/// dynamic tracer separately flows them into parameters).
+fn summary_expr_deps(
+    expr: &Expr,
+    program: &Program,
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+    out: &mut BTreeSet<String>,
+) {
+    match &expr.kind {
+        ExprKind::Num(_) | ExprKind::Bool(_) | ExprKind::Str(_) => {}
+        ExprKind::Var(name) => {
+            out.insert(name.clone());
+        }
+        ExprKind::Array(items) => {
+            for item in items {
+                summary_expr_deps(item, program, summaries, out);
+            }
+        }
+        ExprKind::Index(target, index) => {
+            summary_expr_deps(target, program, summaries, out);
+            summary_expr_deps(index, program, summaries, out);
+        }
+        ExprKind::Unary { expr, .. } => summary_expr_deps(expr, program, summaries, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            summary_expr_deps(lhs, program, summaries, out);
+            summary_expr_deps(rhs, program, summaries, out);
+        }
+        ExprKind::Call { name, args } => {
+            for arg in args {
+                summary_expr_deps(arg, program, summaries, out);
+            }
+            if name == "input" {
+                if let Some(ExprKind::Str(input_name)) = args.first().map(|a| &a.kind) {
+                    out.insert(input_name.clone());
+                }
+            }
+            if !name.starts_with("au_") && program.function(name).is_some() {
+                if let Some(callee_summary) = summaries.get(name) {
+                    out.extend(callee_summary.iter().cloned());
+                }
+            }
+        }
+    }
+}
+
+/// Conservative over-approximation of the variable names `expr`'s value
+/// may dynamically depend on, given per-function [`return_summaries`].
+/// Every name the tracing interpreter could report as a dependence of this
+/// expression is included (arguments of calls are included conservatively,
+/// literal `input` keys count as names). The bytecode compiler uses this
+/// to decide which sites can be left untraced in selective mode.
+pub fn expr_may_deps(
+    expr: &Expr,
+    program: &Program,
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    summary_expr_deps(expr, program, summaries, &mut out);
+    out
+}
+
 struct StaticAnalyzer<'a> {
     db: &'a mut AnalysisDb,
     program: &'a Program,
+    summaries: &'a BTreeMap<String, BTreeSet<String>>,
 }
 
 impl<'a> StaticAnalyzer<'a> {
@@ -155,15 +275,31 @@ impl<'a> StaticAnalyzer<'a> {
                         deps.insert(input_name.clone());
                     }
                 }
+                // The dynamic tracer marks these unconditionally at runtime;
+                // mirror literal uses so static target/input sets contain
+                // their dynamic counterparts.
+                if name == "mark_input" {
+                    if let Some(ExprKind::Str(var)) = args.first().map(|a| &a.kind) {
+                        self.db.mark_input(var);
+                    }
+                }
+                if name == "mark_target" {
+                    if let Some(ExprKind::Str(var)) = args.first().map(|a| &a.kind) {
+                        self.db.mark_target(var);
+                    }
+                }
                 if let Some(callee) = self.program.function(name).cloned() {
                     // Argument → parameter edges (in the callee's scope).
                     for (param, adeps) in callee.params.iter().zip(&arg_deps) {
                         let refs: Vec<&str> = adeps.iter().map(String::as_str).collect();
                         self.db.record_assign(param, &refs, None, &callee.name);
                     }
-                    // The call result may depend on anything the callee
-                    // returns.
-                    deps.extend(return_vars(&callee.body));
+                    // The call result may depend on anything the callee's
+                    // executed return expression depends on, transitively
+                    // through nested calls.
+                    if let Some(summary) = self.summaries.get(&callee.name) {
+                        deps.extend(summary.iter().cloned());
+                    }
                 }
                 // Conservatively, the result also depends on all arguments.
                 for adeps in arg_deps {
@@ -172,47 +308,6 @@ impl<'a> StaticAnalyzer<'a> {
             }
         }
         deps
-    }
-}
-
-/// Variables mentioned in any `return` expression of a body (recursively).
-fn return_vars(stmts: &[Stmt]) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    for stmt in stmts {
-        match &stmt.kind {
-            StmtKind::Return(Some(e)) => collect_vars(e, &mut out),
-            StmtKind::If {
-                then_body,
-                else_body,
-                ..
-            } => {
-                out.extend(return_vars(then_body));
-                out.extend(return_vars(else_body));
-            }
-            StmtKind::While { body, .. } => out.extend(return_vars(body)),
-            _ => {}
-        }
-    }
-    out
-}
-
-fn collect_vars(expr: &Expr, out: &mut BTreeSet<String>) {
-    match &expr.kind {
-        ExprKind::Var(name) => {
-            out.insert(name.clone());
-        }
-        ExprKind::Array(items) => items.iter().for_each(|i| collect_vars(i, out)),
-        ExprKind::Index(a, b) => {
-            collect_vars(a, out);
-            collect_vars(b, out);
-        }
-        ExprKind::Unary { expr, .. } => collect_vars(expr, out),
-        ExprKind::Binary { lhs, rhs, .. } => {
-            collect_vars(lhs, out);
-            collect_vars(rhs, out);
-        }
-        ExprKind::Call { args, .. } => args.iter().for_each(|a| collect_vars(a, out)),
-        _ => {}
     }
 }
 
@@ -310,6 +405,51 @@ mod tests {
             db.dependents(x).contains(&y),
             "x flows through double into y"
         );
+    }
+
+    #[test]
+    fn nested_return_calls_flow_to_call_result() {
+        // `f` returns `g(x)`; dynamically, the deps of `y = f(...)` are the
+        // deps of g's executed return expression (`q`, in g's scope). The
+        // static graph must contain that edge or dyn ⊄ static.
+        let src = r#"
+            fn g(p) { let q = p * 2; return q; }
+            fn f(x) { return g(x); }
+            fn main() {
+                let y = f(input("i", 1));
+                return y;
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let db = analyze(&program);
+        let q = db.id("q").unwrap();
+        let y = db.id("y").unwrap();
+        assert!(
+            db.dependents(q).contains(&y),
+            "q flows through f's return-of-g into y"
+        );
+
+        let summaries = return_summaries(&program);
+        assert!(summaries["g"].contains("q"));
+        assert!(summaries["f"].contains("q"), "f inherits g's summary");
+        assert!(summaries["f"].contains("x"), "args stay conservative");
+    }
+
+    #[test]
+    fn literal_marks_are_registered_statically() {
+        let src = r#"
+            fn main() {
+                let sensor = input("sensor", 0);
+                mark_input("sensor");
+                let decision = sensor * 2;
+                mark_target("decision");
+                return decision;
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let db = analyze(&program);
+        assert!(db.inputs().contains(&db.id("sensor").unwrap()));
+        assert!(db.targets().contains(&db.id("decision").unwrap()));
     }
 
     #[test]

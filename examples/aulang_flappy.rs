@@ -58,6 +58,11 @@ const SRC: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut interp = Interpreter::compile(SRC)?;
+    // Keep engine artifacts (saved models, flight-recorder dumps) out of
+    // the working tree: point the engine at a temp directory up front.
+    let model_dir = std::env::temp_dir().join("aulang_flappy_example");
+    std::fs::create_dir_all(&model_dir)?;
+    interp.engine_mut().set_model_dir(&model_dir);
     autonomizer::nn::set_init_seed(9);
     let score = interp.run()?;
     println!(

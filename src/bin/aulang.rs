@@ -1,13 +1,21 @@
 //! The AuLang command-line runner.
 //!
 //! ```text
-//! aulang run <file.au> [--preflight] [--input name=value]... [--seed N] [--no-trace]
+//! aulang run <file.au> [--engine interp|vm|vm-traced] [--preflight] [--input name=value]... [--seed N] [--no-trace]
 //! aulang check <file.au> [--deny warnings] [--format json]
 //! aulang dot <file.au>          # dynamic dependence graph (Graphviz)
 //! aulang static <file.au>       # static dependence graph (Graphviz)
 //! aulang fmt <file.au>          # canonical pretty-printed source
 //! aulang features <file.au>     # run + Algorithm 1/2 feature extraction
 //! ```
+//!
+//! `run` defaults to the **bytecode VM** with tracing compiled out — the
+//! fast serving tier. `--engine vm-traced` compiles in selective tracing
+//! (only variables the static dependence graph says can reach an
+//! extraction pair are recorded); `--engine interp` uses the tree-walking
+//! interpreter, which stays the semantic oracle. `dot` and `features`
+//! need the dependence graph, so they default to the interpreter and use
+//! full tracing when pointed at the VM.
 //!
 //! `check` runs the `au-lint` static verifier and renders rustc-style
 //! diagnostics (or a JSON array with `--format json`); it exits non-zero on
@@ -25,8 +33,8 @@
 //! detail. With the `telemetry` feature the events are routed through the
 //! `au-telemetry` recorder (so they appear in exported traces as well).
 
-use au_lang::{parse, pretty, static_analysis, Interpreter, Value};
-use au_trace::{extract_rl, extract_sl, RlParams};
+use au_lang::{parse, pretty, static_analysis, Interpreter, RunStats, TraceMode, Value, Vm};
+use au_trace::{extract_rl, extract_sl, AnalysisDb, RlParams};
 use std::process::ExitCode;
 
 /// Diagnostic severity: 1 = error, 2 = info, 3 = debug.
@@ -94,8 +102,59 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: aulang <run|check|dot|static|fmt|features> <file.au> [--preflight] [--deny warnings] [--format json] [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
+    "usage: aulang <run|check|dot|static|fmt|features> <file.au> [--engine interp|vm|vm-traced] [--preflight] [--deny warnings] [--format json] [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
         .to_owned()
+}
+
+/// The two execution tiers behind one surface: the tree-walking
+/// interpreter (semantic oracle) and the bytecode VM (serving tier).
+enum Exec {
+    Interp(Box<Interpreter>),
+    Vm(Box<Vm>),
+}
+
+impl Exec {
+    fn set_input(&mut self, name: &str, value: Value) {
+        match self {
+            Exec::Interp(i) => i.set_input(name, value),
+            Exec::Vm(v) => v.set_input(name, value),
+        }
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        match self {
+            Exec::Interp(i) => i.set_seed(seed),
+            Exec::Vm(v) => v.set_seed(seed),
+        }
+    }
+
+    fn run(&mut self) -> Result<Value, String> {
+        match self {
+            Exec::Interp(i) => i.run().map_err(|e| e.to_string()),
+            Exec::Vm(v) => v.run().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn output(&self) -> &[String] {
+        match self {
+            Exec::Interp(i) => i.output(),
+            Exec::Vm(v) => v.output(),
+        }
+    }
+
+    fn stats(&self) -> RunStats {
+        match self {
+            Exec::Interp(i) => i.stats(),
+            Exec::Vm(v) => v.stats(),
+        }
+    }
+
+    fn analysis(&self) -> &AnalysisDb {
+        match self {
+            Exec::Interp(i) => i.analysis(),
+            Exec::Vm(v) => v.analysis(),
+        }
+    }
 }
 
 fn run(args: &[String], verbosity: u8) -> Result<(), String> {
@@ -157,7 +216,55 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                     return Err(format!("{file}: refusing to run (preflight errors)"));
                 }
             }
-            let mut interp = Interpreter::compile(&source).map_err(|e| e.to_string())?;
+            let engine = args
+                .windows(2)
+                .find(|w| w[0] == "--engine")
+                .map(|w| w[1].as_str())
+                // `run` serves from the VM by default; `dot`/`features`
+                // need the dependence graph, so they default to the
+                // (always fully traced) interpreter.
+                .unwrap_or(if command == "run" { "vm" } else { "interp" });
+            let no_trace = args.iter().any(|a| a == "--no-trace");
+            let mut exec = match engine {
+                "interp" => {
+                    let mut interp = Interpreter::compile(&source).map_err(|e| e.to_string())?;
+                    interp.set_tracing(!no_trace);
+                    Exec::Interp(Box::new(interp))
+                }
+                "vm" | "vm-traced" => {
+                    // Tracing is a compile-time decision in the VM: `dot`
+                    // wants the full graph, `features` and `vm-traced`
+                    // runs use the statically pruned selective tier, and
+                    // a plain `run` compiles tracing out entirely.
+                    let mode = if no_trace {
+                        TraceMode::Off
+                    } else if command == "dot" {
+                        TraceMode::Full
+                    } else if command == "features" || engine == "vm-traced" {
+                        TraceMode::Selective
+                    } else {
+                        TraceMode::Off
+                    };
+                    let vm = Vm::compile(&source, mode).map_err(|e| e.to_string())?;
+                    diag(
+                        DEBUG,
+                        verbosity,
+                        &format!(
+                            "bytecode: {} ops, {} trace ops, requested {:?}, effective {:?}",
+                            vm.compiled().op_count(),
+                            vm.compiled().trace_op_count(),
+                            vm.trace_mode(),
+                            vm.effective_trace_mode()
+                        ),
+                    );
+                    Exec::Vm(Box::new(vm))
+                }
+                other => {
+                    return Err(format!(
+                        "unknown engine `{other}` (expected interp, vm, or vm-traced)"
+                    ))
+                }
+            };
             for window in args[2..].windows(2) {
                 match (window[0].as_str(), window[1].as_str()) {
                     ("--input", pair) => {
@@ -167,27 +274,24 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                         let value: f64 = value
                             .parse()
                             .map_err(|e| format!("input {name} is not numeric: {e}"))?;
-                        interp.set_input(name, Value::Num(value));
+                        exec.set_input(name, Value::Num(value));
                     }
                     ("--seed", n) => {
                         let seed: u64 = n.parse().map_err(|e| format!("bad --seed value: {e}"))?;
-                        interp.set_seed(seed);
+                        exec.set_seed(seed);
                     }
                     _ => {}
                 }
             }
-            if args.iter().any(|a| a == "--no-trace") {
-                interp.set_tracing(false);
-            }
             diag(DEBUG, verbosity, &format!("running {file} ({command})"));
-            let result = interp.run().map_err(|e| e.to_string())?;
-            for line in interp.output() {
+            let result = exec.run()?;
+            for line in exec.output() {
                 println!("{line}");
             }
             match command {
                 "run" => {
                     println!("=> {result}");
-                    let stats = interp.stats();
+                    let stats = exec.stats();
                     diag(
                         INFO,
                         verbosity,
@@ -197,9 +301,9 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                         ),
                     );
                 }
-                "dot" => print!("{}", interp.analysis().to_dot()),
+                "dot" => print!("{}", exec.analysis().to_dot()),
                 "features" => {
-                    let db = interp.analysis();
+                    let db = exec.analysis();
                     if db.targets().is_empty() {
                         diag(
                             INFO,
