@@ -1,0 +1,2631 @@
+//! Interprocedural abstract interpretation over the AuLang AST.
+//!
+//! This module powers three consumers from one analysis:
+//!
+//! 1. the bytecode **optimizer** in `compile.rs` (constant folding, branch
+//!    pruning, dead-store elimination, trace-opcode elision),
+//! 2. the **AU011–AU015 lint family** in `au-lint` (dead extracted
+//!    variables, constant features, unreachable checkpoints, possible
+//!    division by zero, loop-invariant instrumentation), and
+//! 3. the tightened **`StaticFilter`** in `au-trace` (constant-valued
+//!    extraction candidates carry no signal and are pruned).
+//!
+//! The engine is a flow- and branch-sensitive abstract interpreter with
+//! three cooperating value domains — intervals with an explicit may-be-NaN
+//! flag for numbers, a may-true/may-false pair for booleans, and optional
+//! exact strings — plus a recursive array domain with a depth cap. Loops
+//! are solved to a fixed point with widening after a few precise
+//! iterations; calls are analyzed with context-joining summaries
+//! (recursion collapses parameters to ⊤ so one summary covers every
+//! unrolling). A separate backward pass computes per-function liveness for
+//! dead-store detection, and small syntactic passes find loop-invariant
+//! assignments and protocol string names.
+//!
+//! # Soundness contract
+//!
+//! Every fact exposed through [`Analysis`] is an *over-approximation
+//! claim*: a span in `folds` evaluates to exactly that value on **every**
+//! concrete execution that reaches it, a span in `totals` is pure and
+//! cannot error, a span in `unreachable` is never executed, and a name in
+//! `constants` only ever holds that one number. The optimizer and the
+//! differential test suite lean on these claims, so the transfer functions
+//! here deliberately mirror `interp.rs` (the semantic oracle) — including
+//! NaN propagation, `-0.0`/`+0.0` distinction, short-circuit evaluation
+//! order, and the arity-check-before-argument-evaluation order of the
+//! builtins. When the analysis runs out of fuel it sets `complete = false`
+//! and all semantic fact sets are emptied rather than left partial.
+
+use crate::ast::{BinOp, Expr, ExprKind, Function, Program, Span, Stmt, StmtKind, UnOp};
+use std::collections::btree_map::Entry as BEntry;
+use std::collections::hash_map::Entry as HEntry;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Precise loop iterations before widening kicks in.
+const WIDEN_AFTER: u32 = 3;
+/// Hard cap on loop fixpoint iterations (then the head is clobbered to ⊤).
+const MAX_LOOP_ITERS: u32 = 60;
+/// Times a function body is re-walked before its parameters collapse to ⊤.
+const MAX_FN_RUNS: u32 = 8;
+/// Abstract evaluation fuel; exhaustion flips `complete = false`.
+const FUEL: u64 = 4_000_000;
+/// Join/widen recursion depth cap for nested array element domains.
+const ARRAY_DEPTH_CAP: u32 = 4;
+/// Liveness loop fixpoint cap (then the head falls back to all-live).
+const MAX_LIVE_ITERS: u32 = 100;
+
+// ---------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------
+
+/// A closed numeric interval `[lo, hi]` with an explicit may-be-NaN flag.
+///
+/// The bounds themselves are never NaN (`-inf`/`+inf` express
+/// unboundedness); a value that may be NaN at runtime sets `nan` instead.
+/// Equality is **bitwise** on the bounds so `-0.0` and `+0.0` stay
+/// distinct — folding `[-0.0, +0.0]` to a single constant would diverge
+/// from the interpreter on `1.0 / x` and on printing.
+#[derive(Debug, Clone, Copy)]
+pub struct Interval {
+    /// Lower bound (never NaN; `-inf` when unbounded below).
+    pub lo: f64,
+    /// Upper bound (never NaN; `+inf` when unbounded above).
+    pub hi: f64,
+    /// Whether the value may be NaN.
+    pub nan: bool,
+}
+
+impl PartialEq for Interval {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo.to_bits() == other.lo.to_bits()
+            && self.hi.to_bits() == other.hi.to_bits()
+            && self.nan == other.nan
+    }
+}
+
+/// Sign-aware minimum for lower bounds: prefers `-0.0` over `+0.0`.
+fn lo_min(x: f64, y: f64) -> f64 {
+    if x < y {
+        x
+    } else if y < x {
+        y
+    } else if x.is_sign_negative() {
+        x
+    } else {
+        y
+    }
+}
+
+/// Sign-aware maximum for upper bounds: prefers `+0.0` over `-0.0`.
+fn hi_max(x: f64, y: f64) -> f64 {
+    if x > y {
+        x
+    } else if y > x {
+        y
+    } else if x.is_sign_positive() {
+        x
+    } else {
+        y
+    }
+}
+
+impl Interval {
+    /// The unconstrained interval: any number or NaN.
+    pub fn top_nan() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            nan: true,
+        }
+    }
+
+    /// The exact interval for one concrete value.
+    pub fn point(x: f64) -> Self {
+        if x.is_nan() {
+            Interval::top_nan()
+        } else {
+            Interval {
+                lo: x,
+                hi: x,
+                nan: false,
+            }
+        }
+    }
+
+    /// Builds an interval, falling back to [`Interval::top_nan`] if a
+    /// bound computation produced NaN.
+    pub fn make(lo: f64, hi: f64, nan: bool) -> Self {
+        if lo.is_nan() || hi.is_nan() {
+            Interval::top_nan()
+        } else {
+            Interval { lo, hi, nan }
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, o: Interval) -> Interval {
+        Interval::make(
+            lo_min(self.lo, o.lo),
+            hi_max(self.hi, o.hi),
+            self.nan || o.nan,
+        )
+    }
+
+    /// Widening: any bound that moved goes straight to infinity.
+    pub fn widen(self, o: Interval) -> Interval {
+        let lo = if lo_min(self.lo, o.lo).to_bits() == self.lo.to_bits() {
+            self.lo
+        } else {
+            f64::NEG_INFINITY
+        };
+        let hi = if hi_max(self.hi, o.hi).to_bits() == self.hi.to_bits() {
+            self.hi
+        } else {
+            f64::INFINITY
+        };
+        Interval::make(lo, hi, self.nan || o.nan)
+    }
+
+    /// The single concrete value this interval denotes, if any.
+    ///
+    /// Requires bitwise-equal finite bounds and no NaN, so `[-0.0, +0.0]`
+    /// is *not* a constant.
+    pub fn as_const(self) -> Option<f64> {
+        if !self.nan && self.lo.is_finite() && self.lo.to_bits() == self.hi.to_bits() {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    fn corners(self, o: Interval, f: impl Fn(f64, f64) -> f64) -> Interval {
+        let cs = [
+            f(self.lo, o.lo),
+            f(self.lo, o.hi),
+            f(self.hi, o.lo),
+            f(self.hi, o.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cs {
+            if c.is_nan() {
+                return Interval::top_nan();
+            }
+            lo = lo_min(lo, c);
+            hi = hi_max(hi, c);
+        }
+        Interval::make(lo, hi, self.nan || o.nan)
+    }
+
+    /// Abstract `+`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Interval) -> Interval {
+        self.corners(o, |a, b| a + b)
+    }
+
+    /// Abstract `-`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Interval) -> Interval {
+        self.corners(o, |a, b| a - b)
+    }
+
+    /// Abstract `*`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Interval) -> Interval {
+        self.corners(o, |a, b| a * b)
+    }
+
+    /// Abstract `/`. A divisor that may be zero (or NaN) yields ⊤ — IEEE
+    /// division by zero produces ±inf/NaN values, not errors.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, o: Interval) -> Interval {
+        if o.nan || (o.lo <= 0.0 && o.hi >= 0.0) {
+            Interval::top_nan()
+        } else {
+            self.corners(o, |a, b| a / b)
+        }
+    }
+
+    /// Abstract `%` (Rust `f64` remainder semantics).
+    #[allow(clippy::should_implement_trait)]
+    pub fn rem(self, o: Interval) -> Interval {
+        if !self.nan && !o.nan && o.lo > 0.0 && self.lo >= 0.0 {
+            // x % y ∈ [0, min(x, y)] for x ≥ 0, y > 0; x = inf gives NaN.
+            Interval::make(0.0, self.hi.min(o.hi), self.hi.is_infinite())
+        } else {
+            Interval::top_nan()
+        }
+    }
+
+    /// Abstract unary negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Interval {
+        Interval::make(-self.hi, -self.lo, self.nan)
+    }
+
+    /// Abstract `min(a, b)` mirroring `f64::min` (NaN loses to a number).
+    pub fn min_with(self, o: Interval) -> Interval {
+        if self.nan || o.nan {
+            // Either operand's whole range can win when the other is NaN.
+            Interval::make(
+                lo_min(self.lo, o.lo),
+                hi_max(self.hi, o.hi),
+                self.nan && o.nan,
+            )
+        } else {
+            Interval::make(lo_min(self.lo, o.lo), self.hi.min(o.hi), false)
+        }
+    }
+
+    /// Abstract `max(a, b)` mirroring `f64::max`.
+    pub fn max_with(self, o: Interval) -> Interval {
+        if self.nan || o.nan {
+            Interval::make(
+                lo_min(self.lo, o.lo),
+                hi_max(self.hi, o.hi),
+                self.nan && o.nan,
+            )
+        } else {
+            Interval::make(self.lo.max(o.lo), hi_max(self.hi, o.hi), false)
+        }
+    }
+
+    /// Abstract `floor`.
+    pub fn floor_i(self) -> Interval {
+        Interval::make(self.lo.floor(), self.hi.floor(), self.nan)
+    }
+
+    /// Abstract `abs`.
+    pub fn abs_i(self) -> Interval {
+        if self.lo >= 0.0 {
+            self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval::make(0.0, (-self.lo).max(self.hi), self.nan)
+        }
+    }
+
+    /// Abstract `sqrt` (negative input yields NaN, not an error).
+    pub fn sqrt_i(self) -> Interval {
+        if self.hi < 0.0 {
+            // Entire range is negative: the result is always NaN.
+            return Interval {
+                lo: 0.0,
+                hi: 0.0,
+                nan: true,
+            };
+        }
+        let nan = self.nan || self.lo < 0.0;
+        Interval::make(self.lo.max(0.0).sqrt(), self.hi.sqrt(), nan)
+    }
+
+    /// Abstract `sin`/`cos`: exact on points, `[-1, 1]` on bounded ranges.
+    pub fn trig_i(self, f: impl Fn(f64) -> f64) -> Interval {
+        if let Some(c) = self.as_const() {
+            return Interval::point(f(c));
+        }
+        let nan = self.nan || self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY;
+        Interval::make(-1.0, 1.0, nan)
+    }
+
+    /// Abstract `exp` (monotone; `exp(-inf) = 0`, `exp(inf) = inf`).
+    pub fn exp_i(self) -> Interval {
+        Interval::make(self.lo.exp(), self.hi.exp(), self.nan)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Boolean domain
+// ---------------------------------------------------------------------
+
+/// The four-point boolean domain: which truth values are possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsBool {
+    /// `true` is a possible runtime value.
+    pub may_true: bool,
+    /// `false` is a possible runtime value.
+    pub may_false: bool,
+}
+
+impl AbsBool {
+    /// Both truth values possible.
+    pub const TOP: AbsBool = AbsBool {
+        may_true: true,
+        may_false: true,
+    };
+
+    /// The exact abstraction of one concrete boolean.
+    pub fn of(b: bool) -> Self {
+        AbsBool {
+            may_true: b,
+            may_false: !b,
+        }
+    }
+
+    /// The single concrete value this denotes, if decided.
+    pub fn as_const(self) -> Option<bool> {
+        match (self.may_true, self.may_false) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, o: AbsBool) -> AbsBool {
+        AbsBool {
+            may_true: self.may_true || o.may_true,
+            may_false: self.may_false || o.may_false,
+        }
+    }
+
+    /// Abstract logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> AbsBool {
+        AbsBool {
+            may_true: self.may_false,
+            may_false: self.may_true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value domain
+// ---------------------------------------------------------------------
+
+/// An abstract AuLang value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsVal {
+    /// No value reaches this point (unreachable / certain error).
+    Bottom,
+    /// A number within an interval.
+    Num(Interval),
+    /// A boolean.
+    Bool(AbsBool),
+    /// A string, exactly known when `Some`.
+    Str(Option<String>),
+    /// An array: element join and length interval.
+    Array(Box<AbsVal>, Interval),
+    /// The unit value.
+    Unit,
+    /// Any value at all.
+    Top,
+}
+
+impl AbsVal {
+    /// Least upper bound (array elements capped at a fixed nesting depth).
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        self.join_depth(other, 0)
+    }
+
+    fn join_depth(&self, other: &AbsVal, d: u32) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x.clone(),
+            (Top, _) | (_, Top) => Top,
+            (Num(a), Num(b)) => Num(a.join(*b)),
+            (Bool(a), Bool(b)) => Bool(a.join(*b)),
+            (Str(a), Str(b)) => Str(if a == b { a.clone() } else { None }),
+            (Unit, Unit) => Unit,
+            (Array(ea, la), Array(eb, lb)) => {
+                let elem = if d >= ARRAY_DEPTH_CAP {
+                    Top
+                } else {
+                    ea.join_depth(eb, d + 1)
+                };
+                Array(Box::new(elem), la.join(*lb))
+            }
+            _ => Top,
+        }
+    }
+
+    /// Widening: like join but interval bounds jump to infinity.
+    pub fn widen(&self, other: &AbsVal) -> AbsVal {
+        self.widen_depth(other, 0)
+    }
+
+    fn widen_depth(&self, other: &AbsVal, d: u32) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Num(a), Num(b)) => Num(a.widen(*b)),
+            (Array(ea, la), Array(eb, lb)) => {
+                let elem = if d >= ARRAY_DEPTH_CAP {
+                    Top
+                } else {
+                    ea.widen_depth(eb, d + 1)
+                };
+                Array(Box::new(elem), la.widen(*lb))
+            }
+            _ => self.join(other),
+        }
+    }
+
+    /// Whether every value of `self` is also a value of `other`.
+    pub fn le(&self, other: &AbsVal) -> bool {
+        self.join(other) == *other
+    }
+}
+
+/// The numeric view of a value: `Some((interval, certain))` when the value
+/// can be a number; `certain` means it is *always* a number.
+fn as_num_domain(v: &AbsVal) -> Option<(Interval, bool)> {
+    match v {
+        AbsVal::Num(i) => Some((*i, true)),
+        AbsVal::Top | AbsVal::Bottom => Some((Interval::top_nan(), false)),
+        _ => None,
+    }
+}
+
+/// The boolean view of a value, analogous to [`as_num_domain`].
+fn as_bool_domain(v: &AbsVal) -> Option<(AbsBool, bool)> {
+    match v {
+        AbsVal::Bool(b) => Some((*b, true)),
+        AbsVal::Top | AbsVal::Bottom => Some((AbsBool::TOP, false)),
+        _ => None,
+    }
+}
+
+/// Abstract `==` over full values, mirroring the interpreter's `Value`
+/// equality (NaN ≠ NaN; `-0.0 == +0.0`; cross-type comparison is `false`).
+fn abs_eq(a: &AbsVal, b: &AbsVal) -> AbsBool {
+    use AbsVal::*;
+    match (a, b) {
+        (Top | Bottom, _) | (_, Top | Bottom) => AbsBool::TOP,
+        (Array(..), _) | (_, Array(..)) => AbsBool::TOP,
+        (Num(x), Num(y)) => {
+            if let (Some(cx), Some(cy)) = (x.as_const(), y.as_const()) {
+                // Concrete f64 equality on two known constants.
+                return AbsBool::of(cx == cy);
+            }
+            if !x.nan && !y.nan && (x.hi < y.lo || y.hi < x.lo) {
+                return AbsBool::of(false);
+            }
+            AbsBool::TOP
+        }
+        (Bool(x), Bool(y)) => match (x.as_const(), y.as_const()) {
+            (Some(cx), Some(cy)) => AbsBool::of(cx == cy),
+            _ => AbsBool::TOP,
+        },
+        (Str(Some(x)), Str(Some(y))) => AbsBool::of(x == y),
+        (Str(_), Str(_)) => AbsBool::TOP,
+        (Unit, Unit) => AbsBool::of(true),
+        // Definitely different runtime types: Value equality says false.
+        _ => AbsBool::of(false),
+    }
+}
+
+/// Abstract `<`/`<=`/`>`/`>=` on intervals (NaN makes comparisons false).
+fn abs_cmp(op: BinOp, a: Interval, b: Interval) -> AbsBool {
+    let (certain_true, certain_false) = match op {
+        BinOp::Lt => (!a.nan && !b.nan && a.hi < b.lo, a.lo >= b.hi),
+        BinOp::Le => (!a.nan && !b.nan && a.hi <= b.lo, a.lo > b.hi),
+        BinOp::Gt => (!a.nan && !b.nan && a.lo > b.hi, a.hi <= b.lo),
+        BinOp::Ge => (!a.nan && !b.nan && a.lo >= b.hi, a.hi < b.lo),
+        _ => (false, false),
+    };
+    // certain_false relies on comparisons being false under NaN, so it
+    // needs no NaN guard; certain_true does.
+    AbsBool {
+        may_true: !certain_false,
+        may_false: !certain_true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Environment and flow
+// ---------------------------------------------------------------------
+
+/// A lexical environment: a stack of scopes mapping names to values.
+#[derive(Debug, Clone, PartialEq)]
+struct Env {
+    scopes: Vec<BTreeMap<String, AbsVal>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env {
+            scopes: vec![BTreeMap::new()],
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    fn truncate_to(&mut self, depth: usize) {
+        self.scopes.truncate(depth.max(1));
+    }
+
+    fn declare(&mut self, name: &str, v: AbsVal) {
+        self.scopes
+            .last_mut()
+            .expect("env has a scope")
+            .insert(name.to_owned(), v);
+    }
+
+    fn get(&self, name: &str) -> Option<&AbsVal> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn assign(&mut self, name: &str, v: AbsVal) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Forgets everything: all bindings become ⊤ (checkpoint restore may
+    /// rewrite any variable that existed at snapshot time).
+    fn clobber(&mut self) {
+        for scope in &mut self.scopes {
+            for v in scope.values_mut() {
+                *v = AbsVal::Top;
+            }
+        }
+    }
+
+    fn merge_with(&self, other: &Env, f: impl Fn(&AbsVal, &AbsVal) -> AbsVal) -> Env {
+        let n = self.scopes.len().min(other.scopes.len());
+        let mut scopes = Vec::with_capacity(n);
+        for (sa, sb) in self.scopes[..n].iter().zip(&other.scopes[..n]) {
+            let mut out = BTreeMap::new();
+            for (k, va) in sa {
+                match sb.get(k) {
+                    Some(vb) => out.insert(k.clone(), f(va, vb)),
+                    None => out.insert(k.clone(), AbsVal::Top),
+                };
+            }
+            for k in sb.keys() {
+                if !sa.contains_key(k) {
+                    out.insert(k.clone(), AbsVal::Top);
+                }
+            }
+            scopes.push(out);
+        }
+        Env { scopes }
+    }
+
+    fn join(&self, other: &Env) -> Env {
+        self.merge_with(other, |a, b| a.join(b))
+    }
+
+    fn widen(&self, other: &Env) -> Env {
+        self.merge_with(other, |a, b| a.widen(b))
+    }
+}
+
+/// The result of walking a statement or block: where control may go next.
+struct Flow {
+    /// Environment on normal fall-through, if reachable.
+    fall: Option<Env>,
+    /// Environments flowing to the innermost enclosing loop's exit.
+    brk: Vec<Env>,
+    /// Environments flowing to the innermost enclosing loop's back edge.
+    cont: Vec<Env>,
+    /// Join of all returned values (`Bottom` when no return is reachable).
+    ret: AbsVal,
+    /// Whether execution is pure, error-free, and terminating throughout.
+    total: bool,
+}
+
+impl Flow {
+    fn fall(env: Env) -> Flow {
+        Flow {
+            fall: Some(env),
+            brk: Vec::new(),
+            cont: Vec::new(),
+            ret: AbsVal::Bottom,
+            total: true,
+        }
+    }
+
+    /// Certain runtime error: nothing flows onward.
+    fn halt() -> Flow {
+        Flow {
+            fall: None,
+            brk: Vec::new(),
+            cont: Vec::new(),
+            ret: AbsVal::Bottom,
+            total: false,
+        }
+    }
+}
+
+/// The result of abstractly evaluating an expression.
+struct Out {
+    val: AbsVal,
+    /// Pure, cannot error, and (including any callees) terminates.
+    total: bool,
+}
+
+impl Out {
+    fn top() -> Out {
+        Out {
+            val: AbsVal::Top,
+            total: false,
+        }
+    }
+}
+
+fn join_env_opt(a: Option<Env>, b: Env) -> Option<Env> {
+    Some(match a {
+        Some(a) => a.join(&b),
+        None => b,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------
+
+/// A provably-constant expression value, ready to splice into the AST.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Folded {
+    /// A numeric constant.
+    Num(f64),
+    /// A boolean constant.
+    Bool(bool),
+}
+
+/// A store whose value is never read afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadStore {
+    /// The stored-to variable.
+    pub name: String,
+    /// Span of the whole `let`/assignment statement.
+    pub span: Span,
+    /// Span of the right-hand-side expression.
+    pub value_span: Span,
+}
+
+/// A division site whose divisor interval contains zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivSite {
+    /// Span of the division expression.
+    pub span: Span,
+    /// Divisor lower bound.
+    pub lo: f64,
+    /// Divisor upper bound.
+    pub hi: f64,
+}
+
+/// An assignment inside a loop whose right-hand side cannot change across
+/// iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInvariant {
+    /// The assigned variable.
+    pub name: String,
+    /// Span of the invariant statement.
+    pub span: Span,
+}
+
+/// Everything the abstract interpreter proved about a program.
+///
+/// All semantic fact sets (`constants`, `folds`, `totals`, `unreachable`,
+/// `div_zero`) are emptied when `complete` is false; the syntactic passes
+/// (`dead_stores`, `loop_invariant`) are always valid.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Variables that only ever hold one finite numeric value.
+    pub constants: BTreeMap<String, f64>,
+    /// Stores whose values are never subsequently read.
+    pub dead_stores: Vec<DeadStore>,
+    /// Statement spans no concrete execution reaches.
+    pub unreachable: Vec<Span>,
+    /// Division sites with a finite divisor interval containing zero.
+    pub div_zero: Vec<DivSite>,
+    /// Loop-body assignments whose right-hand side is loop-invariant.
+    pub loop_invariant: Vec<LoopInvariant>,
+    /// Expression spans (byte start/end) that always evaluate to one value
+    /// *and* are pure — safe to replace with a literal.
+    pub folds: HashMap<(usize, usize), Folded>,
+    /// Expression spans that are pure, error-free, and terminating.
+    pub totals: HashSet<(usize, usize)>,
+    /// Whether the analysis ran to completion within its fuel budget.
+    pub complete: bool,
+}
+
+// ---------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FnSummary {
+    params: Vec<AbsVal>,
+    ret: AbsVal,
+    total: bool,
+    runs: u32,
+    reported: bool,
+}
+
+struct Analyzer<'a> {
+    fns: HashMap<&'a str, &'a Function>,
+    /// Functions on a cycle in the call graph: always analyzed with ⊤
+    /// parameters so the in-progress-call cut stays sound.
+    recursive: HashSet<String>,
+    /// Functions that may (transitively) checkpoint or restore — a call
+    /// clobbers every caller-visible binding.
+    may_ckpt: HashSet<String>,
+    summaries: HashMap<String, FnSummary>,
+    stack: Vec<String>,
+    reporting: bool,
+    fuel: u64,
+    complete: bool,
+    visited: HashSet<(usize, usize)>,
+    totals: HashMap<(usize, usize), bool>,
+    folds: HashMap<(usize, usize), Option<Folded>>,
+    divs: BTreeMap<(usize, usize), Interval>,
+    assigns: BTreeMap<String, AbsVal>,
+}
+
+fn is_user_fn(fns: &HashMap<&str, &Function>, name: &str) -> bool {
+    !name.starts_with("au_") && fns.contains_key(name)
+}
+
+fn is_literal(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Num(_) | ExprKind::Bool(_) | ExprKind::Str(_)
+    )
+}
+
+fn folded_const(v: &AbsVal) -> Option<Folded> {
+    match v {
+        AbsVal::Num(i) => i.as_const().map(Folded::Num),
+        AbsVal::Bool(b) => b.as_const().map(Folded::Bool),
+        _ => None,
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(program: &'a Program) -> Self {
+        let fns: HashMap<&str, &Function> = program
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f))
+            .collect();
+        let (recursive, may_ckpt) = call_graph_facts(&fns);
+        Analyzer {
+            fns,
+            recursive,
+            may_ckpt,
+            summaries: HashMap::new(),
+            stack: Vec::new(),
+            reporting: true,
+            fuel: FUEL,
+            complete: true,
+            visited: HashSet::new(),
+            totals: HashMap::new(),
+            folds: HashMap::new(),
+            divs: BTreeMap::new(),
+            assigns: BTreeMap::new(),
+        }
+    }
+
+    fn record_assign(&mut self, name: &str, v: &AbsVal) {
+        if !self.reporting {
+            return;
+        }
+        match self.assigns.entry(name.to_owned()) {
+            BEntry::Occupied(mut o) => {
+                let joined = o.get().join(v);
+                o.insert(joined);
+            }
+            BEntry::Vacant(slot) => {
+                slot.insert(v.clone());
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Expression evaluation
+    // -----------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> Out {
+        if self.fuel == 0 {
+            self.complete = false;
+            return Out::top();
+        }
+        self.fuel -= 1;
+        let out = self.eval_inner(e, env);
+        if self.reporting && !e.span.is_dummy() && !is_literal(e) {
+            let key = (e.span.start, e.span.end);
+            self.totals
+                .entry(key)
+                .and_modify(|t| *t &= out.total)
+                .or_insert(out.total);
+            let cand = if out.total {
+                folded_const(&out.val)
+            } else {
+                None
+            };
+            match self.folds.entry(key) {
+                HEntry::Occupied(mut o) => {
+                    if *o.get() != cand {
+                        o.insert(None);
+                    }
+                }
+                HEntry::Vacant(slot) => {
+                    slot.insert(cand);
+                }
+            }
+        }
+        out
+    }
+
+    fn eval_inner(&mut self, e: &Expr, env: &mut Env) -> Out {
+        match &e.kind {
+            ExprKind::Num(n) => Out {
+                val: AbsVal::Num(Interval::point(*n)),
+                total: true,
+            },
+            ExprKind::Bool(b) => Out {
+                val: AbsVal::Bool(AbsBool::of(*b)),
+                total: true,
+            },
+            ExprKind::Str(s) => Out {
+                val: AbsVal::Str(Some(s.clone())),
+                total: true,
+            },
+            ExprKind::Var(name) => match env.get(name) {
+                Some(v) => Out {
+                    val: v.clone(),
+                    total: true,
+                },
+                // Undefined variable: certain runtime error.
+                None => Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                },
+            },
+            ExprKind::Array(items) => {
+                let mut elem = AbsVal::Bottom;
+                let mut total = true;
+                for item in items {
+                    let o = self.eval(item, env);
+                    elem = elem.join(&o.val);
+                    total &= o.total;
+                }
+                Out {
+                    val: AbsVal::Array(Box::new(elem), Interval::point(items.len() as f64)),
+                    total,
+                }
+            }
+            ExprKind::Index(arr, idx) => {
+                let a = self.eval(arr, env);
+                let i = self.eval(idx, env);
+                let val = match &a.val {
+                    AbsVal::Array(elem, _) => (**elem).clone(),
+                    AbsVal::Top | AbsVal::Bottom => AbsVal::Top,
+                    _ => AbsVal::Bottom,
+                };
+                let total = match (&a.val, as_num_domain(&i.val)) {
+                    (AbsVal::Array(_, len), Some((ii, true))) => {
+                        a.total
+                            && i.total
+                            && ii
+                                .as_const()
+                                .is_some_and(|c| c >= 0.0 && c.fract() == 0.0 && c < len.lo)
+                    }
+                    _ => false,
+                };
+                Out { val, total }
+            }
+            ExprKind::Call { name, args } => self.eval_call(name, args, env),
+            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(e, *op, lhs, rhs, env),
+            ExprKind::Unary { op, expr } => {
+                let o = self.eval(expr, env);
+                match op {
+                    UnOp::Neg => match as_num_domain(&o.val) {
+                        Some((i, certain)) => Out {
+                            val: AbsVal::Num(i.neg()),
+                            total: o.total && certain,
+                        },
+                        None => Out {
+                            val: AbsVal::Bottom,
+                            total: false,
+                        },
+                    },
+                    UnOp::Not => match as_bool_domain(&o.val) {
+                        Some((b, certain)) => Out {
+                            val: AbsVal::Bool(b.not()),
+                            total: o.total && certain,
+                        },
+                        None => Out {
+                            val: AbsVal::Bottom,
+                            total: false,
+                        },
+                    },
+                }
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, e: &Expr, op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env) -> Out {
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let l = self.eval(lhs, env);
+            let Some((lb, lcertain)) = as_bool_domain(&l.val) else {
+                return Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                };
+            };
+            // Short-circuit: when the left side decides the result the
+            // interpreter never evaluates the right side.
+            match op {
+                BinOp::And if !lb.may_true => {
+                    return Out {
+                        val: AbsVal::Bool(AbsBool::of(false)),
+                        total: l.total && lcertain,
+                    }
+                }
+                BinOp::Or if !lb.may_false => {
+                    return Out {
+                        val: AbsVal::Bool(AbsBool::of(true)),
+                        total: l.total && lcertain,
+                    }
+                }
+                _ => {}
+            }
+            let r = self.eval(rhs, env);
+            let Some((rb, rcertain)) = as_bool_domain(&r.val) else {
+                return Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                };
+            };
+            let val = match op {
+                BinOp::And => AbsBool {
+                    may_true: lb.may_true && rb.may_true,
+                    may_false: lb.may_false || rb.may_false,
+                },
+                _ => AbsBool {
+                    may_true: lb.may_true || rb.may_true,
+                    may_false: lb.may_false && rb.may_false,
+                },
+            };
+            return Out {
+                val: AbsVal::Bool(val),
+                total: l.total && r.total && lcertain && rcertain,
+            };
+        }
+
+        let l = self.eval(lhs, env);
+        let r = self.eval(rhs, env);
+        match op {
+            BinOp::Eq | BinOp::Ne => {
+                let mut b = abs_eq(&l.val, &r.val);
+                if op == BinOp::Ne {
+                    b = b.not();
+                }
+                Out {
+                    val: AbsVal::Bool(b),
+                    total: l.total && r.total,
+                }
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                match (as_num_domain(&l.val), as_num_domain(&r.val)) {
+                    (Some((li, lc)), Some((ri, rc))) => Out {
+                        val: AbsVal::Bool(abs_cmp(op, li, ri)),
+                        total: l.total && r.total && lc && rc,
+                    },
+                    _ => Out {
+                        val: AbsVal::Bottom,
+                        total: false,
+                    },
+                }
+            }
+            _ => match (as_num_domain(&l.val), as_num_domain(&r.val)) {
+                (Some((li, lc)), Some((ri, rc))) => {
+                    let iv = match op {
+                        BinOp::Add => li.add(ri),
+                        BinOp::Sub => li.sub(ri),
+                        BinOp::Mul => li.mul(ri),
+                        BinOp::Div => {
+                            if self.reporting && rc && !e.span.is_dummy() {
+                                let key = (e.span.start, e.span.end);
+                                match self.divs.entry(key) {
+                                    BEntry::Occupied(mut o) => {
+                                        let j = o.get().join(ri);
+                                        o.insert(j);
+                                    }
+                                    BEntry::Vacant(slot) => {
+                                        slot.insert(ri);
+                                    }
+                                }
+                            }
+                            li.div(ri)
+                        }
+                        _ => li.rem(ri),
+                    };
+                    Out {
+                        val: AbsVal::Num(iv),
+                        total: l.total && r.total && lc && rc,
+                    }
+                }
+                _ => Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                },
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Calls
+    // -----------------------------------------------------------------
+
+    fn eval_call(&mut self, name: &str, args: &[Expr], env: &mut Env) -> Out {
+        if is_user_fn(&self.fns, name) {
+            let out = self.call_user(name, args, env);
+            if self.may_ckpt.contains(name) {
+                env.clobber();
+            }
+            return out;
+        }
+        self.call_builtin(name, args, env)
+    }
+
+    fn call_user(&mut self, name: &str, args: &[Expr], env: &mut Env) -> Out {
+        let func = self.fns[name];
+        if func.params.len() != args.len() {
+            // Arity error is raised before the callee runs; arguments are
+            // still evaluated at the call site first.
+            for a in args {
+                self.eval(a, env);
+            }
+            return Out::top();
+        }
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in args {
+            let o = self.eval(a, env);
+            arg_vals.push(o.val);
+        }
+        if self.recursive.contains(name) {
+            // Recursive functions are summarized once under ⊤ parameters so
+            // the in-progress-call cut below cannot under-approximate.
+            arg_vals.fill(AbsVal::Top);
+        }
+        if self.stack.iter().any(|s| s == name) {
+            return Out::top();
+        }
+        if self.stack.len() > self.fns.len() + 1 {
+            self.complete = false;
+            return Out::top();
+        }
+        if let Some(s) = self.summaries.get(name) {
+            let fits = s.params.len() == arg_vals.len()
+                && arg_vals.iter().zip(&s.params).all(|(a, p)| a.le(p));
+            if fits && (!self.reporting || s.reported) {
+                return Out {
+                    val: s.ret.clone(),
+                    total: s.total,
+                };
+            }
+        }
+        // (Re-)analyze the body under the joined parameter context.
+        let (params, runs) = match self.summaries.get(name) {
+            Some(s) => {
+                let runs = s.runs + 1;
+                let params: Vec<AbsVal> = if runs >= MAX_FN_RUNS {
+                    vec![AbsVal::Top; arg_vals.len()]
+                } else {
+                    s.params
+                        .iter()
+                        .zip(&arg_vals)
+                        .map(|(p, a)| p.join(a))
+                        .collect()
+                };
+                (params, runs)
+            }
+            None => (arg_vals, 1),
+        };
+        let mut fenv = Env::new();
+        for (p, v) in func.params.iter().zip(&params) {
+            self.record_assign(p, v);
+            fenv.declare(p, v.clone());
+        }
+        self.stack.push(name.to_owned());
+        let flow = self.walk_block(&func.body, fenv);
+        self.stack.pop();
+        let mut ret = flow.ret;
+        if flow.fall.is_some() {
+            ret = ret.join(&AbsVal::Unit);
+        }
+        let total = flow.total && flow.brk.is_empty() && flow.cont.is_empty();
+        let reported = self.reporting || self.summaries.get(name).is_some_and(|s| s.reported);
+        self.summaries.insert(
+            name.to_owned(),
+            FnSummary {
+                params,
+                ret: ret.clone(),
+                total,
+                runs,
+                reported,
+            },
+        );
+        Out { val: ret, total }
+    }
+
+    fn call_builtin(&mut self, name: &str, args: &[Expr], env: &mut Env) -> Out {
+        // Fixed-arity builtins check arity *before* evaluating arguments,
+        // so a mismatch must not record argument effects or facts.
+        let arity: Option<usize> = match name {
+            "au_extract" | "au_write_back_n" | "input" | "append" | "min" | "max" => Some(2),
+            "au_write_back" | "len" | "mark_input" | "mark_target" | "floor" | "abs" | "sqrt"
+            | "sin" | "cos" | "exp" => Some(1),
+            "au_checkpoint" | "au_restore" | "rand" => Some(0),
+            "au_nn_rl" => Some(6),
+            _ => None,
+        };
+        if let Some(n) = arity {
+            if args.len() != n {
+                return Out::top();
+            }
+        }
+        match name {
+            "au_config" if args.len() < 4 => return Out::top(),
+            "au_nn" if args.len() < 3 => return Out::top(),
+            _ => {}
+        }
+        let known = matches!(
+            name,
+            "au_config"
+                | "au_extract"
+                | "au_serialize"
+                | "au_nn"
+                | "au_nn_rl"
+                | "au_write_back"
+                | "au_write_back_n"
+                | "au_checkpoint"
+                | "au_restore"
+                | "mark_input"
+                | "mark_target"
+                | "input"
+                | "print"
+                | "len"
+                | "append"
+                | "floor"
+                | "abs"
+                | "sqrt"
+                | "sin"
+                | "cos"
+                | "exp"
+                | "min"
+                | "max"
+                | "rand"
+        );
+        if !known {
+            // Unknown function: the interpreter errors before evaluating
+            // any argument.
+            return Out::top();
+        }
+        let mut outs = Vec::with_capacity(args.len());
+        for a in args {
+            outs.push(self.eval(a, env));
+        }
+        let num_len = |o: Option<&Out>| -> (Interval, bool) {
+            match o.map(|o| &o.val) {
+                Some(AbsVal::Array(_, len)) => (*len, true),
+                Some(AbsVal::Str(Some(s))) => (Interval::point(s.len() as f64), true),
+                Some(AbsVal::Str(None)) => (Interval::make(0.0, f64::INFINITY, false), true),
+                _ => (Interval::make(0.0, f64::INFINITY, false), false),
+            }
+        };
+        match name {
+            "input" => Out::top(),
+            "rand" => Out {
+                val: AbsVal::Num(Interval::make(0.0, 1.0, false)),
+                total: false,
+            },
+            "print" | "au_config" | "au_extract" | "mark_input" | "mark_target"
+            | "au_checkpoint" => Out {
+                val: AbsVal::Unit,
+                total: false,
+            },
+            "au_restore" => {
+                env.clobber();
+                Out {
+                    val: AbsVal::Unit,
+                    total: false,
+                }
+            }
+            "au_serialize" => Out {
+                val: AbsVal::Str(None),
+                total: false,
+            },
+            "au_nn" | "au_write_back_n" => Out {
+                val: AbsVal::Array(
+                    Box::new(AbsVal::Num(Interval::top_nan())),
+                    Interval::make(0.0, f64::INFINITY, false),
+                ),
+                total: false,
+            },
+            "au_nn_rl" => Out {
+                val: AbsVal::Num(Interval::make(0.0, f64::INFINITY, false)),
+                total: false,
+            },
+            "au_write_back" => Out {
+                val: AbsVal::Num(Interval::top_nan()),
+                total: false,
+            },
+            "len" => {
+                let (len, certain) = num_len(outs.first());
+                Out {
+                    val: AbsVal::Num(len),
+                    total: outs[0].total && certain,
+                }
+            }
+            "append" => match (&outs[0].val, &outs[1].val) {
+                (AbsVal::Array(elem, len), item) => Out {
+                    val: AbsVal::Array(Box::new(elem.join(item)), len.add(Interval::point(1.0))),
+                    total: outs[0].total && outs[1].total,
+                },
+                _ => Out {
+                    val: AbsVal::Array(
+                        Box::new(AbsVal::Top),
+                        Interval::make(1.0, f64::INFINITY, false),
+                    ),
+                    total: false,
+                },
+            },
+            "floor" | "abs" | "sqrt" | "sin" | "cos" | "exp" => match as_num_domain(&outs[0].val) {
+                Some((i, certain)) => {
+                    let iv = match name {
+                        "floor" => i.floor_i(),
+                        "abs" => i.abs_i(),
+                        "sqrt" => i.sqrt_i(),
+                        "sin" => i.trig_i(f64::sin),
+                        "cos" => i.trig_i(f64::cos),
+                        _ => i.exp_i(),
+                    };
+                    Out {
+                        val: AbsVal::Num(iv),
+                        total: outs[0].total && certain,
+                    }
+                }
+                None => Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                },
+            },
+            "min" | "max" => match (as_num_domain(&outs[0].val), as_num_domain(&outs[1].val)) {
+                (Some((a, ac)), Some((b, bc))) => Out {
+                    val: AbsVal::Num(if name == "min" {
+                        a.min_with(b)
+                    } else {
+                        a.max_with(b)
+                    }),
+                    total: outs[0].total && outs[1].total && ac && bc,
+                },
+                _ => Out {
+                    val: AbsVal::Bottom,
+                    total: false,
+                },
+            },
+            _ => Out::top(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Branch refinement
+    // -----------------------------------------------------------------
+
+    /// Narrows `env` under the assumption that `cond` evaluated to `want`.
+    ///
+    /// Returns `None` when the assumption is infeasible (the branch can be
+    /// skipped). This is deliberately *syntactic-shallow* — it never calls
+    /// [`Analyzer::eval`], so no facts are double-recorded — and only
+    /// understands literals, variables, `!`, short-circuit chains, and
+    /// comparisons whose operands are variables or (negated) number
+    /// literals.
+    fn refine(&self, env: &Env, cond: &Expr, want: bool) -> Option<Env> {
+        match &cond.kind {
+            ExprKind::Bool(b) => {
+                if *b == want {
+                    Some(env.clone())
+                } else {
+                    None
+                }
+            }
+            ExprKind::Var(name) => match env.get(name) {
+                Some(AbsVal::Bool(b)) => {
+                    if (want && !b.may_true) || (!want && !b.may_false) {
+                        return None;
+                    }
+                    let mut out = env.clone();
+                    out.assign(name, AbsVal::Bool(AbsBool::of(want)));
+                    Some(out)
+                }
+                Some(AbsVal::Top | AbsVal::Bottom) => {
+                    let mut out = env.clone();
+                    out.assign(name, AbsVal::Bool(AbsBool::of(want)));
+                    Some(out)
+                }
+                _ => Some(env.clone()),
+            },
+            ExprKind::Unary {
+                op: UnOp::Not,
+                expr,
+            } => self.refine(env, expr, !want),
+            ExprKind::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } if want => {
+                let e = self.refine(env, lhs, true)?;
+                self.refine(&e, rhs, true)
+            }
+            ExprKind::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } if !want => {
+                let e = self.refine(env, lhs, false)?;
+                self.refine(&e, rhs, false)
+            }
+            ExprKind::Binary { op, lhs, rhs }
+                if matches!(
+                    op,
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq
+                ) =>
+            {
+                self.refine_cmp(env, *op, lhs, rhs, want)
+            }
+            _ => Some(env.clone()),
+        }
+    }
+
+    fn refine_cmp(&self, env: &Env, op: BinOp, lhs: &Expr, rhs: &Expr, want: bool) -> Option<Env> {
+        // Resolve each operand to a variable or a numeric constant.
+        fn side(e: &Expr) -> Option<Result<String, f64>> {
+            match &e.kind {
+                ExprKind::Var(n) => Some(Ok(n.clone())),
+                ExprKind::Num(n) => Some(Err(*n)),
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    expr,
+                } => match &expr.kind {
+                    ExprKind::Num(n) => Some(Err(-*n)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        let (Some(ls), Some(rs)) = (side(lhs), side(rhs)) else {
+            return Some(env.clone());
+        };
+        let iv_of = |s: &Result<String, f64>| -> Option<Interval> {
+            match s {
+                Ok(name) => match env.get(name) {
+                    Some(AbsVal::Num(i)) => Some(*i),
+                    Some(AbsVal::Top | AbsVal::Bottom) => Some(Interval::top_nan()),
+                    // Non-numeric binding: a numeric comparison errors at
+                    // runtime (Eq never reaches here with want-tightening
+                    // on non-num; bail without refinement either way).
+                    _ => None,
+                },
+                Err(c) => Some(Interval::point(*c)),
+            }
+        };
+        let (Some(a), Some(b)) = (iv_of(&ls), iv_of(&rs)) else {
+            return Some(env.clone());
+        };
+        // Negating a comparison is only interval-exact when neither side
+        // can be NaN: `!(a < b)` includes the NaN cases `a >= b` misses.
+        let eff = if want {
+            op
+        } else {
+            if a.nan || b.nan {
+                return Some(env.clone());
+            }
+            match op {
+                BinOp::Lt => BinOp::Ge,
+                BinOp::Le => BinOp::Gt,
+                BinOp::Gt => BinOp::Le,
+                BinOp::Ge => BinOp::Lt,
+                // Eq-false gives no interval information.
+                _ => return Some(env.clone()),
+            }
+        };
+        // A true ordered comparison implies both sides are non-NaN.
+        let (na, nb) = match eff {
+            BinOp::Lt => {
+                if a.lo >= b.hi {
+                    return None;
+                }
+                (
+                    Interval::make(a.lo, a.hi.min(b.hi), false),
+                    Interval::make(b.lo.max(a.lo), b.hi, false),
+                )
+            }
+            BinOp::Le => {
+                if a.lo > b.hi {
+                    return None;
+                }
+                (
+                    Interval::make(a.lo, a.hi.min(b.hi), false),
+                    Interval::make(b.lo.max(a.lo), b.hi, false),
+                )
+            }
+            BinOp::Gt => {
+                if a.hi <= b.lo {
+                    return None;
+                }
+                (
+                    Interval::make(a.lo.max(b.lo), a.hi, false),
+                    Interval::make(b.lo, b.hi.min(a.hi), false),
+                )
+            }
+            BinOp::Ge => {
+                if a.hi < b.lo {
+                    return None;
+                }
+                (
+                    Interval::make(a.lo.max(b.lo), a.hi, false),
+                    Interval::make(b.lo, b.hi.min(a.hi), false),
+                )
+            }
+            BinOp::Eq => {
+                // Only refine when both sides are numeric; `==` on mixed
+                // types is plain `false`, never an error.
+                let lhs_numeric = match &ls {
+                    Ok(name) => matches!(
+                        env.get(name),
+                        Some(AbsVal::Num(_) | AbsVal::Top | AbsVal::Bottom)
+                    ),
+                    Err(_) => true,
+                };
+                let rhs_numeric = match &rs {
+                    Ok(name) => matches!(
+                        env.get(name),
+                        Some(AbsVal::Num(_) | AbsVal::Top | AbsVal::Bottom)
+                    ),
+                    Err(_) => true,
+                };
+                if !lhs_numeric || !rhs_numeric {
+                    return Some(env.clone());
+                }
+                if a.lo > b.hi || b.lo > a.hi {
+                    return None;
+                }
+                let i = Interval::make(a.lo.max(b.lo), a.hi.min(b.hi), false);
+                (i, i)
+            }
+            _ => return Some(env.clone()),
+        };
+        let mut out = env.clone();
+        if let Ok(name) = &ls {
+            if matches!(
+                env.get(name),
+                Some(AbsVal::Num(_) | AbsVal::Top | AbsVal::Bottom)
+            ) {
+                out.assign(name, AbsVal::Num(na));
+            }
+        }
+        if let Ok(name) = &rs {
+            if matches!(
+                env.get(name),
+                Some(AbsVal::Num(_) | AbsVal::Top | AbsVal::Bottom)
+            ) {
+                out.assign(name, AbsVal::Num(nb));
+            }
+        }
+        Some(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Statement walking
+    // -----------------------------------------------------------------
+
+    fn walk_block(&mut self, stmts: &[Stmt], mut env: Env) -> Flow {
+        let entry_depth = env.depth();
+        env.push();
+        let mut result = Flow {
+            fall: None,
+            brk: Vec::new(),
+            cont: Vec::new(),
+            ret: AbsVal::Bottom,
+            total: true,
+        };
+        let mut cur = Some(env);
+        for stmt in stmts {
+            let Some(e) = cur.take() else {
+                // The rest of the block is unreachable: leave it unvisited
+                // so it lands in the unreachable set.
+                break;
+            };
+            let f = self.walk_stmt(stmt, e);
+            result.total &= f.total;
+            result.ret = result.ret.join(&f.ret);
+            result.brk.extend(f.brk);
+            result.cont.extend(f.cont);
+            cur = f.fall;
+        }
+        result.fall = cur.map(|mut e| {
+            e.truncate_to(entry_depth);
+            e
+        });
+        result
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt, mut env: Env) -> Flow {
+        if !stmt.span.is_dummy() {
+            // Recorded even in silent loop iterations: a statement visited
+            // under any head state is certainly visited under the (larger)
+            // final head, so this can only shrink the unreachable set.
+            self.visited.insert((stmt.span.start, stmt.span.end));
+        }
+        if self.fuel == 0 {
+            self.complete = false;
+        }
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
+                let o = self.eval(init, &mut env);
+                self.record_assign(name, &o.val);
+                env.declare(name, o.val);
+                let mut f = Flow::fall(env);
+                f.total = o.total;
+                f
+            }
+            StmtKind::Assign { name, value } => {
+                let o = self.eval(value, &mut env);
+                self.record_assign(name, &o.val);
+                if env.assign(name, o.val) {
+                    let mut f = Flow::fall(env);
+                    f.total = o.total;
+                    f
+                } else {
+                    Flow::halt()
+                }
+            }
+            StmtKind::AssignIndex { name, index, value } => {
+                self.eval(index, &mut env);
+                let o = self.eval(value, &mut env);
+                match env.get(name).cloned() {
+                    Some(AbsVal::Array(elem, len)) => {
+                        env.assign(name, AbsVal::Array(Box::new(elem.join(&o.val)), len));
+                    }
+                    Some(AbsVal::Top | AbsVal::Bottom) => {}
+                    Some(_) => return Flow::halt(),
+                    None => return Flow::halt(),
+                }
+                // Out-of-bounds and non-integer indices error at runtime;
+                // don't try to prove them away.
+                let mut f = Flow::fall(env);
+                f.total = false;
+                f
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, &mut env);
+                let Some((ab, certain)) = as_bool_domain(&c.val) else {
+                    return Flow::halt();
+                };
+                let mut merged = Flow::halt();
+                merged.total = c.total && certain;
+                let mut any = false;
+                if ab.may_true {
+                    if let Some(e) = self.refine(&env, cond, true) {
+                        let f = self.walk_block(then_body, e);
+                        merged.total &= f.total;
+                        merged.ret = merged.ret.join(&f.ret);
+                        merged.brk.extend(f.brk);
+                        merged.cont.extend(f.cont);
+                        if let Some(e) = f.fall {
+                            merged.fall = join_env_opt(merged.fall.take(), e);
+                        }
+                        any = true;
+                    }
+                }
+                if ab.may_false {
+                    if let Some(e) = self.refine(&env, cond, false) {
+                        let f = self.walk_block(else_body, e);
+                        merged.total &= f.total;
+                        merged.ret = merged.ret.join(&f.ret);
+                        merged.brk.extend(f.brk);
+                        merged.cont.extend(f.cont);
+                        if let Some(e) = f.fall {
+                            merged.fall = join_env_opt(merged.fall.take(), e);
+                        }
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Flow::halt();
+                }
+                merged
+            }
+            StmtKind::While { cond, body } => self.walk_while(cond, body, env),
+            StmtKind::Return(e) => {
+                let (val, total) = match e {
+                    Some(e) => {
+                        let o = self.eval(e, &mut env);
+                        (o.val, o.total)
+                    }
+                    None => (AbsVal::Unit, true),
+                };
+                Flow {
+                    fall: None,
+                    brk: Vec::new(),
+                    cont: Vec::new(),
+                    ret: val,
+                    total,
+                }
+            }
+            StmtKind::Break => Flow {
+                fall: None,
+                brk: vec![env],
+                cont: Vec::new(),
+                ret: AbsVal::Bottom,
+                total: true,
+            },
+            StmtKind::Continue => Flow {
+                fall: None,
+                brk: Vec::new(),
+                cont: vec![env],
+                ret: AbsVal::Bottom,
+                total: true,
+            },
+            StmtKind::Expr(e) => {
+                let o = self.eval(e, &mut env);
+                let mut f = Flow::fall(env);
+                f.total = o.total;
+                f
+            }
+        }
+    }
+
+    fn walk_while(&mut self, cond: &Expr, body: &[Stmt], env: Env) -> Flow {
+        let entry_depth = env.depth();
+        // Phase 1: silent fixpoint on the loop-head environment. Facts are
+        // not recorded here — intermediate states under-approximate the
+        // final head and would poison the fold map with transient values.
+        let saved_reporting = self.reporting;
+        self.reporting = false;
+        let mut head = env;
+        let mut iters: u32 = 0;
+        loop {
+            if self.fuel == 0 {
+                self.complete = false;
+                head.clobber();
+                break;
+            }
+            let mut probe = head.clone();
+            let c = self.eval(cond, &mut probe);
+            let may_true = as_bool_domain(&c.val)
+                .map(|(ab, _)| ab.may_true)
+                .unwrap_or(false);
+            if !may_true {
+                break;
+            }
+            let Some(enter) = self.refine(&probe, cond, true) else {
+                break;
+            };
+            let f = self.walk_block(body, enter);
+            let mut back: Option<Env> = None;
+            for mut e in f.fall.into_iter().chain(f.cont) {
+                e.truncate_to(entry_depth);
+                back = join_env_opt(back, e);
+            }
+            let Some(back) = back else {
+                // The body never reaches the back edge; the head is stable.
+                break;
+            };
+            let candidate = if iters >= WIDEN_AFTER {
+                head.widen(&back)
+            } else {
+                head.join(&back)
+            };
+            if candidate == head {
+                break;
+            }
+            head = candidate;
+            iters += 1;
+            if iters > MAX_LOOP_ITERS {
+                // All-⊤ is trivially a fixpoint.
+                head.clobber();
+                break;
+            }
+        }
+        self.reporting = saved_reporting;
+        // Phase 2: one reporting pass over the stable head. The head
+        // over-approximates every silent iteration, so everything visited
+        // silently is visited (and recorded) again here.
+        let mut probe = head;
+        let c = self.eval(cond, &mut probe);
+        let Some((ab, certain)) = as_bool_domain(&c.val) else {
+            return Flow::halt();
+        };
+        let mut flow = Flow {
+            fall: None,
+            brk: Vec::new(),
+            cont: Vec::new(),
+            ret: AbsVal::Bottom,
+            total: c.total && certain,
+        };
+        let mut entered = false;
+        if ab.may_true {
+            if let Some(enter) = self.refine(&probe, cond, true) {
+                entered = true;
+                let f = self.walk_block(body, enter);
+                flow.total &= f.total;
+                flow.ret = flow.ret.join(&f.ret);
+                for mut e in f.brk {
+                    e.truncate_to(entry_depth);
+                    flow.fall = join_env_opt(flow.fall.take(), e);
+                }
+                // Fall-through and continue feed the back edge, already
+                // accounted for by the fixpoint.
+            }
+        }
+        if ab.may_false {
+            if let Some(mut exit) = self.refine(&probe, cond, false) {
+                exit.truncate_to(entry_depth);
+                flow.fall = join_env_opt(flow.fall.take(), exit);
+            }
+        }
+        if entered {
+            // Termination is not provable; a possibly-entered loop is
+            // never total.
+            flow.total = false;
+        }
+        flow
+    }
+}
+
+// ---------------------------------------------------------------------
+// Syntactic passes
+// ---------------------------------------------------------------------
+
+fn for_each_expr<'e>(stmts: &'e [Stmt], f: &mut impl FnMut(&'e Expr)) {
+    fn expr<'e>(e: &'e Expr, f: &mut impl FnMut(&'e Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::Array(items) => items.iter().for_each(|i| expr(i, f)),
+            ExprKind::Index(a, b) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            ExprKind::Call { args, .. } => args.iter().for_each(|a| expr(a, f)),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                expr(lhs, f);
+                expr(rhs, f);
+            }
+            ExprKind::Unary { expr: inner, .. } => expr(inner, f),
+            _ => {}
+        }
+    }
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => expr(init, f),
+            StmtKind::Assign { value, .. } => expr(value, f),
+            StmtKind::AssignIndex { index, value, .. } => {
+                expr(index, f);
+                expr(value, f);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, f);
+                for_each_expr(then_body, f);
+                for_each_expr(else_body, f);
+            }
+            StmtKind::While { cond, body } => {
+                expr(cond, f);
+                for_each_expr(body, f);
+            }
+            StmtKind::Return(Some(e)) => expr(e, f),
+            StmtKind::Expr(e) => expr(e, f),
+            _ => {}
+        }
+    }
+}
+
+fn for_each_stmt<'s>(stmts: &'s [Stmt], f: &mut impl FnMut(&'s Stmt)) {
+    for stmt in stmts {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for_each_stmt(then_body, f);
+                for_each_stmt(else_body, f);
+            }
+            StmtKind::While { body, .. } => for_each_stmt(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Computes the recursive-function set and the may-checkpoint closure from
+/// the syntactic call graph.
+fn call_graph_facts(fns: &HashMap<&str, &Function>) -> (HashSet<String>, HashSet<String>) {
+    let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut direct_ckpt: HashSet<String> = HashSet::new();
+    for (name, func) in fns {
+        let mut out = HashSet::new();
+        let mut ckpt = false;
+        for_each_expr(&func.body, &mut |e| {
+            if let ExprKind::Call { name: callee, .. } = &e.kind {
+                if is_user_fn(fns, callee) {
+                    out.insert(callee.clone());
+                } else if callee == "au_checkpoint" || callee == "au_restore" {
+                    ckpt = true;
+                }
+            }
+        });
+        if ckpt {
+            direct_ckpt.insert((*name).to_owned());
+        }
+        calls.insert((*name).to_owned(), out);
+    }
+    // Transitive closure by iteration (programs are small).
+    let mut reach = calls.clone();
+    loop {
+        let mut changed = false;
+        for name in calls.keys() {
+            let cur = reach[name].clone();
+            let mut next = cur.clone();
+            for callee in &cur {
+                if let Some(r) = reach.get(callee) {
+                    next.extend(r.iter().cloned());
+                }
+            }
+            if next.len() != cur.len() {
+                reach.insert(name.clone(), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let recursive: HashSet<String> = reach
+        .iter()
+        .filter(|(name, r)| r.contains(*name))
+        .map(|(name, _)| name.clone())
+        .collect();
+    let may_ckpt: HashSet<String> = reach
+        .iter()
+        .filter(|(name, r)| {
+            direct_ckpt.contains(*name) || r.iter().any(|g| direct_ckpt.contains(g))
+        })
+        .map(|(name, _)| name.clone())
+        .collect();
+    (recursive, may_ckpt)
+}
+
+/// Names the au_* protocol refers to by string literal (extraction keys,
+/// model names, write-back keys, input keys, mark annotations). Such a
+/// string coinciding with a variable name must not make the variable
+/// "constant" for the `StaticFilter`, so they are excluded.
+fn protocol_names(program: &Program) -> HashSet<String> {
+    const PROTO: &[&str] = &[
+        "input",
+        "mark_input",
+        "mark_target",
+        "au_extract",
+        "au_write_back",
+        "au_write_back_n",
+        "au_serialize",
+        "au_nn",
+        "au_nn_rl",
+        "au_config",
+    ];
+    let mut out = HashSet::new();
+    for func in &program.functions {
+        for_each_expr(&func.body, &mut |e| {
+            if let ExprKind::Call { name, args } = &e.kind {
+                if PROTO.contains(&name.as_str()) {
+                    for a in args {
+                        if let ExprKind::Str(s) = &a.kind {
+                            out.insert(s.clone());
+                        }
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Collects loop-invariant top-level assignments in every `while` body:
+/// `let`/`=` statements whose right-hand side contains no call, at least
+/// one variable, and no variable assigned anywhere in the loop body.
+fn loop_invariants(program: &Program, may_ckpt: &HashSet<String>) -> Vec<LoopInvariant> {
+    let fns: HashMap<&str, &Function> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f))
+        .collect();
+    let mut out = Vec::new();
+    for func in &program.functions {
+        for_each_stmt(&func.body, &mut |stmt| {
+            let StmtKind::While { body, .. } = &stmt.kind else {
+                return;
+            };
+            // A checkpoint restore may rewrite any variable mid-loop, so
+            // nothing in such a body is provably invariant.
+            let mut has_ckpt = false;
+            for_each_expr(body, &mut |e| {
+                if let ExprKind::Call { name, .. } = &e.kind {
+                    if name == "au_checkpoint"
+                        || name == "au_restore"
+                        || (is_user_fn(&fns, name) && may_ckpt.contains(name))
+                    {
+                        has_ckpt = true;
+                    }
+                }
+            });
+            if has_ckpt {
+                return;
+            }
+            let mut assigned: HashSet<&str> = HashSet::new();
+            for_each_stmt(body, &mut |s| match &s.kind {
+                StmtKind::Let { name, .. }
+                | StmtKind::Assign { name, .. }
+                | StmtKind::AssignIndex { name, .. } => {
+                    assigned.insert(name);
+                }
+                _ => {}
+            });
+            for s in body {
+                let (name, value) = match &s.kind {
+                    StmtKind::Let { name, init } => (name, init),
+                    StmtKind::Assign { name, value } => (name, value),
+                    _ => continue,
+                };
+                if s.span.is_dummy() {
+                    continue;
+                }
+                let mut vars = 0usize;
+                let mut blocked = false;
+                let mut check = |e: &Expr| match &e.kind {
+                    ExprKind::Var(v) => {
+                        vars += 1;
+                        if assigned.contains(v.as_str()) {
+                            blocked = true;
+                        }
+                    }
+                    ExprKind::Call { .. } => blocked = true,
+                    _ => {}
+                };
+                // Reuse the statement-walker on a one-expression slice.
+                fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+                    f(e);
+                    match &e.kind {
+                        ExprKind::Array(items) => items.iter().for_each(|i| walk_expr(i, f)),
+                        ExprKind::Index(a, b) => {
+                            walk_expr(a, f);
+                            walk_expr(b, f);
+                        }
+                        ExprKind::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, f)),
+                        ExprKind::Binary { lhs, rhs, .. } => {
+                            walk_expr(lhs, f);
+                            walk_expr(rhs, f);
+                        }
+                        ExprKind::Unary { expr, .. } => walk_expr(expr, f),
+                        _ => {}
+                    }
+                }
+                walk_expr(value, &mut check);
+                if !blocked && vars >= 1 {
+                    out.push(LoopInvariant {
+                        name: name.clone(),
+                        span: s.span,
+                    });
+                }
+            }
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Liveness (backward, per function)
+// ---------------------------------------------------------------------
+
+/// A backward liveness fact: either an explicit live set, or "everything
+/// live except `names`" (after a whole-frame effect like `au_restore`).
+#[derive(Debug, Clone, PartialEq)]
+struct Live {
+    all: bool,
+    /// Live names when `!all`; *excluded* (killed) names when `all`.
+    names: BTreeSet<String>,
+}
+
+impl Live {
+    fn none() -> Live {
+        Live {
+            all: false,
+            names: BTreeSet::new(),
+        }
+    }
+
+    fn everything() -> Live {
+        Live {
+            all: true,
+            names: BTreeSet::new(),
+        }
+    }
+
+    fn is_live(&self, name: &str) -> bool {
+        if self.all {
+            !self.names.contains(name)
+        } else {
+            self.names.contains(name)
+        }
+    }
+
+    fn read(&mut self, name: &str) {
+        if self.all {
+            self.names.remove(name);
+        } else {
+            self.names.insert(name.to_owned());
+        }
+    }
+
+    fn kill(&mut self, name: &str) {
+        if self.all {
+            self.names.insert(name.to_owned());
+        } else {
+            self.names.remove(name);
+        }
+    }
+
+    fn set_all(&mut self) {
+        *self = Live::everything();
+    }
+
+    fn join(&self, other: &Live) -> Live {
+        match (self.all, other.all) {
+            (false, false) => Live {
+                all: false,
+                names: self.names.union(&other.names).cloned().collect(),
+            },
+            (true, true) => Live {
+                all: true,
+                names: self.names.intersection(&other.names).cloned().collect(),
+            },
+            (true, false) => Live {
+                all: true,
+                names: self.names.difference(&other.names).cloned().collect(),
+            },
+            (false, true) => other.join(self),
+        }
+    }
+}
+
+struct LiveCtx<'a> {
+    fns: &'a HashMap<&'a str, &'a Function>,
+    may_ckpt: &'a HashSet<String>,
+    brk: Live,
+    cont: Live,
+}
+
+fn expr_reads(e: &Expr, l: &mut Live, ctx: &LiveCtx) {
+    match &e.kind {
+        ExprKind::Var(name) => l.read(name),
+        ExprKind::Array(items) => items.iter().for_each(|i| expr_reads(i, l, ctx)),
+        ExprKind::Index(a, b) => {
+            expr_reads(a, l, ctx);
+            expr_reads(b, l, ctx);
+        }
+        ExprKind::Call { name, args } => {
+            // Checkpoint/restore snapshot or rewrite every variable in
+            // every frame: treat as a read of everything.
+            if name == "au_checkpoint"
+                || name == "au_restore"
+                || (is_user_fn(ctx.fns, name) && ctx.may_ckpt.contains(name))
+            {
+                l.set_all();
+            }
+            args.iter().for_each(|a| expr_reads(a, l, ctx));
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, l, ctx);
+            expr_reads(rhs, l, ctx);
+        }
+        ExprKind::Unary { expr, .. } => expr_reads(expr, l, ctx),
+        _ => {}
+    }
+}
+
+/// Backward liveness over a block. Returns the live set at block entry;
+/// dead stores are appended to `out` when `recording`.
+fn live_block(
+    stmts: &[Stmt],
+    after: Live,
+    ctx: &LiveCtx,
+    recording: bool,
+    out: &mut Vec<DeadStore>,
+) -> Live {
+    let mut l = after;
+    for stmt in stmts.iter().rev() {
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
+                if recording && !l.is_live(name) && !stmt.span.is_dummy() {
+                    out.push(DeadStore {
+                        name: name.clone(),
+                        span: stmt.span,
+                        value_span: init.span,
+                    });
+                }
+                l.kill(name);
+                expr_reads(init, &mut l, ctx);
+            }
+            StmtKind::Assign { name, value } => {
+                if recording && !l.is_live(name) && !stmt.span.is_dummy() {
+                    out.push(DeadStore {
+                        name: name.clone(),
+                        span: stmt.span,
+                        value_span: value.span,
+                    });
+                }
+                l.kill(name);
+                expr_reads(value, &mut l, ctx);
+            }
+            StmtKind::AssignIndex { name, index, value } => {
+                // Writes one element; the rest of the array survives.
+                l.read(name);
+                expr_reads(index, &mut l, ctx);
+                expr_reads(value, &mut l, ctx);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = live_block(then_body, l.clone(), ctx, recording, out);
+                let e = live_block(else_body, l.clone(), ctx, recording, out);
+                l = t.join(&e);
+                expr_reads(cond, &mut l, ctx);
+            }
+            StmtKind::While { cond, body } => {
+                // Fixpoint on the loop-head live set (silent), then one
+                // recording pass against the stable head.
+                let mut head = l.clone();
+                let mut iters: u32 = 0;
+                loop {
+                    let ictx = LiveCtx {
+                        fns: ctx.fns,
+                        may_ckpt: ctx.may_ckpt,
+                        brk: l.clone(),
+                        cont: head.clone(),
+                    };
+                    let mut scratch = Vec::new();
+                    let body_in = live_block(body, head.clone(), &ictx, false, &mut scratch);
+                    let mut nh = l.join(&body_in);
+                    expr_reads(cond, &mut nh, ctx);
+                    if nh == head {
+                        break;
+                    }
+                    head = nh;
+                    iters += 1;
+                    if iters > MAX_LIVE_ITERS {
+                        head = Live::everything();
+                        expr_reads(cond, &mut head, ctx);
+                        break;
+                    }
+                }
+                if recording {
+                    let ictx = LiveCtx {
+                        fns: ctx.fns,
+                        may_ckpt: ctx.may_ckpt,
+                        brk: l.clone(),
+                        cont: head.clone(),
+                    };
+                    live_block(body, head.clone(), &ictx, true, out);
+                }
+                l = head;
+            }
+            StmtKind::Return(e) => {
+                l = Live::none();
+                if let Some(e) = e {
+                    expr_reads(e, &mut l, ctx);
+                }
+            }
+            StmtKind::Break => l = ctx.brk.clone(),
+            StmtKind::Continue => l = ctx.cont.clone(),
+            StmtKind::Expr(e) => expr_reads(e, &mut l, ctx),
+        }
+    }
+    // A `let` inside this block shadows any outer binding of the same
+    // name; its kill must not leak above the block. Conservatively mark
+    // every block-declared name live at entry (suppresses, never invents,
+    // dead-store reports for outer bindings).
+    for stmt in stmts {
+        if let StmtKind::Let { name, .. } = &stmt.kind {
+            l.read(name);
+        }
+    }
+    l
+}
+
+fn dead_stores(program: &Program, may_ckpt: &HashSet<String>) -> Vec<DeadStore> {
+    let fns: HashMap<&str, &Function> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f))
+        .collect();
+    let mut out = Vec::new();
+    for func in &program.functions {
+        let ctx = LiveCtx {
+            fns: &fns,
+            may_ckpt,
+            brk: Live::none(),
+            cont: Live::none(),
+        };
+        live_block(&func.body, Live::none(), &ctx, true, &mut out);
+    }
+    out.sort_by_key(|d| (d.span.start, d.span.end));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Runs the abstract interpreter over a whole program.
+///
+/// Execution is modeled from `main` exactly as the interpreter would run
+/// it; functions never (transitively) called from `main` are reported
+/// unreachable in full. See [`Analysis`] for the guarantees on each field.
+pub fn analyze(program: &Program) -> Analysis {
+    let _t = t_time!("au_lang.absint");
+    let mut a = Analyzer::new(program);
+    if let Some(main) = program.function("main") {
+        if main.params.is_empty() {
+            a.stack.push("main".to_owned());
+            a.walk_block(&main.body, Env::new());
+            a.stack.pop();
+        } else {
+            // `main` with parameters errors at startup: nothing runs.
+            a.complete = true;
+        }
+    }
+    let complete = a.complete;
+
+    let proto = protocol_names(program);
+    let mut indexed: HashSet<String> = HashSet::new();
+    for func in &program.functions {
+        for_each_stmt(&func.body, &mut |s| {
+            if let StmtKind::AssignIndex { name, .. } = &s.kind {
+                indexed.insert(name.clone());
+            }
+        });
+    }
+
+    let mut analysis = Analysis {
+        dead_stores: dead_stores(program, &a.may_ckpt),
+        loop_invariant: loop_invariants(program, &a.may_ckpt),
+        complete,
+        ..Analysis::default()
+    };
+    if !complete {
+        return analysis;
+    }
+
+    for (name, val) in &a.assigns {
+        if indexed.contains(name) || proto.contains(name) {
+            continue;
+        }
+        if let AbsVal::Num(i) = val {
+            if let Some(c) = i.as_const() {
+                analysis.constants.insert(name.clone(), c);
+            }
+        }
+    }
+    analysis.folds = a
+        .folds
+        .into_iter()
+        .filter_map(|(k, v)| v.map(|f| (k, f)))
+        .collect();
+    analysis.totals = a
+        .totals
+        .into_iter()
+        .filter_map(|(k, t)| t.then_some(k))
+        .collect();
+    let mut unreachable: Vec<Span> = Vec::new();
+    for func in &program.functions {
+        for_each_stmt(&func.body, &mut |s| {
+            if !s.span.is_dummy() && !a.visited.contains(&(s.span.start, s.span.end)) {
+                unreachable.push(s.span);
+            }
+        });
+    }
+    unreachable.sort_by_key(|s| (s.start, s.end));
+    unreachable.dedup();
+    analysis.unreachable = unreachable;
+    analysis.div_zero = a
+        .divs
+        .into_iter()
+        .filter(|(_, i)| i.lo <= 0.0 && i.hi >= 0.0 && i.lo.is_finite() && i.hi.is_finite())
+        .map(|((start, end), i)| DivSite {
+            span: Span::new(start, end),
+            lo: i.lo,
+            hi: i.hi,
+        })
+        .collect();
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Analysis {
+        analyze(&parse(src).expect("test program parses"))
+    }
+
+    /// Finds the fold recorded for the first occurrence of `snippet`.
+    fn fold_at(src: &str, an: &Analysis, snippet: &str) -> Option<Folded> {
+        let start = src.find(snippet).expect("snippet present");
+        an.folds.get(&(start, start + snippet.len())).copied()
+    }
+
+    #[test]
+    fn interval_arithmetic_is_sound() {
+        let a = Interval::make(1.0, 3.0, false);
+        let b = Interval::make(-2.0, 4.0, false);
+        let s = a.add(b);
+        assert_eq!((s.lo, s.hi, s.nan), (-1.0, 7.0, false));
+        let m = a.mul(b);
+        assert_eq!((m.lo, m.hi), (-6.0, 12.0));
+        // Divisor containing zero goes to ⊤ (IEEE inf/NaN values).
+        assert!(a.div(b).nan);
+        let d = a.div(Interval::make(2.0, 4.0, false));
+        assert_eq!((d.lo, d.hi, d.nan), (0.25, 1.5, false));
+        // min/max mirror f64 semantics: NaN loses to a number.
+        let n = Interval::top_nan();
+        let mm = a.min_with(n);
+        assert!(!mm.nan || (mm.lo == f64::NEG_INFINITY));
+        assert!(!a.min_with(n).nan, "one non-NaN side means non-NaN result");
+    }
+
+    #[test]
+    fn negative_zero_is_not_a_constant() {
+        let z = Interval::point(0.0).join(Interval::point(-0.0));
+        assert_eq!(z.as_const(), None);
+        assert_eq!(Interval::point(-0.0).as_const(), Some(-0.0));
+    }
+
+    #[test]
+    fn constant_propagation_and_folding() {
+        let src = "fn main() { let k = 3; let y = k * 2; return y; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert_eq!(an.constants.get("k"), Some(&3.0));
+        assert_eq!(an.constants.get("y"), Some(&6.0));
+        assert_eq!(fold_at(src, &an, "k * 2"), Some(Folded::Num(6.0)));
+    }
+
+    #[test]
+    fn branch_pruning_marks_unreachable() {
+        let src = "fn main() { let debug = 0; if (debug > 0) { print(1); } return 0; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert_eq!(fold_at(src, &an, "debug > 0"), Some(Folded::Bool(false)));
+        let pr = src.find("print(1);").unwrap();
+        assert!(an.unreachable.iter().any(|s| s.start == pr));
+    }
+
+    #[test]
+    fn loop_widening_terminates_and_bounds_survive_refinement() {
+        let src = "fn main() { let i = 0; while (i < 10) { i = i + 1; } return i; }";
+        let an = run(src);
+        assert!(an.complete);
+        // `i` is reassigned, so it is not a constant; the analysis must
+        // simply terminate and keep everything reachable.
+        assert!(!an.constants.contains_key("i"));
+        assert!(an.unreachable.is_empty());
+    }
+
+    #[test]
+    fn interprocedural_summary_folds_through_calls() {
+        let src = "fn double(x) { return x * 2; }\n\
+                   fn main() { let a = double(21); return a; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert_eq!(an.constants.get("a"), Some(&42.0));
+        // The call itself must NOT be foldable: the callee's statements
+        // count interpreter steps, so replacing the call with a literal
+        // would change step-observable behavior.
+        assert_eq!(fold_at(src, &an, "x * 2"), Some(Folded::Num(42.0)));
+    }
+
+    #[test]
+    fn recursion_is_cut_soundly() {
+        let src = "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+                   fn main() { return fib(10); }";
+        let an = run(src);
+        assert!(an.complete);
+        // Nothing inside fib may be folded to the first call's context.
+        assert_eq!(fold_at(src, &an, "n < 2"), None);
+        assert!(an.unreachable.is_empty());
+    }
+
+    #[test]
+    fn division_by_possible_zero_is_flagged() {
+        let src = "fn main() { let x = input(\"x\", 0); let d = 0; \
+                   if (x > 0) { d = 1; } let r = 10 / d; return r; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert_eq!(an.div_zero.len(), 1, "divisor interval [0,1] contains 0");
+        assert_eq!(an.div_zero[0].lo, 0.0);
+        assert_eq!(an.div_zero[0].hi, 1.0);
+    }
+
+    #[test]
+    fn half_bounded_divisor_is_not_flagged() {
+        let src = "fn main() { let n = input(\"n\", 1); let d = 0; \
+                   while (d < n) { d = d + 1; } return 10 / d; }";
+        let an = run(src);
+        assert!(an.complete);
+        // After widening, d ∈ [0, +inf): infinite bound → no AU014-style
+        // report (matches the corpus `total / pairs` pattern).
+        assert!(an.div_zero.is_empty());
+    }
+
+    #[test]
+    fn dead_store_detection() {
+        let src = "fn main() { let a = 1; a = 2; return a; }";
+        let an = run(src);
+        let dead: Vec<_> = an.dead_stores.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(dead, vec!["a"], "only the initial `let a = 1` is dead");
+        assert_eq!(
+            an.dead_stores[0].span.start,
+            src.find("let a = 1;").unwrap()
+        );
+    }
+
+    #[test]
+    fn dead_store_respects_loops_and_branches() {
+        let src = "fn main() { let s = 0; let i = 0; \
+                   while (i < 3) { s = s + i; i = i + 1; } return s; }";
+        let an = run(src);
+        assert!(an.dead_stores.is_empty(), "all stores feed the loop");
+    }
+
+    #[test]
+    fn checkpoint_restore_clobbers_flow_sensitive_facts() {
+        // At the return, x is 5 (the restored snapshot), not 7: without
+        // the restore clobber the analysis would wrongly fold x to 7.
+        let src = "fn main() { let x = 5; au_checkpoint(); x = 7; au_restore(); return x; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert!(!an.constants.contains_key("x"), "x holds 5 then 7");
+        let ret = src.find("return x").unwrap();
+        assert!(
+            !an.folds.contains_key(&(ret + 7, ret + 8)),
+            "the restored read of x must not fold"
+        );
+        // The checkpoint snapshot reads every variable: no dead stores.
+        assert!(an.dead_stores.is_empty());
+    }
+
+    #[test]
+    fn never_reassigned_var_stays_constant_across_restore() {
+        // restore can only write back a previously-stored value, so a
+        // variable with a single store is still provably constant.
+        let src = "fn main() { let x = 5; au_checkpoint(); \
+                   let y = input(\"y\", 0); \
+                   if (y > 0) { au_restore(); } return x; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert_eq!(an.constants.get("x"), Some(&5.0));
+    }
+
+    #[test]
+    fn loop_invariant_assignment_is_reported() {
+        let src = "fn main() { let base = 10; let i = 0; let acc = 0; \
+                   while (i < 5) { let scale = base * 2; acc = acc + scale; i = i + 1; } \
+                   return acc; }";
+        let an = run(src);
+        assert_eq!(an.loop_invariant.len(), 1);
+        assert_eq!(an.loop_invariant[0].name, "scale");
+    }
+
+    #[test]
+    fn loop_variant_assignment_is_not_reported() {
+        let src = "fn main() { let i = 0; let acc = 0; \
+                   while (i < 5) { let step = i * 2; acc = acc + step; i = i + 1; } \
+                   return acc; }";
+        let an = run(src);
+        assert!(
+            an.loop_invariant.is_empty(),
+            "`step` depends on assigned `i`"
+        );
+    }
+
+    #[test]
+    fn protocol_string_names_are_not_constants() {
+        // The extraction key "k" collides with the variable name `k`;
+        // the variable must not be reported constant for the filter.
+        let src = "fn main() { let k = 3; au_extract(\"k\", [k]); return k; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert!(!an.constants.contains_key("k"));
+    }
+
+    #[test]
+    fn indexed_arrays_are_not_constants() {
+        let src = "fn main() { let a = [1, 2]; a[0] = 5; return a[0]; }";
+        let an = run(src);
+        assert!(!an.constants.contains_key("a"));
+    }
+
+    #[test]
+    fn unreachable_after_return() {
+        let src = "fn main() { return 1; print(2); }";
+        let an = run(src);
+        assert!(an.complete);
+        let pr = src.find("print(2);").unwrap();
+        assert!(an.unreachable.iter().any(|s| s.start == pr));
+    }
+
+    #[test]
+    fn uncalled_function_is_unreachable() {
+        let src = "fn helper() { print(9); }\nfn main() { return 0; }";
+        let an = run(src);
+        let pr = src.find("print(9);").unwrap();
+        assert!(an.unreachable.iter().any(|s| s.start == pr));
+    }
+
+    #[test]
+    fn rand_and_input_are_never_foldable() {
+        let src = "fn main() { let r = rand(); let x = input(\"x\", 1); return r + x; }";
+        let an = run(src);
+        assert!(an.complete);
+        assert!(!an.constants.contains_key("r"));
+        assert!(!an.constants.contains_key("x"));
+        assert_eq!(fold_at(src, &an, "rand()"), None);
+    }
+
+    #[test]
+    fn refinement_narrows_input_driven_branches() {
+        // x is ⊤ from input(); inside the branch x < 0 it is refined to a
+        // negative range, making `x < 10` certainly true there.
+        let src = "fn main() { let x = input(\"x\", 0); \
+                   if (x < 0) { if (x < 10) { print(1); } else { print(2); } } return 0; }";
+        let an = run(src);
+        assert!(an.complete);
+        let pr = src.find("print(2);").unwrap();
+        assert!(an.unreachable.iter().any(|s| s.start == pr));
+        assert_eq!(fold_at(src, &an, "x < 10"), Some(Folded::Bool(true)));
+    }
+
+    #[test]
+    fn string_and_bool_folding() {
+        let src = "fn main() { let on = true; if (on) { return 1; } return 2; }";
+        let an = run(src);
+        assert!(an.complete);
+        let r2 = src.find("return 2;").unwrap();
+        assert!(an.unreachable.iter().any(|s| s.start == r2));
+    }
+
+    #[test]
+    fn nine_corpus_programs_analyze_completely() {
+        for p in crate::corpus::all() {
+            let program = parse(p.src).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let an = analyze(&program);
+            assert!(an.complete, "{} should analyze within fuel", p.name);
+        }
+    }
+}

@@ -112,6 +112,37 @@ pub(crate) enum Op {
     StoreIndexUndef { name: u32, trace: TraceKind },
     /// Pop rhs then lhs, push the non-short-circuit binary result.
     Bin(BinOp),
+    /// Fused `Load(a); Load(b); Bin(op)` emitted by the optimizer's
+    /// peephole pass. Pushes one result (and, when traced, one dep set
+    /// holding both slot names) — identical observable behavior to the
+    /// unfused sequence.
+    LoadLoadBin {
+        /// Left operand slot.
+        a: u16,
+        /// Right operand slot.
+        b: u16,
+        /// The binary operator (never `And`/`Or`).
+        op: BinOp,
+    },
+    /// Fused `Load(slot); Const(cidx); Bin(op)`: local on the left,
+    /// constant on the right.
+    LoadConstBin {
+        /// Left operand slot.
+        slot: u16,
+        /// Right operand constant-pool index.
+        cidx: u32,
+        /// The binary operator (never `And`/`Or`).
+        op: BinOp,
+    },
+    /// Fused `Const(cidx); Bin(op)`: whatever is on the stack on the
+    /// left, constant on the right. Net no-op on the traced dep stack
+    /// (the constant contributes no deps).
+    ConstBin {
+        /// Right operand constant-pool index.
+        cidx: u32,
+        /// The binary operator (never `And`/`Or`).
+        op: BinOp,
+    },
     /// Pop a number, push its negation.
     Neg,
     /// Pop a boolean, push its complement.
@@ -210,6 +241,27 @@ pub(crate) struct FuncInfo {
     pub slot_names: Vec<u32>,
 }
 
+/// What the abstract-interpretation optimizer did to a program.
+///
+/// All counters are zero for programs compiled without optimization
+/// ([`crate::compile::compile_program`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Expressions replaced by their statically-computed constant value.
+    pub folded: usize,
+    /// `if`/`while` branches pruned because the condition is provably
+    /// constant.
+    pub pruned_branches: usize,
+    /// Dead stores whose right-hand side was elided (untraced mode only).
+    pub dead_stores: usize,
+    /// Instruction sequences fused into superinstructions by the
+    /// bytecode peephole pass.
+    pub fused: usize,
+    /// Selective-mode trace opcodes elided because the variable is
+    /// provably constant (constant features are dead weight in θ).
+    pub trace_elided: usize,
+}
+
 /// A lowered AuLang program, ready for the VM.
 ///
 /// Produced by [`crate::compile::compile_program`]; executed by
@@ -234,6 +286,8 @@ pub struct CompiledProgram {
     /// Per-name relevance under the static filter (all `true` outside
     /// Selective mode). Indexed by name id.
     pub(crate) relevant: Vec<bool>,
+    /// What the optimizer did (all zeros when compiled unoptimized).
+    pub(crate) opt_stats: OptStats,
 }
 
 impl CompiledProgram {
@@ -253,6 +307,13 @@ impl CompiledProgram {
     /// computed names in `input` / `mark_input` / `mark_target`.
     pub fn effective_trace_mode(&self) -> TraceMode {
         self.effective
+    }
+
+    /// What the abstract-interpretation optimizer did to this program.
+    /// All zeros when compiled via
+    /// [`crate::compile::compile_program`].
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
     }
 
     /// How many trace opcodes (`TraceAssign` / `NoteUses` /

@@ -64,6 +64,37 @@ fn take_str(v: Value) -> String {
     }
 }
 
+/// The non-short-circuit binary operation, shared between `Op::Bin` and
+/// the fused superinstructions — one implementation so optimized and
+/// unoptimized programs agree bit-for-bit (including error messages and
+/// the left-before-right type-check order).
+fn bin_value(bin: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
+    Ok(match bin {
+        BinOp::Eq => Value::Bool(l == r),
+        BinOp::Ne => Value::Bool(l != r),
+        _ => {
+            let a = l
+                .as_num()
+                .ok_or_else(|| rt(format!("arithmetic on {}", l.type_name())))?;
+            let b = r
+                .as_num()
+                .ok_or_else(|| rt(format!("arithmetic on {}", r.type_name())))?;
+            match bin {
+                BinOp::Add => Value::Num(a + b),
+                BinOp::Sub => Value::Num(a - b),
+                BinOp::Mul => Value::Num(a * b),
+                BinOp::Div => Value::Num(a / b),
+                BinOp::Rem => Value::Num(a % b),
+                BinOp::Lt => Value::Bool(a < b),
+                BinOp::Le => Value::Bool(a <= b),
+                BinOp::Gt => Value::Bool(a > b),
+                BinOp::Ge => Value::Bool(a >= b),
+                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
+            }
+        }
+    })
+}
+
 /// Validates an array index: must be a non-negative integral number.
 fn index_of(value: &Value) -> Result<usize, LangError> {
     let n = value
@@ -200,6 +231,20 @@ impl Vm {
     /// Returns lex/parse errors.
     pub fn compile(src: &str, mode: TraceMode) -> Result<Self, LangError> {
         Ok(Vm::with_program(&parse(src)?, mode))
+    }
+
+    /// Parses `src` and compiles it under `mode` with the
+    /// abstract-interpretation optimizer
+    /// ([`compile_program_opt`](crate::compile_program_opt)) enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns lex/parse errors.
+    pub fn compile_opt(src: &str, mode: TraceMode) -> Result<Self, LangError> {
+        Ok(Vm::from_compiled(crate::compile::compile_program_opt(
+            &parse(src)?,
+            mode,
+        )))
     }
 
     /// Compiles an already parsed program under `mode`.
@@ -499,31 +544,33 @@ impl Vm {
                         let dr = dpop(&mut deps);
                         deps.last_mut().expect("dep").extend(dr);
                     }
-                    let out = match bin {
-                        BinOp::Eq => Value::Bool(l == r),
-                        BinOp::Ne => Value::Bool(l != r),
-                        _ => {
-                            let a = l
-                                .as_num()
-                                .ok_or_else(|| rt(format!("arithmetic on {}", l.type_name())))?;
-                            let b = r
-                                .as_num()
-                                .ok_or_else(|| rt(format!("arithmetic on {}", r.type_name())))?;
-                            match bin {
-                                BinOp::Add => Value::Num(a + b),
-                                BinOp::Sub => Value::Num(a - b),
-                                BinOp::Mul => Value::Num(a * b),
-                                BinOp::Div => Value::Num(a / b),
-                                BinOp::Rem => Value::Num(a % b),
-                                BinOp::Lt => Value::Bool(a < b),
-                                BinOp::Le => Value::Bool(a <= b),
-                                BinOp::Gt => Value::Bool(a > b),
-                                BinOp::Ge => Value::Bool(a >= b),
-                                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
-                            }
-                        }
-                    };
-                    stack.push(out);
+                    stack.push(bin_value(bin, l, r)?);
+                }
+                Op::LoadLoadBin { a, b, op } => {
+                    let base = frames.last().expect("frame").base;
+                    let l = locals[base + a as usize].clone();
+                    let r = locals[base + b as usize].clone();
+                    if TRACED {
+                        let sn = &self.prog.funcs[cur].slot_names;
+                        deps.push(vec![sn[a as usize], sn[b as usize]]);
+                    }
+                    stack.push(bin_value(op, l, r)?);
+                }
+                Op::LoadConstBin { slot, cidx, op } => {
+                    let base = frames.last().expect("frame").base;
+                    let l = locals[base + slot as usize].clone();
+                    let r = self.prog.consts[cidx as usize].clone();
+                    if TRACED {
+                        deps.push(vec![self.prog.funcs[cur].slot_names[slot as usize]]);
+                    }
+                    stack.push(bin_value(op, l, r)?);
+                }
+                Op::ConstBin { cidx, op } => {
+                    // The constant contributes no deps, so the traced dep
+                    // stack is untouched (push-empty + merge is a no-op).
+                    let r = self.prog.consts[cidx as usize].clone();
+                    let l = vpop(&mut stack);
+                    stack.push(bin_value(op, l, r)?);
                 }
                 Op::Neg => {
                     let v = vpop(&mut stack);

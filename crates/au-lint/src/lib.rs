@@ -10,7 +10,7 @@
 //! time, with `rustc`-style rendered diagnostics pointing at the offending
 //! source span.
 //!
-//! Two lint families:
+//! Three lint families:
 //!
 //! - **protocol lints** (`AU001`–`AU006`, `AU009`, `AU010`): a
 //!   flow-sensitive dataflow walk of the AST tracking may-configured
@@ -20,7 +20,13 @@
 //!   with π-list pseudo-variables that model dataflow *through* the Engine
 //!   (extract → predict → write-back), to prove Algorithm 1's feature
 //!   criterion `dep(w) ∩ dep(v) ≠ ∅` can never hold for an extracted
-//!   feature or that a target is statically unreachable from every input.
+//!   feature or that a target is statically unreachable from every input;
+//! - **abstract-interpretation lints** (`AU011`–`AU015`): value facts from
+//!   `au_lang::absint` (interprocedural constant propagation, intervals,
+//!   liveness) matched against instrumentation sites — dead stores to
+//!   extracted variables, provably-constant features, unreachable
+//!   checkpoint/restore, possible division by zero, and loop-invariant
+//!   trace instrumentation.
 //!
 //! Entry points: [`lint_source`] / [`lint_program`] to collect
 //! [`Diagnostic`]s, [`render`] / [`render_all`] for human output,
@@ -30,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod absint_lints;
 mod depgraph;
 mod protocol;
 
@@ -58,7 +65,7 @@ impl std::fmt::Display for Severity {
 /// line/column and by byte offsets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Stable lint code (`AU001`…`AU010`).
+    /// Stable lint code (`AU001`…`AU015`).
     pub code: String,
     /// Severity of the finding.
     pub severity: Severity,
@@ -129,6 +136,31 @@ pub const LINTS: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "au_config on a model that may already be configured",
     ),
+    (
+        "AU011",
+        Severity::Warning,
+        "dead store to an extracted variable — the value can never reach au_extract",
+    ),
+    (
+        "AU012",
+        Severity::Warning,
+        "extracted feature that is provably constant on every execution",
+    ),
+    (
+        "AU013",
+        Severity::Warning,
+        "au_checkpoint/au_restore in unreachable code",
+    ),
+    (
+        "AU014",
+        Severity::Warning,
+        "division whose divisor may be zero on some execution",
+    ),
+    (
+        "AU015",
+        Severity::Warning,
+        "loop-invariant assignment re-traced on every iteration",
+    ),
 ];
 
 /// A not-yet-located finding produced by the lint passes.
@@ -184,6 +216,14 @@ impl LineIndex {
 pub fn lint_program(program: &Program, src: &str) -> Vec<Diagnostic> {
     let mut raw = protocol::protocol_lints(program);
     raw.extend(depgraph::dependence_lints(program));
+    // AU012 yields to AU007 at the same site: "no dependence path to any
+    // target" subsumes "constant" for an extracted feature.
+    let au007_spans = raw
+        .iter()
+        .filter(|d| d.code == "AU007")
+        .map(|d| (d.span.start, d.span.end))
+        .collect();
+    raw.extend(absint_lints::absint_lints(program, &au007_spans));
     raw.sort_by(|a, b| (a.span.start, a.span.end, a.code).cmp(&(b.span.start, b.span.end, b.code)));
     raw.dedup_by(|a, b| a.code == b.code && a.span == b.span);
     let index = LineIndex::new(src);
@@ -422,7 +462,7 @@ fn main() {
 
     #[test]
     fn lint_registry_is_consistent() {
-        assert_eq!(LINTS.len(), 10);
+        assert_eq!(LINTS.len(), 15);
         for (i, (code, _, _)) in LINTS.iter().enumerate() {
             assert_eq!(*code, format!("AU{:03}", i + 1));
         }

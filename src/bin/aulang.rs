@@ -1,13 +1,19 @@
 //! The AuLang command-line runner.
 //!
 //! ```text
-//! aulang run <file.au> [--engine interp|vm|vm-traced] [--preflight] [--input name=value]... [--seed N] [--no-trace]
+//! aulang run <file.au> [--engine interp|vm|vm-traced] [--opt] [--preflight] [--input name=value]... [--seed N] [--no-trace]
 //! aulang check <file.au> [--deny warnings] [--format json]
 //! aulang dot <file.au>          # dynamic dependence graph (Graphviz)
 //! aulang static <file.au>       # static dependence graph (Graphviz)
 //! aulang fmt <file.au>          # canonical pretty-printed source
 //! aulang features <file.au>     # run + Algorithm 1/2 feature extraction
 //! ```
+//!
+//! Exit codes distinguish *what failed*: `0` success, `1` the program was
+//! understood but failed (lint findings denied by `check`, preflight
+//! refusals, runtime errors), `2` the invocation or source could not be
+//! processed at all (usage errors, unreadable files, lex/parse errors).
+//! CI can therefore tell "the program is bad" from "the command is bad".
 //!
 //! `run` defaults to the **bytecode VM** with tracing compiled out — the
 //! fast serving tier. `--engine vm-traced` compiles in selective tracing
@@ -94,15 +100,29 @@ fn main() -> ExitCode {
     });
     match run(&args, verbosity) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Failure(message)) => {
             diag(ERROR, verbosity, &message);
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            diag(ERROR, verbosity, &message);
+            ExitCode::from(2)
         }
     }
 }
 
+/// What went wrong, split by exit code.
+enum CliError {
+    /// The program was understood but failed: denied lint findings,
+    /// preflight refusals, runtime errors. Exit 1.
+    Failure(String),
+    /// The invocation or source could not be processed: usage errors,
+    /// unreadable files, lex/parse errors. Exit 2.
+    Usage(String),
+}
+
 fn usage() -> String {
-    "usage: aulang <run|check|dot|static|fmt|features> <file.au> [--engine interp|vm|vm-traced] [--preflight] [--deny warnings] [--format json] [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
+    "usage: aulang <run|check|dot|static|fmt|features> <file.au> [--engine interp|vm|vm-traced] [--opt] [--preflight] [--deny warnings] [--format json] [--input name=value]... [--seed N] [--no-trace] [-q|--quiet] [-v|--verbose]"
         .to_owned()
 }
 
@@ -157,21 +177,23 @@ impl Exec {
     }
 }
 
-fn run(args: &[String], verbosity: u8) -> Result<(), String> {
+fn run(args: &[String], verbosity: u8) -> Result<(), CliError> {
     let (command, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
-        _ => return Err(usage()),
+        _ => return Err(CliError::Usage(usage())),
     };
-    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let source = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Usage(format!("cannot read {file}: {e}")))?;
+    let bad_source = |e: au_lang::LangError| CliError::Usage(e.to_string());
 
     match command {
         "fmt" => {
-            let program = parse(&source).map_err(|e| e.to_string())?;
+            let program = parse(&source).map_err(bad_source)?;
             print!("{}", pretty::print_program(&program));
             Ok(())
         }
         "static" => {
-            let program = parse(&source).map_err(|e| e.to_string())?;
+            let program = parse(&source).map_err(bad_source)?;
             let db = static_analysis::analyze(&program);
             print!("{}", db.to_dot());
             Ok(())
@@ -183,7 +205,7 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
             let json = args
                 .windows(2)
                 .any(|w| w[0] == "--format" && w[1] == "json");
-            let diags = au_lint::lint_source(&source).map_err(|e| e.to_string())?;
+            let diags = au_lint::lint_source(&source).map_err(bad_source)?;
             if json {
                 println!("{}", au_lint::diagnostics_to_json(&diags));
             } else if diags.is_empty() {
@@ -196,24 +218,28 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                 .filter(|d| d.severity == au_lint::Severity::Error)
                 .count();
             if errors > 0 {
-                Err(format!("{file}: {errors} protocol error(s)"))
+                Err(CliError::Failure(format!(
+                    "{file}: {errors} protocol error(s)"
+                )))
             } else if deny_warnings && !diags.is_empty() {
-                Err(format!(
+                Err(CliError::Failure(format!(
                     "{file}: {} warning(s) denied by --deny warnings",
                     diags.len()
-                ))
+                )))
             } else {
                 Ok(())
             }
         }
         "run" | "dot" | "features" => {
             if args.iter().any(|a| a == "--preflight") {
-                let diags = au_lint::lint_source(&source).map_err(|e| e.to_string())?;
+                let diags = au_lint::lint_source(&source).map_err(bad_source)?;
                 if !diags.is_empty() {
                     eprint!("{}", au_lint::render_all(&diags, file));
                 }
                 if diags.iter().any(|d| d.severity == au_lint::Severity::Error) {
-                    return Err(format!("{file}: refusing to run (preflight errors)"));
+                    return Err(CliError::Failure(format!(
+                        "{file}: refusing to run (preflight errors)"
+                    )));
                 }
             }
             let engine = args
@@ -225,9 +251,16 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                 // (always fully traced) interpreter.
                 .unwrap_or(if command == "run" { "vm" } else { "interp" });
             let no_trace = args.iter().any(|a| a == "--no-trace");
+            let optimize = args.iter().any(|a| a == "--opt");
             let mut exec = match engine {
                 "interp" => {
-                    let mut interp = Interpreter::compile(&source).map_err(|e| e.to_string())?;
+                    if optimize {
+                        return Err(CliError::Usage(
+                            "--opt applies to the bytecode VM (use --engine vm or vm-traced)"
+                                .to_owned(),
+                        ));
+                    }
+                    let mut interp = Interpreter::compile(&source).map_err(bad_source)?;
                     interp.set_tracing(!no_trace);
                     Exec::Interp(Box::new(interp))
                 }
@@ -245,7 +278,11 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                     } else {
                         TraceMode::Off
                     };
-                    let vm = Vm::compile(&source, mode).map_err(|e| e.to_string())?;
+                    let vm = if optimize {
+                        Vm::compile_opt(&source, mode).map_err(bad_source)?
+                    } else {
+                        Vm::compile(&source, mode).map_err(bad_source)?
+                    };
                     diag(
                         DEBUG,
                         verbosity,
@@ -257,34 +294,47 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
                             vm.effective_trace_mode()
                         ),
                     );
+                    if optimize {
+                        let s = vm.compiled().opt_stats();
+                        diag(
+                            DEBUG,
+                            verbosity,
+                            &format!(
+                                "optimizer: {} folded, {} branches pruned, {} dead stores, {} fused, {} trace ops elided",
+                                s.folded, s.pruned_branches, s.dead_stores, s.fused, s.trace_elided
+                            ),
+                        );
+                    }
                     Exec::Vm(Box::new(vm))
                 }
                 other => {
-                    return Err(format!(
+                    return Err(CliError::Usage(format!(
                         "unknown engine `{other}` (expected interp, vm, or vm-traced)"
-                    ))
+                    )))
                 }
             };
             for window in args[2..].windows(2) {
                 match (window[0].as_str(), window[1].as_str()) {
                     ("--input", pair) => {
-                        let (name, value) = pair
-                            .split_once('=')
-                            .ok_or_else(|| format!("--input needs name=value, got `{pair}`"))?;
-                        let value: f64 = value
-                            .parse()
-                            .map_err(|e| format!("input {name} is not numeric: {e}"))?;
+                        let (name, value) = pair.split_once('=').ok_or_else(|| {
+                            CliError::Usage(format!("--input needs name=value, got `{pair}`"))
+                        })?;
+                        let value: f64 = value.parse().map_err(|e| {
+                            CliError::Usage(format!("input {name} is not numeric: {e}"))
+                        })?;
                         exec.set_input(name, Value::Num(value));
                     }
                     ("--seed", n) => {
-                        let seed: u64 = n.parse().map_err(|e| format!("bad --seed value: {e}"))?;
+                        let seed: u64 = n
+                            .parse()
+                            .map_err(|e| CliError::Usage(format!("bad --seed value: {e}")))?;
                         exec.set_seed(seed);
                     }
                     _ => {}
                 }
             }
             diag(DEBUG, verbosity, &format!("running {file} ({command})"));
-            let result = exec.run()?;
+            let result = exec.run().map_err(CliError::Failure)?;
             for line in exec.output() {
                 println!("{line}");
             }
@@ -335,6 +385,9 @@ fn run(args: &[String], verbosity: u8) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }

@@ -14,9 +14,14 @@ const CORPUS: &[(&str, &str, usize)] = &[
     ("au005_unreachable_serialize.au", "AU005", 6),
     ("au006_dead_extract.au", "AU006", 4),
     ("au007_unrelated_feature.au", "AU007", 10),
-    ("au008_input_independent_target.au", "AU008", 11),
+    ("au008_input_independent_target.au", "AU008", 18),
     ("au009_unused_model.au", "AU009", 4),
     ("au010_reconfigured_model.au", "AU010", 4),
+    ("au011_dead_feature_store.au", "AU011", 6),
+    ("au012_constant_feature.au", "AU012", 7),
+    ("au013_unreachable_checkpoint.au", "AU013", 7),
+    ("au014_possible_div_zero.au", "AU014", 11),
+    ("au015_loop_invariant_trace.au", "AU015", 10),
 ];
 
 fn read_corpus(file: &str) -> String {
@@ -59,6 +64,25 @@ fn corpus_covers_every_registered_lint_exactly_once() {
             "{code} must appear exactly once in the corpus"
         );
     }
+}
+
+#[test]
+fn clean_counterparts_lint_clean() {
+    // `tests/lint_corpus/clean/` holds the near-miss twin of each
+    // abstract-interpretation fixture: same shape, but the value facts
+    // don't hold, so the lint must stay quiet.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus/clean");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/lint_corpus/clean exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "au") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            let diags = lint_source(&src).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(diags.is_empty(), "{path:?} has lint findings: {diags:#?}");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 5, "expected one clean twin per AU011–AU015");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! silent AST drift: `pretty.rs`, the parser, and `compile.rs` all walk
 //! the same shapes.
 
-use autonomizer::lang::{corpus, parse, pretty};
+use autonomizer::lang::{compile_program, compile_program_opt, corpus, parse, pretty, TraceMode};
 use std::path::PathBuf;
 
 fn assert_round_trips(name: &str, src: &str) {
@@ -19,14 +19,31 @@ fn assert_round_trips(name: &str, src: &str) {
     );
     let reprinted = pretty::print_program(&reparsed);
     assert_eq!(printed, reprinted, "[{name}] printing is not idempotent");
+    // The optimizer must accept everything the plain compiler accepts,
+    // and never make the bytecode bigger.
+    for mode in [TraceMode::Off, TraceMode::Selective, TraceMode::Full] {
+        let plain = compile_program(&ast, mode);
+        let opt = compile_program_opt(&ast, mode);
+        assert!(
+            opt.op_count() <= plain.op_count(),
+            "[{name}] {mode:?}: optimizer grew the bytecode ({} -> {})",
+            plain.op_count(),
+            opt.op_count()
+        );
+    }
 }
 
-/// Every `.au` file in the repository (examples and lint corpus).
+/// Every `.au` file in the repository (examples and lint corpus,
+/// including the `clean/` counterparts).
 #[test]
 fn repo_au_files_round_trip() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut checked = 0;
-    for dir in ["examples/aulang", "tests/lint_corpus"] {
+    for dir in [
+        "examples/aulang",
+        "tests/lint_corpus",
+        "tests/lint_corpus/clean",
+    ] {
         for entry in std::fs::read_dir(root.join(dir)).expect("au dir exists") {
             let path = entry.unwrap().path();
             if path.extension().and_then(|e| e.to_str()) != Some("au") {
@@ -37,7 +54,7 @@ fn repo_au_files_round_trip() {
             checked += 1;
         }
     }
-    assert!(checked >= 11, "expected every repo .au file, saw {checked}");
+    assert!(checked >= 21, "expected every repo .au file, saw {checked}");
 }
 
 /// The nine paper corpus programs.
